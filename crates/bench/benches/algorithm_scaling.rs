@@ -1,0 +1,58 @@
+//! Ablation bench: optimisation time of the three algorithms as the model
+//! library grows (Theorem 1's `O(M·I)` claim for TrimCaching Spec in the
+//! special case, versus the greedy's growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trimcaching_modellib::builders::SpecialCaseBuilder;
+use trimcaching_placement::{
+    IndependentCaching, PlacementAlgorithm, TrimCachingGen, TrimCachingSpec,
+};
+use trimcaching_sim::experiments::{ablation, RunConfig};
+use trimcaching_sim::{MonteCarloConfig, TopologyConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig {
+        monte_carlo: MonteCarloConfig {
+            topologies: 1,
+            fading_realisations: 0,
+            seed: 2024,
+            threads: 1,
+        },
+        models_per_backbone: 10,
+        library_seed: 2024,
+    };
+    let table = ablation::library_scaling(&cfg).expect("scaling table runs");
+    eprintln!("{}", table.to_markdown());
+
+    let mut group = c.benchmark_group("scaling/library_size");
+    group.sample_size(10);
+    for per_backbone in [5usize, 10, 20] {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(per_backbone)
+            .build(2024);
+        let scenario = TopologyConfig::paper_defaults()
+            .generate(&library, 2024, 0)
+            .expect("topology generates");
+        let models = per_backbone * 3;
+        group.bench_with_input(
+            BenchmarkId::new("trimcaching-spec", models),
+            &scenario,
+            |b, s| b.iter(|| TrimCachingSpec::new().place(s).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trimcaching-gen", models),
+            &scenario,
+            |b, s| b.iter(|| TrimCachingGen::new().place(s).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("independent-caching", models),
+            &scenario,
+            |b, s| b.iter(|| IndependentCaching::new().place(s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench + regeneration target for Fig. 1 (accuracy vs. frozen layers).
+//!
+//! The measured quantity is the curve-generation itself (trivially cheap);
+//! the important side effect is that running this bench prints the Fig. 1
+//! table, which EXPERIMENTS.md records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use trimcaching_sim::experiments::fig1;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated figure once.
+    let table = fig1::accuracy_vs_frozen_layers();
+    eprintln!("{}", table.to_markdown());
+
+    c.bench_function("fig1/accuracy_curve", |b| {
+        b.iter(fig1::accuracy_vs_frozen_layers)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

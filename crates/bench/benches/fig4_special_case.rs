@@ -1,0 +1,72 @@
+//! Bench + regeneration target for Fig. 4 (special case).
+//!
+//! Two parts:
+//!
+//! 1. the full Fig. 4(a)/(b)/(c) tables are regenerated once at reduced
+//!    Monte-Carlo scale and printed (recorded in EXPERIMENTS.md);
+//! 2. Criterion measures the per-placement optimisation time of the three
+//!    algorithms on the Fig. 4 default topology (M = 10, K = 30, I = 30,
+//!    Q = 1 GB).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use trimcaching_placement::{
+    IndependentCaching, PlacementAlgorithm, TrimCachingGen, TrimCachingSpec,
+};
+use trimcaching_sim::experiments::{fig4, LibraryKind, RunConfig};
+use trimcaching_sim::{MonteCarloConfig, TopologyConfig};
+
+fn table_config() -> RunConfig {
+    RunConfig {
+        monte_carlo: MonteCarloConfig {
+            topologies: 5,
+            fading_realisations: 50,
+            seed: 2024,
+            threads: 0,
+        },
+        models_per_backbone: 10,
+        library_seed: 2024,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the three panels once and print them.
+    let cfg = table_config();
+    for table in [
+        fig4::capacity_sweep(&cfg).expect("fig4a runs"),
+        fig4::server_sweep(&cfg).expect("fig4b runs"),
+        fig4::user_sweep(&cfg).expect("fig4c runs"),
+    ] {
+        eprintln!("{}", table.to_markdown());
+        if let Some(gain) =
+            table.average_relative_gain("trimcaching-spec", "independent-caching")
+        {
+            eprintln!(
+                "[{}] average gain of Spec over Independent Caching: {:.1}%\n",
+                table.id,
+                gain * 100.0
+            );
+        }
+    }
+
+    // Per-placement optimisation time on the default Fig. 4 topology.
+    let library = cfg.build_library(LibraryKind::Special);
+    let scenario = TopologyConfig::paper_defaults()
+        .generate(&library, 2024, 0)
+        .expect("topology generates");
+    let mut group = c.benchmark_group("fig4/placement");
+    group.sample_size(10);
+    group.bench_function("trimcaching-spec", |b| {
+        b.iter(|| TrimCachingSpec::new().place(&scenario).unwrap())
+    });
+    group.bench_function("trimcaching-gen", |b| {
+        b.iter(|| TrimCachingGen::new().place(&scenario).unwrap())
+    });
+    group.bench_function("independent-caching", |b| {
+        b.iter(|| IndependentCaching::new().place(&scenario).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

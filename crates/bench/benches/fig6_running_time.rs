@@ -1,0 +1,94 @@
+//! Bench + regeneration target for Fig. 6 — the running-time comparison
+//! against the optimal solution.
+//!
+//! Criterion directly measures what the figure reports: the optimisation
+//! time of the exhaustive search, TrimCaching Spec (ε = 0) and TrimCaching
+//! Gen on the reduced 400 m scenario, for both the special-case (Fig. 6a)
+//! and the general-case (Fig. 6b) libraries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use trimcaching_placement::{
+    ExhaustiveSearch, PlacementAlgorithm, TrimCachingGen, TrimCachingSpec,
+};
+use trimcaching_sim::experiments::fig6::{FIG6A_CAPACITY_GB, FIG6B_CAPACITY_GB};
+use trimcaching_sim::experiments::{fig6, LibraryKind, RunConfig};
+use trimcaching_sim::{MonteCarloConfig, TopologyConfig};
+
+fn table_config() -> RunConfig {
+    RunConfig {
+        monte_carlo: MonteCarloConfig {
+            topologies: 5,
+            fading_realisations: 50,
+            seed: 2024,
+            threads: 0,
+        },
+        models_per_backbone: 5,
+        library_seed: 2024,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = table_config();
+    let a = fig6::special_case_vs_optimal(&cfg).expect("fig6a runs");
+    eprintln!("{}", a.to_markdown());
+    if let Some(speedup) = a.speedup("trimcaching-spec", "exhaustive-search") {
+        eprintln!("[fig6a] TrimCaching Spec speedup over exhaustive search: {speedup:.0}x");
+    }
+    if let Some(speedup) = a.speedup("trimcaching-gen", "exhaustive-search") {
+        eprintln!("[fig6a] TrimCaching Gen speedup over exhaustive search: {speedup:.0}x\n");
+    }
+    let b = fig6::general_case_runtime(&cfg).expect("fig6b runs");
+    eprintln!("{}", b.to_markdown());
+    if let Some(speedup) = b.speedup("trimcaching-gen", "trimcaching-spec") {
+        eprintln!("[fig6b] TrimCaching Gen speedup over TrimCaching Spec: {speedup:.0}x\n");
+    }
+
+    // Special-case scenario (Fig. 6a).
+    let special = cfg.build_library(LibraryKind::Special);
+    let scenario_a = TopologyConfig::paper_small()
+        .with_capacity_gb(FIG6A_CAPACITY_GB)
+        .generate(&special, 2024, 0)
+        .expect("topology generates");
+    let mut group = c.benchmark_group("fig6a/placement");
+    group.sample_size(10);
+    group.bench_function("exhaustive-search", |b| {
+        b.iter(|| ExhaustiveSearch::new().place(&scenario_a).unwrap())
+    });
+    group.bench_function("trimcaching-spec-eps0", |b| {
+        b.iter(|| {
+            TrimCachingSpec::new()
+                .with_epsilon(0.0)
+                .place(&scenario_a)
+                .unwrap()
+        })
+    });
+    group.bench_function("trimcaching-gen", |b| {
+        b.iter(|| TrimCachingGen::new().place(&scenario_a).unwrap())
+    });
+    group.finish();
+
+    // General-case scenario (Fig. 6b).
+    let general = cfg.build_library(LibraryKind::General);
+    let scenario_b = TopologyConfig::paper_small()
+        .with_capacity_gb(FIG6B_CAPACITY_GB)
+        .generate(&general, 2024, 0)
+        .expect("topology generates");
+    let mut group = c.benchmark_group("fig6b/placement");
+    group.sample_size(10);
+    group.bench_function("trimcaching-spec-eps0", |b| {
+        b.iter(|| {
+            TrimCachingSpec::new()
+                .with_epsilon(0.0)
+                .place(&scenario_b)
+                .unwrap()
+        })
+    });
+    group.bench_function("trimcaching-gen", |b| {
+        b.iter(|| TrimCachingGen::new().place(&scenario_b).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench: eager (Algorithm 3) vs. CELF lazy-evaluation greedy.
+//!
+//! Both algorithms produce the same placement; the lazy variant re-uses
+//! stale marginal gains as upper bounds and typically performs an order of
+//! magnitude fewer gain evaluations. This bench reports the wall-clock
+//! running time of both on growing library sizes and prints the evaluation
+//! counters for the largest instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trimcaching_modellib::builders::SpecialCaseBuilder;
+use trimcaching_placement::{PlacementAlgorithm, TrimCachingGen, TrimCachingGenLazy};
+use trimcaching_sim::TopologyConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/lazy_greedy");
+    group.sample_size(10);
+    for models_per_backbone in [5usize, 10, 20] {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(models_per_backbone)
+            .build(2024);
+        let scenario = TopologyConfig::paper_defaults()
+            .generate(&library, 2024, 0)
+            .expect("topology generates");
+        let eager = TrimCachingGen::new().place(&scenario).expect("eager runs");
+        let lazy = TrimCachingGenLazy::new().place(&scenario).expect("lazy runs");
+        assert_eq!(eager.placement, lazy.placement);
+        eprintln!(
+            "[lazy_greedy] I = {}: eager {} evaluations, lazy {} evaluations ({}x fewer)",
+            library.num_models(),
+            eager.evaluations,
+            lazy.evaluations,
+            eager.evaluations.max(1) / lazy.evaluations.max(1)
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("eager", library.num_models()),
+            &scenario,
+            |b, s| b.iter(|| TrimCachingGen::new().place(s).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy", library.num_models()),
+            &scenario,
+            |b, s| b.iter(|| TrimCachingGenLazy::new().place(s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

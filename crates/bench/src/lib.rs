@@ -1,0 +1,5 @@
+//! Benchmark-only crate: all content lives in `benches/`.
+//!
+//! Each bench target regenerates one table or figure of the TrimCaching
+//! evaluation; see `DESIGN.md` (experiment index) and `EXPERIMENTS.md` in
+//! the repository root.

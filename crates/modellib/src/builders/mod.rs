@@ -1,0 +1,25 @@
+//! Library builders reproducing the paper's two model libraries.
+//!
+//! * [`SpecialCaseBuilder`] — the *special case* of Section V: every model
+//!   in the library is created from one of a few pre-trained backbones by
+//!   bottom-layer freezing, so the shared parameter blocks form a small set
+//!   that does not grow with the library.
+//! * [`GeneralCaseBuilder`] — the *general case* of Section VI: models are
+//!   produced by two rounds of fine-tuning (Table I), so second-round models
+//!   reuse blocks from first-round models and the set of shared blocks grows
+//!   with the library.
+//! * [`LoraLibraryBuilder`] — a PEFT/LoRA-style library (frozen foundation
+//!   bodies plus many tiny task adapters), the structure the paper's
+//!   introduction motivates with large language models.
+//! * [`Backbone`] — the ResNet-like backbone descriptions the special- and
+//!   general-case builders derive block sizes from.
+
+mod backbone;
+mod general;
+mod lora;
+mod special;
+
+pub use backbone::Backbone;
+pub use general::{GeneralCaseBuilder, SuperclassMapping};
+pub use lora::{FoundationSpec, LoraLibraryBuilder};
+pub use special::SpecialCaseBuilder;

@@ -1,0 +1,91 @@
+//! Error types for the model-library substrate.
+
+use std::fmt;
+
+/// Errors produced while building or querying a model library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelLibError {
+    /// A block or model index was out of range.
+    IndexOutOfRange {
+        /// What kind of entity was being indexed ("block" or "model").
+        entity: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of entities available.
+        len: usize,
+    },
+    /// A model was defined with no parameter blocks.
+    EmptyModel {
+        /// Name of the offending model.
+        name: String,
+    },
+    /// A model referenced a block identifier that does not exist in the
+    /// library being built.
+    UnknownBlock {
+        /// The unknown block index.
+        block: usize,
+    },
+    /// A builder was configured with an invalid parameter (e.g. zero models
+    /// per backbone, a Zipf exponent that is not finite, ...).
+    InvalidConfig {
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelLibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelLibError::IndexOutOfRange { entity, index, len } => {
+                write!(f, "{entity} index {index} out of range (len {len})")
+            }
+            ModelLibError::EmptyModel { name } => {
+                write!(f, "model {name} has no parameter blocks")
+            }
+            ModelLibError::UnknownBlock { block } => {
+                write!(f, "unknown parameter block {block}")
+            }
+            ModelLibError::InvalidConfig { reason } => {
+                write!(f, "invalid library configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelLibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        let e = ModelLibError::IndexOutOfRange {
+            entity: "model",
+            index: 12,
+            len: 3,
+        };
+        assert!(e.to_string().contains("model"));
+        assert!(e.to_string().contains("12"));
+
+        let e = ModelLibError::EmptyModel {
+            name: "resnet".into(),
+        };
+        assert!(e.to_string().contains("resnet"));
+
+        let e = ModelLibError::UnknownBlock { block: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = ModelLibError::InvalidConfig {
+            reason: "zero models".into(),
+        };
+        assert!(e.to_string().contains("zero models"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelLibError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Approximation-guarantee bookkeeping for Theorems 2 and 3.
+//!
+//! The paper gives two data-dependent/constant guarantees:
+//!
+//! * **Theorem 2** (special case): TrimCaching Spec achieves
+//!   `U(X̂) ≥ (1 − ε)/2 · U(X*)` — see [`spec_guarantee_floor`].
+//! * **Theorem 3** (general case): the greedy achieves
+//!   `U(X) ≥ U(X*) / Γ`, where `Γ = max{|X| : g_m(X_m) ≤ Q_m ∀m}` is the
+//!   largest number of `(server, model)` placements any feasible solution
+//!   can contain — see [`gamma_bound`] and [`theorem3_floor`].
+//!
+//! `Γ` itself is a packing maximisation under the shared-storage constraint
+//! and is NP-hard to compute exactly; because the per-server constraints are
+//! independent, `Γ` decomposes into a sum of per-server maxima, and this
+//! module brackets each of them:
+//!
+//! * a *lower* bound from a cheapest-marginal-first greedy packing, and
+//! * an *upper* bound from the observation that the deduplicated footprint
+//!   of a model set is at least the sum of the models' specific (unshared)
+//!   bytes, so no server can hold more models than fit by specific size
+//!   alone.
+//!
+//! These brackets are what the property tests and the ablation benches use
+//! to check Theorem 3 empirically on exhaustively solvable instances.
+
+use trimcaching_modellib::ModelId;
+use trimcaching_scenario::{Scenario, ServerId};
+
+use crate::error::PlacementError;
+
+/// Bracket `[lower, upper]` on the packing constant `Γ` of Theorem 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GammaBound {
+    /// Cardinality achieved by a cheapest-marginal-first packing
+    /// (a feasible placement, hence a lower bound on `Γ`).
+    pub lower: usize,
+    /// Specific-size relaxation (no feasible placement can exceed it).
+    pub upper: usize,
+}
+
+impl GammaBound {
+    /// Whether a placement of the given cardinality is consistent with the
+    /// bracket (i.e. does not exceed the upper bound).
+    pub fn admits(&self, cardinality: usize) -> bool {
+        cardinality <= self.upper
+    }
+}
+
+/// Brackets `Γ = max{|X| : g_m(X_m) ≤ Q_m ∀m}` for the given scenario.
+///
+/// # Errors
+///
+/// Propagates scenario accounting errors (which indicate an internally
+/// inconsistent scenario).
+pub fn gamma_bound(scenario: &Scenario) -> Result<GammaBound, PlacementError> {
+    let library = scenario.library();
+    let num_models = scenario.num_models();
+
+    // Specific (unshared) sizes, ascending — shared by the per-server upper
+    // bound computation.
+    let mut specific_sizes: Vec<u64> = (0..num_models)
+        .map(|i| library.specific_size_bytes(ModelId(i)))
+        .collect::<Result<_, _>>()
+        .map_err(trimcaching_scenario::ScenarioError::from)?;
+    specific_sizes.sort_unstable();
+
+    let mut lower = 0usize;
+    let mut upper = 0usize;
+    for m in 0..scenario.num_servers() {
+        let capacity = scenario.capacity_bytes(ServerId(m))?;
+
+        // Upper bound: even if every shared block came for free, the server
+        // must still store each cached model's specific blocks.
+        let mut remaining = capacity;
+        let mut fit_by_specific = 0usize;
+        for &s in &specific_sizes {
+            if s <= remaining {
+                remaining -= s;
+                fit_by_specific += 1;
+            } else {
+                break;
+            }
+        }
+        upper += fit_by_specific.min(num_models);
+
+        // Lower bound: cheapest-marginal-first greedy packing.
+        let mut tracker = scenario.storage_tracker(ServerId(m))?;
+        loop {
+            let mut best: Option<(ModelId, u64)> = None;
+            for i in 0..num_models {
+                let model = ModelId(i);
+                if tracker.contains(model) {
+                    continue;
+                }
+                let marginal = tracker.marginal_bytes(model)?;
+                if tracker.used_bytes() + marginal > capacity {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => marginal < b,
+                };
+                if better {
+                    best = Some((model, marginal));
+                }
+            }
+            match best {
+                Some((model, _)) => {
+                    tracker.add(model)?;
+                    lower += 1;
+                }
+                None => break,
+            }
+        }
+    }
+    Ok(GammaBound { lower, upper })
+}
+
+/// The Theorem 3 floor `U(X*) / Γ` on the hit ratio of the general-case
+/// greedy, given (an upper bound on) the optimal hit ratio and (an upper
+/// bound on) `Γ`. Returns `0.0` when `gamma` is zero.
+pub fn theorem3_floor(optimal_hit_ratio: f64, gamma: usize) -> f64 {
+    if gamma == 0 {
+        return 0.0;
+    }
+    optimal_hit_ratio / gamma as f64
+}
+
+/// The Theorem 2 floor `(1 − ε)/2 · U(X*)` on the hit ratio of TrimCaching
+/// Spec in the special case.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is outside `[0, 1]` — the DP rounding parameter is
+/// only defined on that interval.
+pub fn spec_guarantee_floor(optimal_hit_ratio: f64, epsilon: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&epsilon),
+        "epsilon must lie in [0, 1], got {epsilon}"
+    );
+    (1.0 - epsilon) / 2.0 * optimal_hit_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSearch;
+    use crate::general::TrimCachingGen;
+    use crate::outcome::PlacementAlgorithm;
+    use crate::spec::TrimCachingSpec;
+    use crate::test_support::{paper_like_scenario, tiny_scenario};
+
+    #[test]
+    fn gamma_bracket_is_ordered_and_admits_algorithm_placements() {
+        for seed in [1_u64, 4, 9] {
+            let scenario = paper_like_scenario(3, 10, 12, 0.5, seed, true);
+            let bound = gamma_bound(&scenario).unwrap();
+            assert!(
+                bound.lower <= bound.upper,
+                "seed {seed}: lower {} > upper {}",
+                bound.lower,
+                bound.upper
+            );
+            let gen = TrimCachingGen::new().place(&scenario).unwrap();
+            assert!(bound.admits(gen.placement.len()));
+            let spec = TrimCachingSpec::new().place(&scenario).unwrap();
+            assert!(bound.admits(spec.placement.len()));
+        }
+    }
+
+    #[test]
+    fn gamma_is_zero_when_nothing_fits() {
+        let scenario = paper_like_scenario(2, 6, 6, 0.0001, 3, true);
+        let bound = gamma_bound(&scenario).unwrap();
+        assert_eq!(bound.lower, 0);
+        assert_eq!(bound.upper, 0);
+        assert!(bound.admits(0));
+        assert!(!bound.admits(1));
+        assert_eq!(theorem3_floor(0.9, 0), 0.0);
+    }
+
+    #[test]
+    fn theorem3_holds_empirically_on_tiny_instances() {
+        // On exhaustively solvable instances the greedy must clear the
+        // U(X*)/Γ floor (using the Γ upper bound only weakens the floor).
+        for seed in [2_u64, 6] {
+            let scenario = tiny_scenario(6, 0.2, seed);
+            let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
+            let gen = TrimCachingGen::new().place(&scenario).unwrap();
+            let bound = gamma_bound(&scenario).unwrap();
+            let floor = theorem3_floor(optimal.hit_ratio, bound.upper.max(1));
+            assert!(
+                gen.hit_ratio >= floor - 1e-9,
+                "seed {seed}: greedy {} below Theorem 3 floor {floor}",
+                gen.hit_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_holds_empirically_on_tiny_instances() {
+        for seed in [2_u64, 6] {
+            let scenario = tiny_scenario(6, 0.2, seed);
+            let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
+            let spec = TrimCachingSpec::new().with_epsilon(0.1).place(&scenario).unwrap();
+            let floor = spec_guarantee_floor(optimal.hit_ratio, 0.1);
+            assert!(
+                spec.hit_ratio >= floor - 1e-9,
+                "seed {seed}: spec {} below Theorem 2 floor {floor}",
+                spec.hit_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn guarantee_floors_scale_as_expected() {
+        assert!((spec_guarantee_floor(0.8, 0.0) - 0.4).abs() < 1e-12);
+        assert!((spec_guarantee_floor(0.8, 0.5) - 0.2).abs() < 1e-12);
+        assert!((theorem3_floor(0.9, 3) - 0.3).abs() < 1e-12);
+        assert!(theorem3_floor(0.9, 90) < 0.011);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn out_of_range_epsilon_panics() {
+        let _ = spec_guarantee_floor(0.5, 1.5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the placement algorithms.
+
+use std::fmt;
+
+use trimcaching_scenario::ScenarioError;
+
+/// Errors produced by the placement algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The scenario layer reported an error (inconsistent indices, invalid
+    /// parameters, ...).
+    Scenario(ScenarioError),
+    /// A configuration knob of an algorithm was invalid (e.g. a rounding
+    /// parameter outside `[0, 1]`).
+    InvalidConfig {
+        /// Description of the invalid configuration.
+        reason: String,
+    },
+    /// The instance is too large for the requested (exponential-time)
+    /// algorithm — raised by the exhaustive search and by the TrimCaching
+    /// Spec shared-combination enumeration when the candidate count exceeds
+    /// the configured budget.
+    InstanceTooLarge {
+        /// Which algorithm refused the instance.
+        algorithm: &'static str,
+        /// A measure of the instance size that exceeded the budget.
+        size: u128,
+        /// The configured budget.
+        budget: u128,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Scenario(e) => write!(f, "scenario error: {e}"),
+            PlacementError::InvalidConfig { reason } => {
+                write!(f, "invalid algorithm configuration: {reason}")
+            }
+            PlacementError::InstanceTooLarge {
+                algorithm,
+                size,
+                budget,
+            } => write!(
+                f,
+                "instance too large for {algorithm}: size {size} exceeds budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlacementError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for PlacementError {
+    fn from(e: ScenarioError) -> Self {
+        PlacementError::Scenario(e)
+    }
+}
+
+impl From<trimcaching_modellib::ModelLibError> for PlacementError {
+    fn from(e: trimcaching_modellib::ModelLibError) -> Self {
+        PlacementError::Scenario(ScenarioError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        use std::error::Error;
+        let e: PlacementError =
+            ScenarioError::MissingComponent { component: "x" }.into();
+        assert!(e.to_string().contains("scenario"));
+        assert!(e.source().is_some());
+        let e = PlacementError::InvalidConfig {
+            reason: "epsilon".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        assert!(e.source().is_none());
+        let e = PlacementError::InstanceTooLarge {
+            algorithm: "exhaustive",
+            size: 10,
+            budget: 5,
+        };
+        assert!(e.to_string().contains("exhaustive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacementError>();
+    }
+}

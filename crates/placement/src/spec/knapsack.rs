@@ -1,0 +1,351 @@
+//! The DP-based rounding knapsack of Algorithm 2.
+//!
+//! Given a shared-block combination `N`, the remaining capacity
+//! `Q_m − d_N` must be filled with the *specific* parts of eligible models
+//! so as to maximise the expected number of cache hits. That is a 0/1
+//! knapsack whose values are the per-model weights `u(m, i)` of Eq. (14)
+//! and whose costs are the specific sizes `D_N(i)` of Eq. (13).
+//!
+//! Following the paper, the DP runs over *values*: `T(e, w)` is the
+//! smallest specific-byte cost achieving the rounded value `w` with the
+//! first `e` models (Eqs. 15–16). Values are rounded to integers with the
+//! granularity `δ = ε · u_min` (Eq. 19), giving the `(1 − ε)` guarantee of
+//! Proposition 4. With `ε = 0` we fall back to a very fine granularity
+//! (`u_min / 1000`), which reproduces the "exact" configuration the paper
+//! uses for the optimality comparison of Fig. 6(a) while keeping the DP
+//! finite for arbitrary floating-point weights.
+
+use trimcaching_modellib::ModelId;
+
+/// One knapsack item: a model with its exact hit weight and byte cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Item {
+    /// The model this item represents.
+    pub model: ModelId,
+    /// Exact hit weight `u(m, i)` (must be positive).
+    pub weight: f64,
+    /// Specific-byte cost `D_N(i)`.
+    pub cost_bytes: u64,
+}
+
+/// Result of solving one per-combination knapsack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct KnapsackSolution {
+    /// The chosen models.
+    pub chosen: Vec<ModelId>,
+    /// Sum of the *exact* weights of the chosen models (Eq. 20 uses the
+    /// exact `u`, not the rounded values).
+    pub value: f64,
+    /// Total specific bytes of the chosen models.
+    pub cost_bytes: u64,
+    /// Number of DP cells updated (work counter).
+    pub evaluations: u64,
+}
+
+/// Solves the per-combination knapsack.
+///
+/// * `capacity_bytes` — remaining capacity `Q_m − d_N`.
+/// * `epsilon` — the rounding parameter of Eq. (19); `0` selects the
+///   fine-granularity "exact" mode.
+/// * `max_total_weight` — engineering cap on the rounded-value axis: when
+///   `Σ ⌊u_i/δ⌋` would exceed it, the granularity is coarsened to keep the
+///   DP table bounded (this only matters for extreme weight ratios and is
+///   reported through the solution's `evaluations` as usual).
+pub(crate) fn solve(
+    items: &[Item],
+    capacity_bytes: u64,
+    epsilon: f64,
+    max_total_weight: u64,
+) -> KnapsackSolution {
+    // Keep only items that can ever fit and carry positive weight.
+    let items: Vec<Item> = items
+        .iter()
+        .copied()
+        .filter(|it| it.weight > 0.0 && it.cost_bytes <= capacity_bytes)
+        .collect();
+    if items.is_empty() {
+        return KnapsackSolution::default();
+    }
+
+    // Fast path: everything fits together.
+    let total_cost: u64 = items.iter().map(|it| it.cost_bytes).sum();
+    if total_cost <= capacity_bytes {
+        return KnapsackSolution {
+            chosen: items.iter().map(|it| it.model).collect(),
+            value: items.iter().map(|it| it.weight).sum(),
+            cost_bytes: total_cost,
+            evaluations: items.len() as u64,
+        };
+    }
+
+    // Rounding granularity δ (Eq. 19), with the engineering cap.
+    let u_min = items
+        .iter()
+        .map(|it| it.weight)
+        .fold(f64::INFINITY, f64::min);
+    let total_weight: f64 = items.iter().map(|it| it.weight).sum();
+    let mut delta = if epsilon > 0.0 {
+        epsilon * u_min
+    } else {
+        u_min / 1000.0
+    };
+    let cap_delta = total_weight / max_total_weight.max(1) as f64;
+    if cap_delta > delta {
+        delta = cap_delta;
+    }
+
+    let rounded: Vec<u64> = items
+        .iter()
+        .map(|it| (it.weight / delta).floor() as u64)
+        .collect();
+    let w_total = rounded.iter().sum::<u64>() as usize;
+    let evaluations = (items.len() * w_total) as u64;
+
+    // DP over values (Eq. 16) with the full `(e, w)` table so the chosen
+    // set can be reconstructed exactly, then backtrack from the best
+    // reachable value within capacity.
+    let (chosen, _best_w) = reconstruct(&items, &rounded, capacity_bytes, w_total);
+    let value = chosen
+        .iter()
+        .map(|m| {
+            items
+                .iter()
+                .find(|it| it.model == *m)
+                .map(|it| it.weight)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    let cost_bytes = chosen
+        .iter()
+        .map(|m| {
+            items
+                .iter()
+                .find(|it| it.model == *m)
+                .map(|it| it.cost_bytes)
+                .unwrap_or(0)
+        })
+        .sum();
+    KnapsackSolution {
+        chosen,
+        value,
+        cost_bytes,
+        evaluations,
+    }
+}
+
+/// Builds the full `(items + 1) × (W + 1)` min-cost table `T(e, w)` of
+/// Eqs. (15)–(16), finds the best rounded value reachable within
+/// `capacity_bytes` (Eq. 17) and backtracks the chosen item set.
+fn reconstruct(
+    items: &[Item],
+    rounded: &[u64],
+    capacity_bytes: u64,
+    w_total: usize,
+) -> (Vec<ModelId>, usize) {
+    const UNREACHABLE: u64 = u64::MAX;
+    let n = items.len();
+    // table[e][w] = min cost using the first e items to reach value w.
+    let mut table = vec![vec![UNREACHABLE; w_total + 1]; n + 1];
+    table[0][0] = 0;
+    for e in 1..=n {
+        let w_item = rounded[e - 1] as usize;
+        let cost = items[e - 1].cost_bytes;
+        for w in 0..=w_total {
+            let skip = table[e - 1][w];
+            let mut best = skip;
+            if w >= w_item && table[e - 1][w - w_item] != UNREACHABLE {
+                let with = table[e - 1][w - w_item].saturating_add(cost);
+                if with < best {
+                    best = with;
+                }
+            }
+            table[e][w] = best;
+        }
+    }
+    // Best reachable rounded value within capacity (Eq. 17).
+    let mut target_w = 0usize;
+    for (w, &cost) in table[n].iter().enumerate() {
+        if cost != UNREACHABLE && cost <= capacity_bytes {
+            target_w = w;
+        }
+    }
+    // Walk back from (n, target_w).
+    let mut chosen = Vec::new();
+    let mut w = target_w;
+    for e in (1..=n).rev() {
+        let w_item = rounded[e - 1] as usize;
+        let cost = items[e - 1].cost_bytes;
+        let took = w >= w_item
+            && table[e - 1][w - w_item] != UNREACHABLE
+            && table[e - 1][w - w_item].saturating_add(cost) == table[e][w]
+            && (table[e - 1][w] == UNREACHABLE
+                || table[e - 1][w - w_item].saturating_add(cost) <= table[e - 1][w]);
+        if took {
+            chosen.push(items[e - 1].model);
+            w -= w_item;
+        }
+    }
+    debug_assert!(w == 0 || table[0][w] == 0);
+    let total_cost: u64 = chosen
+        .iter()
+        .map(|m| {
+            items
+                .iter()
+                .find(|it| it.model == *m)
+                .map(|it| it.cost_bytes)
+                .unwrap_or(0)
+        })
+        .sum();
+    debug_assert!(total_cost <= capacity_bytes);
+    chosen.reverse();
+    (chosen, target_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(model: usize, weight: f64, cost: u64) -> Item {
+        Item {
+            model: ModelId(model),
+            weight,
+            cost_bytes: cost,
+        }
+    }
+
+    /// Brute-force optimum over all subsets (exact weights).
+    fn brute_force(items: &[Item], capacity: u64) -> f64 {
+        let n = items.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let mut cost = 0u64;
+            let mut value = 0.0;
+            for (j, it) in items.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    cost += it.cost_bytes;
+                    value += it.weight;
+                }
+            }
+            if cost <= capacity && value > best {
+                best = value;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_and_infeasible_inputs_yield_empty_solutions() {
+        assert_eq!(solve(&[], 100, 0.1, 10_000), KnapsackSolution::default());
+        // Item larger than the capacity.
+        let sol = solve(&[item(0, 1.0, 200)], 100, 0.1, 10_000);
+        assert!(sol.chosen.is_empty());
+        // Zero-weight items are ignored.
+        let sol = solve(&[item(0, 0.0, 10)], 100, 0.1, 10_000);
+        assert!(sol.chosen.is_empty());
+    }
+
+    #[test]
+    fn fast_path_takes_everything_that_fits() {
+        let items = vec![item(0, 0.3, 10), item(1, 0.2, 20), item(2, 0.1, 30)];
+        let sol = solve(&items, 100, 0.1, 10_000);
+        assert_eq!(sol.chosen.len(), 3);
+        assert!((sol.value - 0.6).abs() < 1e-12);
+        assert_eq!(sol.cost_bytes, 60);
+    }
+
+    #[test]
+    fn exact_mode_matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..9);
+            let items: Vec<Item> = (0..n)
+                .map(|j| {
+                    item(
+                        j,
+                        rng.gen_range(0.01..1.0),
+                        rng.gen_range(1..50),
+                    )
+                })
+                .collect();
+            let capacity = rng.gen_range(10..120);
+            let sol = solve(&items, capacity, 0.0, 1_000_000);
+            let opt = brute_force(&items, capacity);
+            assert!(
+                sol.value >= opt - 1e-6,
+                "DP {} below brute force {opt}",
+                sol.value
+            );
+            assert!(sol.cost_bytes <= capacity);
+            // The chosen set's value matches the reported value.
+            let recomputed: f64 = sol
+                .chosen
+                .iter()
+                .map(|m| items.iter().find(|it| it.model == *m).unwrap().weight)
+                .sum();
+            assert!((recomputed - sol.value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rounded_mode_respects_the_epsilon_guarantee() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..10);
+            let items: Vec<Item> = (0..n)
+                .map(|j| item(j, rng.gen_range(0.05..1.0), rng.gen_range(5..60)))
+                .collect();
+            let capacity = rng.gen_range(20..150);
+            let opt = brute_force(&items, capacity);
+            for epsilon in [0.05, 0.1, 0.3] {
+                let sol = solve(&items, capacity, epsilon, 1_000_000);
+                assert!(
+                    sol.value >= (1.0 - epsilon) * opt - 1e-9,
+                    "epsilon {epsilon}: {} < (1-eps)*{opt}",
+                    sol.value
+                );
+                assert!(sol.cost_bytes <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_cap_keeps_the_table_bounded_but_feasible() {
+        // Extreme weight ratio would explode the value axis; the cap must
+        // kick in while still returning a feasible, sensible answer.
+        let items = vec![
+            item(0, 1000.0, 50),
+            item(1, 0.001, 10),
+            item(2, 500.0, 60),
+        ];
+        let sol = solve(&items, 70, 0.0, 1_000);
+        assert!(sol.cost_bytes <= 70);
+        // The heaviest item must be part of the best solution.
+        assert!(sol.chosen.contains(&ModelId(0)));
+        assert!(sol.value >= 1000.0);
+    }
+
+    #[test]
+    fn solution_never_exceeds_capacity() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..12);
+            let items: Vec<Item> = (0..n)
+                .map(|j| item(j, rng.gen_range(0.0..1.0), rng.gen_range(1..100)))
+                .collect();
+            let capacity = rng.gen_range(1..150);
+            let sol = solve(&items, capacity, 0.1, 50_000);
+            assert!(sol.cost_bytes <= capacity);
+            // No duplicates in the chosen set.
+            let mut models: Vec<_> = sol.chosen.clone();
+            models.sort();
+            models.dedup();
+            assert_eq!(models.len(), sol.chosen.len());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared fixtures for the placement-crate unit tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trimcaching_modellib::builders::{GeneralCaseBuilder, SpecialCaseBuilder};
+use trimcaching_scenario::prelude::*;
+use trimcaching_wireless::geometry::DeploymentArea;
+
+/// Builds a deterministic scenario shaped like the paper's evaluation:
+/// `num_servers` servers and `num_users` users dropped uniformly in 1 km²,
+/// a special- or general-case library of roughly `num_models` models
+/// (split over the three backbone families), identical capacities of
+/// `capacity_gb`, and Zipf demand.
+pub(crate) fn paper_like_scenario(
+    num_servers: usize,
+    num_users: usize,
+    num_models: usize,
+    capacity_gb: f64,
+    seed: u64,
+    special_case: bool,
+) -> Scenario {
+    let per_backbone = (num_models / 3).max(1);
+    let library = if special_case {
+        SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(per_backbone)
+            .build(seed)
+    } else {
+        GeneralCaseBuilder::paper_setup()
+            .classes_per_backbone(per_backbone)
+            .build(seed)
+    };
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(2654435761).wrapping_add(7));
+    let area = DeploymentArea::paper_default();
+    let servers: Vec<EdgeServer> = (0..num_servers)
+        .map(|m| {
+            EdgeServer::new(
+                ServerId(m),
+                area.sample_uniform(&mut rng),
+                gigabytes(capacity_gb),
+            )
+            .expect("positive capacity")
+        })
+        .collect();
+    // Drop each user near a random server so that even small test
+    // topologies have meaningful coverage (the full uniform drop of the
+    // paper is exercised by the simulation crate's topology generator).
+    use rand::Rng;
+    let users: Vec<_> = (0..num_users)
+        .map(|_| {
+            let anchor = servers[rng.gen_range(0..servers.len())].position();
+            let radius: f64 = rng.gen_range(10.0..250.0);
+            let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            area.clamp(anchor.translated(radius * angle.cos(), radius * angle.sin()))
+        })
+        .collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(num_users, library.num_models(), &mut rng)
+        .expect("valid demand configuration");
+    Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .build()
+        .expect("fixture scenario is consistent")
+}
+
+/// A very small scenario (2 servers, clustered users) suitable for the
+/// exhaustive search, mirroring the reduced 400 m setup of Fig. 6.
+pub(crate) fn tiny_scenario(num_models: usize, capacity_gb: f64, seed: u64) -> Scenario {
+    let per_backbone = (num_models / 3).max(1);
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(per_backbone)
+        .build(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(13));
+    let area = DeploymentArea::paper_small();
+    let servers = vec![
+        EdgeServer::new(
+            ServerId(0),
+            trimcaching_wireless::geometry::Point::new(120.0, 200.0),
+            gigabytes(capacity_gb),
+        )
+        .unwrap(),
+        EdgeServer::new(
+            ServerId(1),
+            trimcaching_wireless::geometry::Point::new(280.0, 200.0),
+            gigabytes(capacity_gb),
+        )
+        .unwrap(),
+    ];
+    let users: Vec<_> = (0..6).map(|_| area.sample_uniform(&mut rng)).collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(6, library.num_models(), &mut rng)
+        .unwrap();
+    Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .build()
+        .unwrap()
+}

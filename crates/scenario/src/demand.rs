@@ -1,0 +1,391 @@
+//! User demand: request probabilities, latency budgets and inference
+//! latencies.
+//!
+//! For every user `k` and model `i` the paper's formulation needs:
+//!
+//! * `p_{k,i}` — the probability that user `k` requests model `i`
+//!   (drawn from a Zipf popularity law in the evaluation);
+//! * `T̄_{k,i}` — the end-to-end QoS budget covering model downloading plus
+//!   on-device inference (uniform in `[0.5, 1]` s in the evaluation);
+//! * `t_{k,i}` — the on-device inference latency included in the
+//!   end-to-end latency of Eqs. (4)–(5).
+//!
+//! [`Demand`] stores those three `K × I` matrices; [`DemandConfig`] is the
+//! random generator reproducing the paper's distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use trimcaching_modellib::{ModelId, ZipfPopularity};
+
+use crate::entities::UserId;
+use crate::error::ScenarioError;
+
+/// Per-user, per-model demand description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// `probabilities[k][i]` = `p_{k,i}`. Rows need not be normalised: the
+    /// objective of Eq. (2) divides by the total mass.
+    probabilities: Vec<Vec<f64>>,
+    /// `deadlines_s[k][i]` = `T̄_{k,i}` in seconds.
+    deadlines_s: Vec<Vec<f64>>,
+    /// `inference_s[k][i]` = `t_{k,i}` in seconds.
+    inference_s: Vec<Vec<f64>>,
+}
+
+impl Demand {
+    /// Creates a demand description from explicit matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] if the three matrices do
+    /// not have identical shapes or are empty, and
+    /// [`ScenarioError::InvalidValue`] if a probability is negative/non-finite
+    /// or a latency is non-positive/non-finite.
+    pub fn new(
+        probabilities: Vec<Vec<f64>>,
+        deadlines_s: Vec<Vec<f64>>,
+        inference_s: Vec<Vec<f64>>,
+    ) -> Result<Self, ScenarioError> {
+        if probabilities.is_empty() || probabilities[0].is_empty() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "demand matrices must be non-empty".into(),
+            });
+        }
+        let k = probabilities.len();
+        let i = probabilities[0].len();
+        let same_shape = |m: &Vec<Vec<f64>>| m.len() == k && m.iter().all(|row| row.len() == i);
+        if !same_shape(&probabilities) || !same_shape(&deadlines_s) || !same_shape(&inference_s) {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!("expected {k} x {i} matrices for probabilities/deadlines/inference"),
+            });
+        }
+        for row in &probabilities {
+            for &p in row {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(ScenarioError::InvalidValue {
+                        name: "request probability",
+                        value: p,
+                    });
+                }
+            }
+        }
+        for (name, matrix) in [("deadline", &deadlines_s), ("inference latency", &inference_s)] {
+            for row in matrix.iter() {
+                for &v in row {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(ScenarioError::InvalidValue {
+                            name: match name {
+                                "deadline" => "deadline",
+                                _ => "inference latency",
+                            },
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            probabilities,
+            deadlines_s,
+            inference_s,
+        })
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.probabilities[0].len()
+    }
+
+    /// Request probability `p_{k,i}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn probability(&self, user: UserId, model: ModelId) -> Result<f64, ScenarioError> {
+        self.lookup(&self.probabilities, user, model)
+    }
+
+    /// QoS budget `T̄_{k,i}` in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn deadline_s(&self, user: UserId, model: ModelId) -> Result<f64, ScenarioError> {
+        self.lookup(&self.deadlines_s, user, model)
+    }
+
+    /// On-device inference latency `t_{k,i}` in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn inference_s(&self, user: UserId, model: ModelId) -> Result<f64, ScenarioError> {
+        self.lookup(&self.inference_s, user, model)
+    }
+
+    /// Total request mass `Σ_k Σ_i p_{k,i}` — the denominator of Eq. (2).
+    pub fn total_probability_mass(&self) -> f64 {
+        self.probabilities.iter().flatten().sum()
+    }
+
+    fn lookup(
+        &self,
+        matrix: &[Vec<f64>],
+        user: UserId,
+        model: ModelId,
+    ) -> Result<f64, ScenarioError> {
+        let row = matrix
+            .get(user.index())
+            .ok_or(ScenarioError::IndexOutOfRange {
+                entity: "user",
+                index: user.index(),
+                len: matrix.len(),
+            })?;
+        row.get(model.index())
+            .copied()
+            .ok_or(ScenarioError::IndexOutOfRange {
+                entity: "model",
+                index: model.index(),
+                len: row.len(),
+            })
+    }
+}
+
+/// Random-demand generator reproducing Section VII-A: Zipf request
+/// popularity and uniform `[0.5, 1]` s end-to-end budgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandConfig {
+    /// Zipf skew exponent for request popularity.
+    pub zipf_exponent: f64,
+    /// When `true` every user gets an independent popularity ranking;
+    /// when `false` all users share a global ranking.
+    pub personalised_popularity: bool,
+    /// Inclusive range of the end-to-end deadline `T̄_{k,i}` in seconds.
+    pub deadline_range_s: (f64, f64),
+    /// Inclusive range of the on-device inference latency `t_{k,i}` in
+    /// seconds.
+    pub inference_range_s: (f64, f64),
+}
+
+impl DemandConfig {
+    /// The configuration used in the paper's evaluation.
+    pub fn paper_defaults() -> Self {
+        Self {
+            zipf_exponent: ZipfPopularity::DEFAULT_EXPONENT,
+            personalised_popularity: true,
+            deadline_range_s: (0.5, 1.0),
+            inference_range_s: (0.02, 0.1),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if !self.zipf_exponent.is_finite() || self.zipf_exponent < 0.0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "zipf_exponent",
+                value: self.zipf_exponent,
+            });
+        }
+        for (name, (lo, hi)) in [
+            ("deadline_range_s", self.deadline_range_s),
+            ("inference_range_s", self.inference_range_s),
+        ] {
+            if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+                return Err(ScenarioError::InvalidValue { name, value: lo });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates a demand description for `num_users` users over
+    /// `num_models` models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] if the configuration is
+    /// invalid or either count is zero.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        num_users: usize,
+        num_models: usize,
+        rng: &mut R,
+    ) -> Result<Demand, ScenarioError> {
+        self.validate()?;
+        if num_users == 0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_users",
+                value: 0.0,
+            });
+        }
+        if num_models == 0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_models",
+                value: 0.0,
+            });
+        }
+        let zipf = ZipfPopularity::new(num_models, self.zipf_exponent)?;
+        let probabilities =
+            zipf.per_user_probabilities(num_users, self.personalised_popularity, rng);
+        let sample_range = |rng: &mut R, (lo, hi): (f64, f64)| {
+            if (hi - lo).abs() < f64::EPSILON {
+                lo
+            } else {
+                rng.gen_range(lo..=hi)
+            }
+        };
+        let deadlines_s = (0..num_users)
+            .map(|_| {
+                (0..num_models)
+                    .map(|_| sample_range(rng, self.deadline_range_s))
+                    .collect()
+            })
+            .collect();
+        let inference_s = (0..num_users)
+            .map(|_| {
+                (0..num_models)
+                    .map(|_| sample_range(rng, self.inference_range_s))
+                    .collect()
+            })
+            .collect();
+        Demand::new(probabilities, deadlines_s, inference_s)
+    }
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_demand() -> Demand {
+        Demand::new(
+            vec![vec![0.5, 0.3], vec![0.2, 0.8]],
+            vec![vec![1.0, 0.7], vec![0.6, 0.9]],
+            vec![vec![0.05, 0.05], vec![0.1, 0.1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_return_matrix_entries() {
+        let d = small_demand();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_models(), 2);
+        assert_eq!(d.probability(UserId(0), ModelId(1)).unwrap(), 0.3);
+        assert_eq!(d.deadline_s(UserId(1), ModelId(0)).unwrap(), 0.6);
+        assert_eq!(d.inference_s(UserId(1), ModelId(1)).unwrap(), 0.1);
+        assert!((d.total_probability_mass() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_lookups_error() {
+        let d = small_demand();
+        assert!(d.probability(UserId(2), ModelId(0)).is_err());
+        assert!(d.probability(UserId(0), ModelId(5)).is_err());
+    }
+
+    #[test]
+    fn construction_validates_shapes_and_values() {
+        assert!(Demand::new(vec![], vec![], vec![]).is_err());
+        assert!(Demand::new(vec![vec![]], vec![vec![]], vec![vec![]]).is_err());
+        // Mismatched shapes.
+        assert!(Demand::new(
+            vec![vec![0.1, 0.2]],
+            vec![vec![1.0]],
+            vec![vec![0.1, 0.1]]
+        )
+        .is_err());
+        // Negative probability.
+        assert!(Demand::new(
+            vec![vec![-0.1]],
+            vec![vec![1.0]],
+            vec![vec![0.1]]
+        )
+        .is_err());
+        // Zero deadline.
+        assert!(Demand::new(vec![vec![0.1]], vec![vec![0.0]], vec![vec![0.1]]).is_err());
+        // Non-finite inference latency.
+        assert!(Demand::new(
+            vec![vec![0.1]],
+            vec![vec![1.0]],
+            vec![vec![f64::NAN]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generator_matches_paper_ranges() {
+        let cfg = DemandConfig::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = cfg.generate(20, 30, &mut rng).unwrap();
+        assert_eq!(d.num_users(), 20);
+        assert_eq!(d.num_models(), 30);
+        for k in 0..20 {
+            let mut row_sum = 0.0;
+            for i in 0..30 {
+                let p = d.probability(UserId(k), ModelId(i)).unwrap();
+                let t = d.deadline_s(UserId(k), ModelId(i)).unwrap();
+                let inf = d.inference_s(UserId(k), ModelId(i)).unwrap();
+                assert!((0.0..=1.0).contains(&p));
+                assert!((0.5..=1.0).contains(&t));
+                assert!((0.02..=0.1).contains(&inf));
+                row_sum += p;
+            }
+            assert!((row_sum - 1.0).abs() < 1e-9, "per-user Zipf mass sums to 1");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let cfg = DemandConfig::paper_defaults();
+        let a = cfg
+            .generate(5, 10, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = cfg
+            .generate(5, 10, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generator_rejects_invalid_configs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg = DemandConfig::paper_defaults();
+        cfg.zipf_exponent = -1.0;
+        assert!(cfg.generate(2, 2, &mut rng).is_err());
+        let mut cfg = DemandConfig::paper_defaults();
+        cfg.deadline_range_s = (1.0, 0.5);
+        assert!(cfg.generate(2, 2, &mut rng).is_err());
+        let cfg = DemandConfig::paper_defaults();
+        assert!(cfg.generate(0, 2, &mut rng).is_err());
+        assert!(cfg.generate(2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn degenerate_ranges_are_allowed() {
+        let mut cfg = DemandConfig::paper_defaults();
+        cfg.deadline_range_s = (0.75, 0.75);
+        cfg.inference_range_s = (0.05, 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = cfg.generate(3, 4, &mut rng).unwrap();
+        assert_eq!(d.deadline_s(UserId(0), ModelId(0)).unwrap(), 0.75);
+        assert_eq!(d.inference_s(UserId(2), ModelId(3)).unwrap(), 0.05);
+    }
+}

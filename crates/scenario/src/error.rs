@@ -1,0 +1,137 @@
+//! Error types for the scenario crate.
+
+use std::fmt;
+
+use trimcaching_modellib::ModelLibError;
+use trimcaching_wireless::WirelessError;
+
+/// Errors produced while building or evaluating a TrimCaching scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// An index (user, server, or model) was out of range.
+    IndexOutOfRange {
+        /// What was being indexed ("user", "server", "model").
+        entity: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of entities available.
+        len: usize,
+    },
+    /// A scenario component had inconsistent dimensions (e.g. a demand
+    /// matrix whose user count does not match the user list).
+    DimensionMismatch {
+        /// Description of what was inconsistent.
+        reason: String,
+    },
+    /// A numeric parameter was invalid (negative probability, non-finite
+    /// deadline, zero capacity, ...).
+    InvalidValue {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The scenario is missing a required component.
+    MissingComponent {
+        /// Which component is missing.
+        component: &'static str,
+    },
+    /// An error bubbled up from the wireless substrate.
+    Wireless(WirelessError),
+    /// An error bubbled up from the model-library substrate.
+    ModelLib(ModelLibError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::IndexOutOfRange { entity, index, len } => {
+                write!(f, "{entity} index {index} out of range (len {len})")
+            }
+            ScenarioError::DimensionMismatch { reason } => {
+                write!(f, "dimension mismatch: {reason}")
+            }
+            ScenarioError::InvalidValue { name, value } => {
+                write!(f, "invalid value {value} for {name}")
+            }
+            ScenarioError::MissingComponent { component } => {
+                write!(f, "scenario is missing required component {component}")
+            }
+            ScenarioError::Wireless(e) => write!(f, "wireless substrate error: {e}"),
+            ScenarioError::ModelLib(e) => write!(f, "model library error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Wireless(e) => Some(e),
+            ScenarioError::ModelLib(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WirelessError> for ScenarioError {
+    fn from(e: WirelessError) -> Self {
+        ScenarioError::Wireless(e)
+    }
+}
+
+impl From<ModelLibError> for ScenarioError {
+    fn from(e: ModelLibError) -> Self {
+        ScenarioError::ModelLib(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<ScenarioError> = vec![
+            ScenarioError::IndexOutOfRange {
+                entity: "user",
+                index: 4,
+                len: 2,
+            },
+            ScenarioError::DimensionMismatch {
+                reason: "demand rows".into(),
+            },
+            ScenarioError::InvalidValue {
+                name: "deadline",
+                value: -1.0,
+            },
+            ScenarioError::MissingComponent {
+                component: "library",
+            },
+            ScenarioError::Wireless(WirelessError::InvalidArea { side_m: 0.0 }),
+            ScenarioError::ModelLib(ModelLibError::UnknownBlock { block: 3 }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_wrap_substrate_errors() {
+        let w: ScenarioError = WirelessError::InvalidArea { side_m: -1.0 }.into();
+        assert!(matches!(w, ScenarioError::Wireless(_)));
+        let m: ScenarioError = ModelLibError::UnknownBlock { block: 1 }.into();
+        assert!(matches!(m, ScenarioError::ModelLib(_)));
+        use std::error::Error;
+        assert!(w.source().is_some());
+        assert!(m.source().is_some());
+        let plain = ScenarioError::MissingComponent { component: "x" };
+        assert!(plain.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScenarioError>();
+    }
+}

@@ -1,0 +1,530 @@
+//! End-to-end latency (Eqs. 4–5) and the service-eligibility indicator
+//! `I1(m, k, i)` (Eq. 3).
+//!
+//! A request by user `k` for model `i` can be served by edge server `m`
+//! (a *cache hit* if `m` stores the model) when the end-to-end latency
+//! meets the QoS budget `T̄_{k,i}`:
+//!
+//! * if `m` covers `k` (Eq. 4): download at the expected rate `C̄_{m,k}`
+//!   plus on-device inference;
+//! * otherwise (Eq. 5): relay the model over the backhaul to the covering
+//!   server `m'` that minimises the total transfer time, then download,
+//!   then infer.
+//!
+//! Crucially the indicator does **not** depend on the placement, so it can
+//! be precomputed once per scenario (or once per fading realisation) as an
+//! [`EligibilityTensor`] and reused by every placement algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use trimcaching_modellib::{ModelId, ModelLibrary};
+use trimcaching_wireless::allocation::PerUserAllocation;
+use trimcaching_wireless::channel::rate_with_fading_bps;
+use trimcaching_wireless::coverage::CoverageMap;
+use trimcaching_wireless::params::RadioParams;
+use trimcaching_wireless::Backhaul;
+
+use crate::demand::Demand;
+use crate::entities::UserId;
+use crate::error::ScenarioError;
+
+/// The `M × K` matrix of downlink rates `C_{m,k}` in bits per second.
+///
+/// Entries for server-user pairs outside coverage are stored as `0.0`
+/// (the paper never downloads directly from a non-covering server; relayed
+/// delivery uses the covering servers' rates instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateMatrix {
+    rates_bps: Vec<Vec<f64>>,
+}
+
+impl RateMatrix {
+    /// Computes the *expected* rate matrix (unit fading gain) used for the
+    /// placement decision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors for invalid parameters.
+    pub fn expected(
+        coverage: &CoverageMap,
+        allocation: &PerUserAllocation,
+        params: &RadioParams,
+    ) -> Result<Self, ScenarioError> {
+        Self::with_fading(coverage, allocation, params, |_m, _k| 1.0)
+    }
+
+    /// Computes a rate matrix with an arbitrary per-link fading power gain
+    /// supplied by `fading_gain(m, k)`; used by the Monte-Carlo evaluation
+    /// over Rayleigh realisations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors for invalid parameters.
+    pub fn with_fading<F>(
+        coverage: &CoverageMap,
+        allocation: &PerUserAllocation,
+        params: &RadioParams,
+        mut fading_gain: F,
+    ) -> Result<Self, ScenarioError>
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let m_count = coverage.num_servers();
+        let k_count = coverage.num_users();
+        let mut rates = vec![vec![0.0; k_count]; m_count];
+        for m in 0..m_count {
+            let share = allocation.share(m)?;
+            for &k in coverage.users_of_server(m)? {
+                let d = coverage.distance_m(m, k)?;
+                rates[m][k] = rate_with_fading_bps(
+                    share.bandwidth_hz,
+                    share.power_w,
+                    d,
+                    fading_gain(m, k),
+                    params,
+                );
+            }
+        }
+        Ok(Self { rates_bps: rates })
+    }
+
+    /// Number of servers (rows).
+    pub fn num_servers(&self) -> usize {
+        self.rates_bps.len()
+    }
+
+    /// Number of users (columns).
+    pub fn num_users(&self) -> usize {
+        self.rates_bps.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// The rate from server `m` to user `k` in bits per second (zero when
+    /// `m` does not cover `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn rate_bps(&self, m: usize, k: usize) -> Result<f64, ScenarioError> {
+        let row = self
+            .rates_bps
+            .get(m)
+            .ok_or(ScenarioError::IndexOutOfRange {
+                entity: "server",
+                index: m,
+                len: self.rates_bps.len(),
+            })?;
+        row.get(k).copied().ok_or(ScenarioError::IndexOutOfRange {
+            entity: "user",
+            index: k,
+            len: row.len(),
+        })
+    }
+}
+
+/// Computes end-to-end latencies and the eligibility indicator for one
+/// scenario snapshot.
+#[derive(Debug, Clone)]
+pub struct LatencyEvaluator<'a> {
+    library: &'a ModelLibrary,
+    demand: &'a Demand,
+    coverage: &'a CoverageMap,
+    backhaul: &'a Backhaul,
+    rates: &'a RateMatrix,
+}
+
+impl<'a> LatencyEvaluator<'a> {
+    /// Creates an evaluator over borrowed scenario components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] if the components
+    /// disagree on the number of users, servers or models.
+    pub fn new(
+        library: &'a ModelLibrary,
+        demand: &'a Demand,
+        coverage: &'a CoverageMap,
+        backhaul: &'a Backhaul,
+        rates: &'a RateMatrix,
+    ) -> Result<Self, ScenarioError> {
+        if demand.num_models() != library.num_models() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "demand covers {} models but the library has {}",
+                    demand.num_models(),
+                    library.num_models()
+                ),
+            });
+        }
+        if demand.num_users() != coverage.num_users()
+            || rates.num_users() != coverage.num_users()
+        {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "user counts of demand, coverage and rate matrix differ".into(),
+            });
+        }
+        if coverage.num_servers() != backhaul.num_servers()
+            || rates.num_servers() != coverage.num_servers()
+        {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "server counts of coverage, backhaul and rate matrix differ".into(),
+            });
+        }
+        Ok(Self {
+            library,
+            demand,
+            coverage,
+            backhaul,
+            rates,
+        })
+    }
+
+    /// End-to-end latency `T_{m,k,i}` in seconds when edge server `m`
+    /// supplies model `i` to user `k` (Eq. 4 if `m` covers `k`, Eq. 5
+    /// otherwise). Returns `f64::INFINITY` when no covering server exists
+    /// for the user or no positive-rate path exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown indices.
+    pub fn latency_s(
+        &self,
+        m: usize,
+        user: UserId,
+        model: ModelId,
+    ) -> Result<f64, ScenarioError> {
+        let k = user.index();
+        let size_bytes = self.library.model_size_bytes(model)?;
+        let size_bits = size_bytes as f64 * 8.0;
+        let inference = self.demand.inference_s(user, model)?;
+        let covering = self.coverage.servers_of_user(k)?;
+        if covering.is_empty() {
+            return Ok(f64::INFINITY);
+        }
+        if covering.contains(&m) {
+            let rate = self.rates.rate_bps(m, k)?;
+            if rate <= 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            return Ok(size_bits / rate + inference);
+        }
+        // Relay through the covering server minimising total transfer time.
+        let mut best = f64::INFINITY;
+        for &mp in covering {
+            let edge_rate = self.rates.rate_bps(mp, k)?;
+            if edge_rate <= 0.0 {
+                continue;
+            }
+            let backhaul_rate = self.backhaul.rate_bps(m, mp)?;
+            let transfer = if backhaul_rate.is_infinite() {
+                0.0
+            } else {
+                size_bits / backhaul_rate
+            };
+            let total = transfer + size_bits / edge_rate;
+            if total < best {
+                best = total;
+            }
+        }
+        if best.is_infinite() {
+            return Ok(f64::INFINITY);
+        }
+        Ok(best + inference)
+    }
+
+    /// The indicator `I1(m, k, i)`: can server `m` deliver model `i` to
+    /// user `k` within the QoS budget?
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown indices.
+    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> Result<bool, ScenarioError> {
+        let latency = self.latency_s(m, user, model)?;
+        Ok(latency <= self.demand.deadline_s(user, model)?)
+    }
+
+    /// Precomputes the full `M × K × I` eligibility tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent components.
+    pub fn eligibility(&self) -> Result<EligibilityTensor, ScenarioError> {
+        let m_count = self.coverage.num_servers();
+        let k_count = self.coverage.num_users();
+        let i_count = self.library.num_models();
+        let mut bits = vec![false; m_count * k_count * i_count];
+        for m in 0..m_count {
+            for k in 0..k_count {
+                for i in 0..i_count {
+                    let idx = (m * k_count + k) * i_count + i;
+                    bits[idx] = self.eligible(m, UserId(k), ModelId(i))?;
+                }
+            }
+        }
+        Ok(EligibilityTensor {
+            num_servers: m_count,
+            num_users: k_count,
+            num_models: i_count,
+            bits,
+        })
+    }
+}
+
+/// Precomputed `I1(m, k, i)` indicator for all (server, user, model)
+/// triples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EligibilityTensor {
+    num_servers: usize,
+    num_users: usize,
+    num_models: usize,
+    bits: Vec<bool>,
+}
+
+impl EligibilityTensor {
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    /// Whether server `m` can serve user `k`'s request for model `i` within
+    /// the deadline. Out-of-range indices return `false`.
+    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        let (k, i) = (user.index(), model.index());
+        if m >= self.num_servers || k >= self.num_users || i >= self.num_models {
+            return false;
+        }
+        self.bits[(m * self.num_users + k) * self.num_models + i]
+    }
+
+    /// Number of eligible `(m, k, i)` triples — a coarse measure of how
+    /// permissive the latency constraints are.
+    pub fn num_eligible(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Builds a tensor directly from a closure; exposed for tests and for
+    /// synthetic experiments that bypass the radio model.
+    pub fn from_fn<F>(
+        num_servers: usize,
+        num_users: usize,
+        num_models: usize,
+        mut f: F,
+    ) -> Self
+    where
+        F: FnMut(usize, usize, usize) -> bool,
+    {
+        let mut bits = vec![false; num_servers * num_users * num_models];
+        for m in 0..num_servers {
+            for k in 0..num_users {
+                for i in 0..num_models {
+                    bits[(m * num_users + k) * num_models + i] = f(m, k, i);
+                }
+            }
+        }
+        Self {
+            num_servers,
+            num_users,
+            num_models,
+            bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trimcaching_modellib::builders::SpecialCaseBuilder;
+    use trimcaching_wireless::geometry::Point;
+
+    struct Fixture {
+        library: ModelLibrary,
+        demand: Demand,
+        coverage: CoverageMap,
+        backhaul: Backhaul,
+        rates: RateMatrix,
+        params: RadioParams,
+    }
+
+    fn fixture() -> Fixture {
+        let params = RadioParams::paper_defaults();
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(2)
+            .build(1);
+        let servers = vec![Point::new(0.0, 0.0), Point::new(600.0, 0.0)];
+        let users = vec![
+            Point::new(50.0, 0.0),  // near server 0
+            Point::new(620.0, 0.0), // near server 1
+            Point::new(900.0, 900.0), // uncovered
+        ];
+        let coverage = CoverageMap::build(&users, &servers, params.coverage_radius_m).unwrap();
+        let allocation = PerUserAllocation::compute(&coverage, &params).unwrap();
+        let rates = RateMatrix::expected(&coverage, &allocation, &params).unwrap();
+        let backhaul = Backhaul::paper_default(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let demand = DemandConfig::paper_defaults()
+            .generate(3, library.num_models(), &mut rng)
+            .unwrap();
+        Fixture {
+            library,
+            demand,
+            coverage,
+            backhaul,
+            rates,
+            params,
+        }
+    }
+
+    #[test]
+    fn rate_matrix_is_zero_outside_coverage() {
+        let f = fixture();
+        assert_eq!(f.rates.num_servers(), 2);
+        assert_eq!(f.rates.num_users(), 3);
+        assert!(f.rates.rate_bps(0, 0).unwrap() > 0.0);
+        assert_eq!(f.rates.rate_bps(0, 1).unwrap(), 0.0);
+        assert_eq!(f.rates.rate_bps(1, 2).unwrap(), 0.0);
+        assert!(f.rates.rate_bps(2, 0).is_err());
+        assert!(f.rates.rate_bps(0, 9).is_err());
+    }
+
+    #[test]
+    fn fading_reduces_or_keeps_rates() {
+        let f = fixture();
+        let alloc = PerUserAllocation::compute(&f.coverage, &f.params).unwrap();
+        let faded =
+            RateMatrix::with_fading(&f.coverage, &alloc, &f.params, |_m, _k| 0.25).unwrap();
+        assert!(faded.rate_bps(0, 0).unwrap() < f.rates.rate_bps(0, 0).unwrap());
+    }
+
+    #[test]
+    fn associated_latency_uses_direct_rate() {
+        let f = fixture();
+        let eval = LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &f.backhaul, &f.rates)
+            .unwrap();
+        let model = ModelId(0);
+        let latency = eval.latency_s(0, UserId(0), model).unwrap();
+        let expected = f.library.model_size_bytes(model).unwrap() as f64 * 8.0
+            / f.rates.rate_bps(0, 0).unwrap()
+            + f.demand.inference_s(UserId(0), model).unwrap();
+        assert!((latency - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relayed_latency_adds_backhaul_transfer() {
+        let f = fixture();
+        let eval = LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &f.backhaul, &f.rates)
+            .unwrap();
+        let model = ModelId(0);
+        // Server 1 does not cover user 0, so delivery relays through server 0.
+        let relayed = eval.latency_s(1, UserId(0), model).unwrap();
+        let direct = eval.latency_s(0, UserId(0), model).unwrap();
+        assert!(relayed > direct);
+        let size_bits = f.library.model_size_bytes(model).unwrap() as f64 * 8.0;
+        let expected = size_bits / f.backhaul.rate_bps(1, 0).unwrap()
+            + size_bits / f.rates.rate_bps(0, 0).unwrap()
+            + f.demand.inference_s(UserId(0), model).unwrap();
+        assert!((relayed - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncovered_users_are_never_eligible() {
+        let f = fixture();
+        let eval = LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &f.backhaul, &f.rates)
+            .unwrap();
+        for m in 0..2 {
+            assert!(eval
+                .latency_s(m, UserId(2), ModelId(0))
+                .unwrap()
+                .is_infinite());
+            assert!(!eval.eligible(m, UserId(2), ModelId(0)).unwrap());
+        }
+    }
+
+    #[test]
+    fn eligibility_tensor_matches_pointwise_queries() {
+        let f = fixture();
+        let eval = LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &f.backhaul, &f.rates)
+            .unwrap();
+        let tensor = eval.eligibility().unwrap();
+        assert_eq!(tensor.num_servers(), 2);
+        assert_eq!(tensor.num_users(), 3);
+        assert_eq!(tensor.num_models(), f.library.num_models());
+        for m in 0..2 {
+            for k in 0..3 {
+                for i in 0..f.library.num_models() {
+                    assert_eq!(
+                        tensor.eligible(m, UserId(k), ModelId(i)),
+                        eval.eligible(m, UserId(k), ModelId(i)).unwrap()
+                    );
+                }
+            }
+        }
+        // Near users must be served by their own server within 1 s budgets
+        // for at least one (small) model under the paper's rates.
+        assert!(tensor.num_eligible() > 0);
+        // Out-of-range lookups are simply false.
+        assert!(!tensor.eligible(9, UserId(0), ModelId(0)));
+        assert!(!tensor.eligible(0, UserId(9), ModelId(0)));
+        assert!(!tensor.eligible(0, UserId(0), ModelId(999)));
+    }
+
+    #[test]
+    fn from_fn_builds_custom_tensors() {
+        let t = EligibilityTensor::from_fn(2, 2, 2, |m, k, i| m == 0 && k == i);
+        assert!(t.eligible(0, UserId(0), ModelId(0)));
+        assert!(t.eligible(0, UserId(1), ModelId(1)));
+        assert!(!t.eligible(1, UserId(0), ModelId(0)));
+        assert_eq!(t.num_eligible(), 2);
+    }
+
+    #[test]
+    fn evaluator_rejects_inconsistent_components() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Demand over the wrong number of models.
+        let bad_demand = DemandConfig::paper_defaults()
+            .generate(3, 2, &mut rng)
+            .unwrap();
+        assert!(LatencyEvaluator::new(
+            &f.library,
+            &bad_demand,
+            &f.coverage,
+            &f.backhaul,
+            &f.rates
+        )
+        .is_err());
+        // Backhaul with the wrong number of servers.
+        let bad_backhaul = Backhaul::paper_default(5);
+        assert!(LatencyEvaluator::new(
+            &f.library,
+            &f.demand,
+            &f.coverage,
+            &bad_backhaul,
+            &f.rates
+        )
+        .is_err());
+        // Demand over the wrong number of users.
+        let bad_users = DemandConfig::paper_defaults()
+            .generate(2, f.library.num_models(), &mut rng)
+            .unwrap();
+        assert!(LatencyEvaluator::new(
+            &f.library,
+            &bad_users,
+            &f.coverage,
+            &f.backhaul,
+            &f.rates
+        )
+        .is_err());
+    }
+}

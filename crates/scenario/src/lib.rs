@@ -1,0 +1,88 @@
+//! TrimCaching system model: the scenario layer between the wireless /
+//! model-library substrates and the placement algorithms.
+//!
+//! This crate implements Sections III and IV of the paper:
+//!
+//! * [`entities`] — edge servers (with storage capacities `Q_m`) and users;
+//! * [`demand`] — request probabilities `p_{k,i}`, QoS budgets `T̄_{k,i}`
+//!   and on-device inference latencies `t_{k,i}`;
+//! * [`latency`] — the downlink rate matrix, end-to-end latency of
+//!   Eqs. (4)–(5) and the service-eligibility indicator `I1(m,k,i)`;
+//! * [`placement`] — the decision variables `x_{m,i}` (and their block-level
+//!   view `y_{m,j}`);
+//! * [`storage`] — shared-storage accounting `g_m` of Eq. (7) with
+//!   incremental (marginal-cost) updates;
+//! * [`objective`] — the expected cache-hit-ratio objective `U(X)` of
+//!   Eq. (2) and its marginal gains;
+//! * [`mobility`] — the pedestrian/bike/vehicle mobility models of the
+//!   Fig. 7 robustness study;
+//! * [`scenario`] — the [`Scenario`] aggregate and its builder.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use trimcaching_modellib::builders::SpecialCaseBuilder;
+//! use trimcaching_scenario::prelude::*;
+//! use trimcaching_wireless::geometry::Point;
+//!
+//! # fn main() -> Result<(), trimcaching_scenario::ScenarioError> {
+//! let library = SpecialCaseBuilder::paper_setup().models_per_backbone(2).build(1);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let demand = DemandConfig::paper_defaults().generate(4, library.num_models(), &mut rng)?;
+//! let scenario = Scenario::builder()
+//!     .library(library)
+//!     .servers(vec![EdgeServer::new(ServerId(0), Point::new(500.0, 500.0), gigabytes(1.0))?])
+//!     .users_at(&[
+//!         Point::new(450.0, 500.0),
+//!         Point::new(550.0, 520.0),
+//!         Point::new(480.0, 470.0),
+//!         Point::new(530.0, 540.0),
+//!     ])
+//!     .demand(demand)
+//!     .build()?;
+//! let mut placement = scenario.empty_placement();
+//! placement.place(ServerId(0), trimcaching_modellib::ModelId(0))?;
+//! assert!(scenario.hit_ratio(&placement) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block_view;
+pub mod demand;
+pub mod entities;
+pub mod error;
+pub mod latency;
+pub mod mobility;
+pub mod objective;
+pub mod placement;
+pub mod scenario;
+pub mod storage;
+
+pub use block_view::BlockPlacement;
+pub use demand::{Demand, DemandConfig};
+pub use entities::{gigabytes, EdgeServer, ServerId, User, UserId};
+pub use error::ScenarioError;
+pub use latency::{EligibilityTensor, LatencyEvaluator, RateMatrix};
+pub use mobility::{MobilityClass, MobilityModel};
+pub use objective::HitRatioObjective;
+pub use placement::Placement;
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use storage::StorageTracker;
+
+/// Convenient glob-import of the most common scenario types.
+pub mod prelude {
+    pub use crate::block_view::BlockPlacement;
+    pub use crate::demand::{Demand, DemandConfig};
+    pub use crate::entities::{gigabytes, EdgeServer, ServerId, User, UserId};
+    pub use crate::error::ScenarioError;
+    pub use crate::latency::EligibilityTensor;
+    pub use crate::mobility::{MobilityClass, MobilityModel};
+    pub use crate::objective::HitRatioObjective;
+    pub use crate::placement::Placement;
+    pub use crate::scenario::{Scenario, ScenarioBuilder};
+    pub use crate::storage::StorageTracker;
+}

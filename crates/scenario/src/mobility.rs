@@ -1,0 +1,344 @@
+//! User mobility models (Section VII-E).
+//!
+//! The robustness study of Fig. 7 moves users for two hours with three
+//! mobility classes:
+//!
+//! | class | initial speed (m/s) | accel. per slot (m/s²) | angular velocity (rad/s) |
+//! |-------|---------------------|------------------------|--------------------------|
+//! | pedestrian | `[0.5, 1.8]` | `[-0.3, 0.3]` | `[-π/4, π/4]` |
+//! | bike       | `[2, 8]`     | `[-1, 1]`     | `[-π/3, π/3]` |
+//! | vehicle    | `[5.5, 20]`  | `[-3, 3]`     | `[-π/2, π/2]` |
+//!
+//! Initial orientations are uniform in `[0, π]`; users update their speed
+//! and orientation at the start of every 5-second slot and are kept inside
+//! the deployment area by reflecting at its border.
+
+use std::f64::consts::PI;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use trimcaching_wireless::geometry::{DeploymentArea, Point};
+
+/// The paper's slot length for the mobility study, in seconds.
+pub const PAPER_SLOT_SECONDS: f64 = 5.0;
+
+/// Mobility class of a user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityClass {
+    /// Walking users.
+    Pedestrian,
+    /// Cyclists.
+    Bike,
+    /// Cars and similar vehicles.
+    Vehicle,
+}
+
+impl MobilityClass {
+    /// Inclusive range of initial speeds in m/s.
+    pub fn initial_speed_range(self) -> (f64, f64) {
+        match self {
+            MobilityClass::Pedestrian => (0.5, 1.8),
+            MobilityClass::Bike => (2.0, 8.0),
+            MobilityClass::Vehicle => (5.5, 20.0),
+        }
+    }
+
+    /// Inclusive range of per-slot accelerations in m/s².
+    pub fn acceleration_range(self) -> (f64, f64) {
+        match self {
+            MobilityClass::Pedestrian => (-0.3, 0.3),
+            MobilityClass::Bike => (-1.0, 1.0),
+            MobilityClass::Vehicle => (-3.0, 3.0),
+        }
+    }
+
+    /// Inclusive range of angular velocities in rad/s.
+    pub fn angular_velocity_range(self) -> (f64, f64) {
+        match self {
+            MobilityClass::Pedestrian => (-PI / 4.0, PI / 4.0),
+            MobilityClass::Bike => (-PI / 3.0, PI / 3.0),
+            MobilityClass::Vehicle => (-PI / 2.0, PI / 2.0),
+        }
+    }
+
+    /// All three classes in a fixed order (used to assign classes round
+    /// robin as the paper mixes "pedestrians, bikes, and vehicles").
+    pub fn all() -> [MobilityClass; 3] {
+        [
+            MobilityClass::Pedestrian,
+            MobilityClass::Bike,
+            MobilityClass::Vehicle,
+        ]
+    }
+}
+
+/// The kinematic state of one mobile user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobileUser {
+    /// Current position.
+    pub position: Point,
+    /// Current speed in m/s (non-negative).
+    pub speed_mps: f64,
+    /// Current heading in radians.
+    pub orientation_rad: f64,
+    /// Mobility class.
+    pub class: MobilityClass,
+}
+
+/// A mobility simulation over a set of users inside a deployment area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityModel {
+    area: DeploymentArea,
+    slot_seconds: f64,
+    users: Vec<MobileUser>,
+    elapsed_seconds: f64,
+}
+
+impl MobilityModel {
+    /// Creates a mobility model with the paper's configuration: users are
+    /// assigned to the three classes round-robin, initial speeds and
+    /// orientations are drawn from the per-class ranges, and the slot
+    /// length is 5 s.
+    pub fn paper_mix<R: Rng + ?Sized>(
+        initial_positions: &[Point],
+        area: DeploymentArea,
+        rng: &mut R,
+    ) -> Self {
+        let classes = MobilityClass::all();
+        let users = initial_positions
+            .iter()
+            .enumerate()
+            .map(|(idx, &position)| {
+                let class = classes[idx % classes.len()];
+                let (lo, hi) = class.initial_speed_range();
+                MobileUser {
+                    position,
+                    speed_mps: rng.gen_range(lo..=hi),
+                    orientation_rad: rng.gen_range(0.0..=PI),
+                    class,
+                }
+            })
+            .collect();
+        Self {
+            area,
+            slot_seconds: PAPER_SLOT_SECONDS,
+            users,
+            elapsed_seconds: 0.0,
+        }
+    }
+
+    /// Creates a mobility model from explicit user states and slot length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_seconds` is not strictly positive and finite.
+    pub fn new(users: Vec<MobileUser>, area: DeploymentArea, slot_seconds: f64) -> Self {
+        assert!(
+            slot_seconds.is_finite() && slot_seconds > 0.0,
+            "slot length must be positive"
+        );
+        Self {
+            area,
+            slot_seconds,
+            users,
+            elapsed_seconds: 0.0,
+        }
+    }
+
+    /// The slot length in seconds.
+    pub fn slot_seconds(&self) -> f64 {
+        self.slot_seconds
+    }
+
+    /// Total simulated time so far in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_seconds
+    }
+
+    /// Current user states.
+    pub fn users(&self) -> &[MobileUser] {
+        &self.users
+    }
+
+    /// Current user positions, in user order.
+    pub fn positions(&self) -> Vec<Point> {
+        self.users.iter().map(|u| u.position).collect()
+    }
+
+    /// Advances the simulation by one slot: each user draws a fresh
+    /// acceleration and angular velocity, updates speed and heading, then
+    /// moves for one slot and reflects off the area border.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let dt = self.slot_seconds;
+        let side = self.area.side_m();
+        for user in &mut self.users {
+            let (alo, ahi) = user.class.acceleration_range();
+            let (wlo, whi) = user.class.angular_velocity_range();
+            let acceleration = rng.gen_range(alo..=ahi);
+            let angular_velocity = rng.gen_range(wlo..=whi);
+            user.speed_mps = (user.speed_mps + acceleration * dt).max(0.0);
+            user.orientation_rad += angular_velocity * dt;
+            let mut x = user.position.x + user.speed_mps * dt * user.orientation_rad.cos();
+            let mut y = user.position.y + user.speed_mps * dt * user.orientation_rad.sin();
+            // Reflect off the borders (possibly repeatedly for fast users).
+            let reflect = |v: f64| -> f64 {
+                let period = 2.0 * side;
+                let mut w = v.rem_euclid(period);
+                if w > side {
+                    w = period - w;
+                }
+                w
+            };
+            x = reflect(x);
+            y = reflect(y);
+            user.position = Point::new(x, y);
+        }
+        self.elapsed_seconds += dt;
+    }
+
+    /// Advances the simulation by `n` slots and returns the resulting
+    /// positions.
+    pub fn run_slots<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<Point> {
+        for _ in 0..n {
+            self.step(rng);
+        }
+        self.positions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn start_positions(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(100.0 + 10.0 * i as f64, 200.0))
+            .collect()
+    }
+
+    #[test]
+    fn class_parameter_ranges_match_the_paper() {
+        assert_eq!(
+            MobilityClass::Pedestrian.initial_speed_range(),
+            (0.5, 1.8)
+        );
+        assert_eq!(MobilityClass::Bike.initial_speed_range(), (2.0, 8.0));
+        assert_eq!(MobilityClass::Vehicle.initial_speed_range(), (5.5, 20.0));
+        assert_eq!(
+            MobilityClass::Pedestrian.acceleration_range(),
+            (-0.3, 0.3)
+        );
+        assert_eq!(MobilityClass::Vehicle.acceleration_range(), (-3.0, 3.0));
+        let (lo, hi) = MobilityClass::Bike.angular_velocity_range();
+        assert!((lo + PI / 3.0).abs() < 1e-12 && (hi - PI / 3.0).abs() < 1e-12);
+        assert_eq!(MobilityClass::all().len(), 3);
+        assert_eq!(PAPER_SLOT_SECONDS, 5.0);
+    }
+
+    #[test]
+    fn paper_mix_assigns_classes_round_robin() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MobilityModel::paper_mix(
+            &start_positions(7),
+            DeploymentArea::paper_default(),
+            &mut rng,
+        );
+        let classes: Vec<_> = model.users().iter().map(|u| u.class).collect();
+        assert_eq!(classes[0], MobilityClass::Pedestrian);
+        assert_eq!(classes[1], MobilityClass::Bike);
+        assert_eq!(classes[2], MobilityClass::Vehicle);
+        assert_eq!(classes[3], MobilityClass::Pedestrian);
+        for u in model.users() {
+            let (lo, hi) = u.class.initial_speed_range();
+            assert!(u.speed_mps >= lo && u.speed_mps <= hi);
+            assert!(u.orientation_rad >= 0.0 && u.orientation_rad <= PI);
+        }
+        assert_eq!(model.slot_seconds(), 5.0);
+        assert_eq!(model.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn users_stay_inside_the_area_for_two_hours() {
+        let area = DeploymentArea::paper_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = MobilityModel::paper_mix(&start_positions(12), area, &mut rng);
+        // Two hours of 5-second slots, as in Fig. 7.
+        let slots = (2.0 * 3600.0 / PAPER_SLOT_SECONDS) as usize;
+        for _ in 0..slots {
+            model.step(&mut rng);
+            for u in model.users() {
+                assert!(area.contains(u.position), "user escaped: {:?}", u.position);
+                assert!(u.speed_mps >= 0.0);
+            }
+        }
+        assert!((model.elapsed_seconds() - 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positions_actually_change_over_time() {
+        let area = DeploymentArea::paper_default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = start_positions(6);
+        let mut model = MobilityModel::paper_mix(&start, area, &mut rng);
+        let after = model.run_slots(24, &mut rng); // two minutes
+        let moved = start
+            .iter()
+            .zip(&after)
+            .filter(|(a, b)| a.distance(**b) > 1.0)
+            .count();
+        assert!(moved >= 5, "only {moved} users moved");
+    }
+
+    #[test]
+    fn vehicles_move_farther_than_pedestrians_on_average() {
+        let area = DeploymentArea::paper_default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let start = start_positions(30);
+        let mut model = MobilityModel::paper_mix(&start, area, &mut rng);
+        // A handful of slots, short enough that border reflections are rare.
+        model.run_slots(6, &mut rng);
+        let mut ped = Vec::new();
+        let mut veh = Vec::new();
+        for (u, s) in model.users().iter().zip(&start) {
+            let d = u.position.distance(*s);
+            match u.class {
+                MobilityClass::Pedestrian => ped.push(d),
+                MobilityClass::Vehicle => veh.push(d),
+                MobilityClass::Bike => {}
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&veh) > avg(&ped),
+            "vehicles ({}) should outrun pedestrians ({})",
+            avg(&veh),
+            avg(&ped)
+        );
+    }
+
+    #[test]
+    fn explicit_construction_and_reflection() {
+        let area = DeploymentArea::new(100.0).unwrap();
+        // A fast user heading straight for the border.
+        let user = MobileUser {
+            position: Point::new(95.0, 50.0),
+            speed_mps: 10.0,
+            orientation_rad: 0.0,
+            class: MobilityClass::Vehicle,
+        };
+        let mut model = MobilityModel::new(vec![user], area, 5.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        model.step(&mut rng);
+        let p = model.positions()[0];
+        assert!(area.contains(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length")]
+    fn zero_slot_length_panics() {
+        let _ = MobilityModel::new(vec![], DeploymentArea::paper_default(), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The cache-hit-ratio objective `U(X)` of Eq. (2).
+//!
+//! A request `(k, i)` is a *hit* under placement `X` when some edge server
+//! `m` both caches model `i` (`x_{m,i} = 1`) and can deliver it within the
+//! deadline (`I1(m,k,i) = 1`). The expected cache hit ratio is the
+//! probability-weighted fraction of hit requests:
+//!
+//! ```text
+//! U(X) = Σ_{k,i} p_{k,i} · [1 − Π_m (1 − x_{m,i} I1(m,k,i))] / Σ_{k,i} p_{k,i}
+//! ```
+//!
+//! [`HitRatioObjective`] evaluates `U`, marginal gains (the primitive used
+//! by every greedy algorithm in the paper), and per-request hit
+//! classification.
+
+use trimcaching_modellib::ModelId;
+
+use crate::demand::Demand;
+use crate::entities::{ServerId, UserId};
+use crate::error::ScenarioError;
+use crate::latency::EligibilityTensor;
+use crate::placement::Placement;
+
+/// Evaluator of the expected cache hit ratio for a fixed demand and
+/// eligibility tensor.
+#[derive(Debug, Clone)]
+pub struct HitRatioObjective<'a> {
+    demand: &'a Demand,
+    eligibility: &'a EligibilityTensor,
+}
+
+impl<'a> HitRatioObjective<'a> {
+    /// Creates an objective evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when the demand and the
+    /// eligibility tensor disagree on the number of users or models.
+    pub fn new(
+        demand: &'a Demand,
+        eligibility: &'a EligibilityTensor,
+    ) -> Result<Self, ScenarioError> {
+        if demand.num_users() != eligibility.num_users()
+            || demand.num_models() != eligibility.num_models()
+        {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "demand is {}x{} but eligibility is {}x{}",
+                    demand.num_users(),
+                    demand.num_models(),
+                    eligibility.num_users(),
+                    eligibility.num_models()
+                ),
+            });
+        }
+        Ok(Self {
+            demand,
+            eligibility,
+        })
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.demand.num_users()
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.demand.num_models()
+    }
+
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.eligibility.num_servers()
+    }
+
+    /// Total request mass `Σ_{k,i} p_{k,i}` — the denominator of Eq. (2).
+    pub fn total_mass(&self) -> f64 {
+        self.demand.total_probability_mass()
+    }
+
+    /// The request probability `p_{k,i}`, zero for out-of-range indices.
+    pub fn weight(&self, user: UserId, model: ModelId) -> f64 {
+        self.demand.probability(user, model).unwrap_or(0.0)
+    }
+
+    /// Whether server `m` can serve `(k, i)` within the deadline
+    /// (`I1(m,k,i)`).
+    pub fn eligible(&self, server: ServerId, user: UserId, model: ModelId) -> bool {
+        self.eligibility.eligible(server.index(), user, model)
+    }
+
+    /// Whether request `(k, i)` is a hit under `placement`.
+    pub fn is_served(&self, placement: &Placement, user: UserId, model: ModelId) -> bool {
+        (0..self.eligibility.num_servers()).any(|m| {
+            placement.contains(ServerId(m), model)
+                && self.eligibility.eligible(m, user, model)
+        })
+    }
+
+    /// Expected number of hits `Σ_{k,i} p_{k,i} · hit(k,i)` — the numerator
+    /// of Eq. (2).
+    pub fn expected_hits(&self, placement: &Placement) -> f64 {
+        let mut total = 0.0;
+        for k in 0..self.num_users() {
+            for i in 0..self.num_models() {
+                let user = UserId(k);
+                let model = ModelId(i);
+                if self.is_served(placement, user, model) {
+                    total += self.weight(user, model);
+                }
+            }
+        }
+        total
+    }
+
+    /// The expected cache hit ratio `U(X)` in `[0, 1]`.
+    pub fn hit_ratio(&self, placement: &Placement) -> f64 {
+        let mass = self.total_mass();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        self.expected_hits(placement) / mass
+    }
+
+    /// The increase in expected hits from additionally placing `model` on
+    /// `server`: `U(X ∪ {x_{m,i}}) − U(X)` multiplied by the total mass
+    /// (i.e. expressed in expected-hit units). Only requests for `model`
+    /// that are not already served and become eligible through `server`
+    /// contribute.
+    pub fn marginal_hits(
+        &self,
+        placement: &Placement,
+        server: ServerId,
+        model: ModelId,
+    ) -> f64 {
+        if placement.contains(server, model) {
+            return 0.0;
+        }
+        let mut gain = 0.0;
+        for k in 0..self.num_users() {
+            let user = UserId(k);
+            if !self.eligibility.eligible(server.index(), user, model) {
+                continue;
+            }
+            if self.is_served(placement, user, model) {
+                continue;
+            }
+            gain += self.weight(user, model);
+        }
+        gain
+    }
+
+    /// The marginal gain expressed as a hit-ratio increment (normalised by
+    /// the total mass).
+    pub fn marginal_hit_ratio(
+        &self,
+        placement: &Placement,
+        server: ServerId,
+        model: ModelId,
+    ) -> f64 {
+        let mass = self.total_mass();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        self.marginal_hits(placement, server, model) / mass
+    }
+
+    /// The per-server request weight `u(m, i)` of Eq. (14): the probability
+    /// mass of requests for `model` that server `m` can serve within
+    /// deadline *and* that are not already served by the placement
+    /// (the `I2` indicator of the successive greedy decomposition).
+    ///
+    /// With an empty placement this is simply
+    /// `Σ_k p_{k,i} · I1(m,k,i)`.
+    pub fn per_server_weight(
+        &self,
+        already_placed: &Placement,
+        server: ServerId,
+        model: ModelId,
+    ) -> f64 {
+        self.marginal_hits(already_placed, server, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Demand;
+    use crate::latency::EligibilityTensor;
+
+    /// 2 servers, 2 users, 2 models.
+    /// - server 0 can serve user 0 for both models;
+    /// - server 1 can serve user 1 for model 1 only;
+    /// - user 1 / model 0 can never be served.
+    fn fixture() -> (Demand, EligibilityTensor) {
+        let demand = Demand::new(
+            vec![vec![0.6, 0.4], vec![0.7, 0.3]],
+            vec![vec![1.0; 2]; 2],
+            vec![vec![0.1; 2]; 2],
+        )
+        .unwrap();
+        let eligibility = EligibilityTensor::from_fn(2, 2, 2, |m, k, i| match (m, k, i) {
+            (0, 0, _) => true,
+            (1, 1, 1) => true,
+            _ => false,
+        });
+        (demand, eligibility)
+    }
+
+    #[test]
+    fn empty_placement_has_zero_hit_ratio() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        let p = Placement::empty(2, 2);
+        assert_eq!(obj.hit_ratio(&p), 0.0);
+        assert_eq!(obj.expected_hits(&p), 0.0);
+        assert_eq!(obj.num_users(), 2);
+        assert_eq!(obj.num_models(), 2);
+        assert_eq!(obj.num_servers(), 2);
+        assert!((obj.total_mass() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_counts_only_eligible_placements() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        let mut p = Placement::empty(2, 2);
+        // Model 0 on server 0 serves only user 0 (weight 0.6).
+        p.place(ServerId(0), ModelId(0)).unwrap();
+        assert!((obj.expected_hits(&p) - 0.6).abs() < 1e-12);
+        assert!((obj.hit_ratio(&p) - 0.3).abs() < 1e-12);
+        assert!(obj.is_served(&p, UserId(0), ModelId(0)));
+        assert!(!obj.is_served(&p, UserId(1), ModelId(0)));
+        // Placing model 0 on server 1 helps nobody (server 1 only serves
+        // user 1 / model 1).
+        p.place(ServerId(1), ModelId(0)).unwrap();
+        assert!((obj.expected_hits(&p) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_gains_ignore_already_served_requests() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        let mut p = Placement::empty(2, 2);
+        // Initially, placing model 1 on server 0 would serve user 0
+        // (weight 0.4); on server 1 it would serve user 1 (weight 0.3).
+        assert!((obj.marginal_hits(&p, ServerId(0), ModelId(1)) - 0.4).abs() < 1e-12);
+        assert!((obj.marginal_hits(&p, ServerId(1), ModelId(1)) - 0.3).abs() < 1e-12);
+        p.place(ServerId(0), ModelId(1)).unwrap();
+        // User 0 is now served; the remaining gain on server 1 is user 1.
+        assert!((obj.marginal_hits(&p, ServerId(1), ModelId(1)) - 0.3).abs() < 1e-12);
+        // Re-placing an existing model has no gain.
+        assert_eq!(obj.marginal_hits(&p, ServerId(0), ModelId(1)), 0.0);
+        // Normalised variant divides by the mass of 2.0.
+        assert!((obj.marginal_hit_ratio(&p, ServerId(1), ModelId(1)) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_server_weight_matches_eq_14() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        let empty = Placement::empty(2, 2);
+        // u(0, 0) = p_{0,0} = 0.6 (only user 0 is eligible at server 0).
+        assert!((obj.per_server_weight(&empty, ServerId(0), ModelId(0)) - 0.6).abs() < 1e-12);
+        // u(1, 0) = 0 (server 1 cannot serve model 0 for anyone).
+        assert_eq!(obj.per_server_weight(&empty, ServerId(1), ModelId(0)), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_is_monotone_under_additional_placements() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        let mut p = Placement::empty(2, 2);
+        let mut last = 0.0;
+        let additions = [
+            (ServerId(0), ModelId(0)),
+            (ServerId(0), ModelId(1)),
+            (ServerId(1), ModelId(1)),
+            (ServerId(1), ModelId(0)),
+        ];
+        for (s, m) in additions {
+            p.place(s, m).unwrap();
+            let u = obj.hit_ratio(&p);
+            assert!(u >= last - 1e-12, "hit ratio decreased: {u} < {last}");
+            last = u;
+        }
+        // Full placement serves user0/model0, user0/model1, user1/model1
+        // but never user1/model0: (0.6 + 0.4 + 0.3) / 2.0 = 0.65.
+        assert!((last - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_dimensions_are_rejected() {
+        let (demand, _) = fixture();
+        let wrong = EligibilityTensor::from_fn(2, 3, 2, |_, _, _| true);
+        assert!(HitRatioObjective::new(&demand, &wrong).is_err());
+        let wrong = EligibilityTensor::from_fn(2, 2, 5, |_, _, _| true);
+        assert!(HitRatioObjective::new(&demand, &wrong).is_err());
+    }
+
+    #[test]
+    fn weights_outside_range_are_zero() {
+        let (demand, elig) = fixture();
+        let obj = HitRatioObjective::new(&demand, &elig).unwrap();
+        assert_eq!(obj.weight(UserId(9), ModelId(0)), 0.0);
+        assert_eq!(obj.weight(UserId(0), ModelId(9)), 0.0);
+    }
+}

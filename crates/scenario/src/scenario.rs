@@ -1,0 +1,637 @@
+//! The [`Scenario`] aggregate: everything the placement algorithms and the
+//! evaluation need about one "snapshot" of the system.
+//!
+//! A scenario bundles the model library, the edge servers with their
+//! capacities, the users with their positions, the demand matrices, the
+//! radio parameters and the derived quantities (coverage, per-user
+//! allocation, expected rate matrix and the eligibility tensor
+//! `I1(m,k,i)`). The paper solves the placement on such a snapshot
+//! (Section IV-A notes that mobility is handled by re-solving when
+//! performance degrades); [`Scenario::with_user_positions`] produces the
+//! re-derived snapshot used by the mobility study.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use trimcaching_modellib::ModelLibrary;
+use trimcaching_wireless::allocation::PerUserAllocation;
+use trimcaching_wireless::channel::{Fading, RayleighFading};
+use trimcaching_wireless::coverage::CoverageMap;
+use trimcaching_wireless::geometry::Point;
+use trimcaching_wireless::params::RadioParams;
+use trimcaching_wireless::Backhaul;
+
+use crate::demand::Demand;
+use crate::entities::{EdgeServer, ServerId, User, UserId};
+use crate::error::ScenarioError;
+use crate::latency::{EligibilityTensor, LatencyEvaluator, RateMatrix};
+use crate::objective::HitRatioObjective;
+use crate::placement::Placement;
+use crate::storage::StorageTracker;
+
+/// One snapshot of the system: inputs plus derived radio/latency state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    library: ModelLibrary,
+    servers: Vec<EdgeServer>,
+    users: Vec<User>,
+    demand: Demand,
+    radio: RadioParams,
+    backhaul: Backhaul,
+    coverage: CoverageMap,
+    allocation: PerUserAllocation,
+    rates: RateMatrix,
+    eligibility: EligibilityTensor,
+}
+
+impl Scenario {
+    /// Starts a scenario builder.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The model library.
+    pub fn library(&self) -> &ModelLibrary {
+        &self.library
+    }
+
+    /// The edge servers.
+    pub fn servers(&self) -> &[EdgeServer] {
+        &self.servers
+    }
+
+    /// The users.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// The demand matrices.
+    pub fn demand(&self) -> &Demand {
+        &self.demand
+    }
+
+    /// The radio parameters.
+    pub fn radio(&self) -> &RadioParams {
+        &self.radio
+    }
+
+    /// The backhaul mesh.
+    pub fn backhaul(&self) -> &Backhaul {
+        &self.backhaul
+    }
+
+    /// The coverage relation.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
+    }
+
+    /// The expected downlink rate matrix used for placement decisions.
+    pub fn rates(&self) -> &RateMatrix {
+        &self.rates
+    }
+
+    /// The precomputed eligibility tensor `I1(m,k,i)` under expected rates.
+    pub fn eligibility(&self) -> &EligibilityTensor {
+        &self.eligibility
+    }
+
+    /// Number of edge servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.library.num_models()
+    }
+
+    /// Storage capacity `Q_m` of server `m` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for an unknown server.
+    pub fn capacity_bytes(&self, server: ServerId) -> Result<u64, ScenarioError> {
+        self.servers
+            .get(server.index())
+            .map(EdgeServer::capacity_bytes)
+            .ok_or(ScenarioError::IndexOutOfRange {
+                entity: "server",
+                index: server.index(),
+                len: self.servers.len(),
+            })
+    }
+
+    /// An empty placement with this scenario's dimensions.
+    pub fn empty_placement(&self) -> Placement {
+        Placement::empty(self.num_servers(), self.num_models())
+    }
+
+    /// The hit-ratio objective under the expected-rate eligibility.
+    pub fn objective(&self) -> HitRatioObjective<'_> {
+        HitRatioObjective::new(&self.demand, &self.eligibility)
+            .expect("scenario components are validated at construction")
+    }
+
+    /// A fresh storage tracker for server `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for an unknown server.
+    pub fn storage_tracker(&self, server: ServerId) -> Result<StorageTracker<'_>, ScenarioError> {
+        Ok(StorageTracker::new(
+            &self.library,
+            self.capacity_bytes(server)?,
+        ))
+    }
+
+    /// Expected cache hit ratio of `placement` under expected rates.
+    pub fn hit_ratio(&self, placement: &Placement) -> f64 {
+        self.objective().hit_ratio(placement)
+    }
+
+    /// Whether `placement` satisfies every server's capacity constraint
+    /// under shared (deduplicated) storage.
+    pub fn satisfies_capacities(&self, placement: &Placement) -> bool {
+        (0..self.num_servers()).all(|m| {
+            let models = placement
+                .models_on(ServerId(m))
+                .unwrap_or_default();
+            self.library.union_size_bytes(models) <= self.servers[m].capacity_bytes()
+        })
+    }
+
+    /// Cache hit ratio of `placement` under one small-scale fading
+    /// realisation: every covered server-user link draws an independent
+    /// Rayleigh power gain, the rate matrix and eligibility are recomputed,
+    /// and the hit ratio is evaluated for the *same* placement (this is how
+    /// the paper separates the placement decision — made on expected rates —
+    /// from the achieved performance over ~10³ channel realisations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (which indicate an internally
+    /// inconsistent scenario).
+    pub fn hit_ratio_under_fading<R: Rng + ?Sized>(
+        &self,
+        placement: &Placement,
+        rng: &mut R,
+    ) -> Result<f64, ScenarioError> {
+        self.hit_ratio_under(placement, &RayleighFading::unit(), rng)
+    }
+
+    /// Cache hit ratio of `placement` under one realisation of an arbitrary
+    /// [`Fading`] process (e.g. the paper's Rayleigh model, or a shadowed
+    /// Rayleigh channel from `trimcaching_wireless::shadowing`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors (which indicate an internally
+    /// inconsistent scenario).
+    pub fn hit_ratio_under<F, R>(
+        &self,
+        placement: &Placement,
+        fading: &F,
+        rng: &mut R,
+    ) -> Result<f64, ScenarioError>
+    where
+        F: Fading,
+        R: Rng + ?Sized,
+    {
+        let rates = RateMatrix::with_fading(&self.coverage, &self.allocation, &self.radio, |_, _| {
+            fading.sample_power_gain(rng)
+        })?;
+        let evaluator = LatencyEvaluator::new(
+            &self.library,
+            &self.demand,
+            &self.coverage,
+            &self.backhaul,
+            &rates,
+        )?;
+        let eligibility = evaluator.eligibility()?;
+        let objective = HitRatioObjective::new(&self.demand, &eligibility)?;
+        Ok(objective.hit_ratio(placement))
+    }
+
+    /// Average cache hit ratio of `placement` over `realisations` Rayleigh
+    /// channel draws.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn average_hit_ratio_under_fading<R: Rng + ?Sized>(
+        &self,
+        placement: &Placement,
+        realisations: usize,
+        rng: &mut R,
+    ) -> Result<f64, ScenarioError> {
+        self.average_hit_ratio_under(placement, &RayleighFading::unit(), realisations, rng)
+    }
+
+    /// Average cache hit ratio of `placement` over `realisations` draws of
+    /// an arbitrary [`Fading`] process. Zero realisations fall back to the
+    /// expected-rate evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors.
+    pub fn average_hit_ratio_under<F, R>(
+        &self,
+        placement: &Placement,
+        fading: &F,
+        realisations: usize,
+        rng: &mut R,
+    ) -> Result<f64, ScenarioError>
+    where
+        F: Fading,
+        R: Rng + ?Sized,
+    {
+        if realisations == 0 {
+            return Ok(self.hit_ratio(placement));
+        }
+        let mut total = 0.0;
+        for _ in 0..realisations {
+            total += self.hit_ratio_under(placement, fading, rng)?;
+        }
+        Ok(total / realisations as f64)
+    }
+
+    /// Rebuilds the scenario with users moved to `positions` (same library,
+    /// servers, demand and radio parameters), recomputing coverage,
+    /// allocation, rates and eligibility. Used by the mobility study to
+    /// evaluate a stale placement on a fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] if the number of
+    /// positions differs from the number of users.
+    pub fn with_user_positions(&self, positions: &[Point]) -> Result<Scenario, ScenarioError> {
+        if positions.len() != self.users.len() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "got {} positions for {} users",
+                    positions.len(),
+                    self.users.len()
+                ),
+            });
+        }
+        let users: Vec<User> = self
+            .users
+            .iter()
+            .zip(positions)
+            .map(|(u, p)| u.at(*p))
+            .collect();
+        ScenarioBuilder {
+            library: Some(self.library.clone()),
+            servers: Some(self.servers.clone()),
+            users: Some(users),
+            demand: Some(self.demand.clone()),
+            radio: self.radio,
+            backhaul_rate_bps: self.backhaul.default_rate_bps(),
+        }
+        .build()
+    }
+}
+
+/// Builder assembling a [`Scenario`] from its inputs and deriving the radio
+/// and latency state.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    library: Option<ModelLibrary>,
+    servers: Option<Vec<EdgeServer>>,
+    users: Option<Vec<User>>,
+    demand: Option<Demand>,
+    radio: RadioParams,
+    backhaul_rate_bps: f64,
+}
+
+impl ScenarioBuilder {
+    /// Sets the model library (required).
+    pub fn library(mut self, library: ModelLibrary) -> Self {
+        self.library = Some(library);
+        self
+    }
+
+    /// Sets the edge servers (required).
+    pub fn servers(mut self, servers: Vec<EdgeServer>) -> Self {
+        self.servers = Some(servers);
+        self
+    }
+
+    /// Sets the users (required).
+    pub fn users(mut self, users: Vec<User>) -> Self {
+        self.users = Some(users);
+        self
+    }
+
+    /// Convenience: creates users at the given positions with dense ids.
+    pub fn users_at(mut self, positions: &[Point]) -> Self {
+        self.users = Some(
+            positions
+                .iter()
+                .enumerate()
+                .map(|(k, p)| User::new(UserId(k), *p))
+                .collect(),
+        );
+        self
+    }
+
+    /// Sets the demand matrices (required).
+    pub fn demand(mut self, demand: Demand) -> Self {
+        self.demand = Some(demand);
+        self
+    }
+
+    /// Overrides the radio parameters (defaults to the paper values).
+    pub fn radio(mut self, radio: RadioParams) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Overrides the backhaul rate in bits per second (defaults to the
+    /// paper's 10 Gbps).
+    pub fn backhaul_rate_bps(mut self, rate: f64) -> Self {
+        self.backhaul_rate_bps = rate;
+        self
+    }
+
+    /// Derives the radio state and assembles the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingComponent`] for missing inputs,
+    /// [`ScenarioError::DimensionMismatch`] for inconsistent dimensions and
+    /// propagates substrate validation errors.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let library = self.library.ok_or(ScenarioError::MissingComponent {
+            component: "library",
+        })?;
+        let servers = self.servers.ok_or(ScenarioError::MissingComponent {
+            component: "servers",
+        })?;
+        let users = self.users.ok_or(ScenarioError::MissingComponent {
+            component: "users",
+        })?;
+        let demand = self.demand.ok_or(ScenarioError::MissingComponent {
+            component: "demand",
+        })?;
+        if servers.is_empty() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "a scenario needs at least one edge server".into(),
+            });
+        }
+        if users.is_empty() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "a scenario needs at least one user".into(),
+            });
+        }
+        if demand.num_users() != users.len() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "demand covers {} users but {} users were provided",
+                    demand.num_users(),
+                    users.len()
+                ),
+            });
+        }
+        if demand.num_models() != library.num_models() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "demand covers {} models but the library has {}",
+                    demand.num_models(),
+                    library.num_models()
+                ),
+            });
+        }
+        let radio = self.radio;
+        radio.validate()?;
+        let backhaul_rate = if self.backhaul_rate_bps > 0.0 {
+            self.backhaul_rate_bps
+        } else {
+            radio.backhaul_rate_bps
+        };
+        let user_points: Vec<Point> = users.iter().map(User::position).collect();
+        let server_points: Vec<Point> = servers.iter().map(EdgeServer::position).collect();
+        let coverage = CoverageMap::build(&user_points, &server_points, radio.coverage_radius_m)?;
+        let allocation = PerUserAllocation::compute(&coverage, &radio)?;
+        let rates = RateMatrix::expected(&coverage, &allocation, &radio)?;
+        let backhaul = Backhaul::uniform(servers.len(), backhaul_rate)?;
+        let evaluator = LatencyEvaluator::new(&library, &demand, &coverage, &backhaul, &rates)?;
+        let eligibility = evaluator.eligibility()?;
+        Ok(Scenario {
+            library,
+            servers,
+            users,
+            demand,
+            radio,
+            backhaul,
+            coverage,
+            allocation,
+            rates,
+            eligibility,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandConfig;
+    use crate::entities::gigabytes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trimcaching_modellib::builders::SpecialCaseBuilder;
+    use trimcaching_modellib::ModelId;
+
+    fn build_scenario(num_users: usize, capacity_gb: f64) -> Scenario {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(3)
+            .build(5);
+        let servers = vec![
+            EdgeServer::new(ServerId(0), Point::new(250.0, 250.0), gigabytes(capacity_gb))
+                .unwrap(),
+            EdgeServer::new(ServerId(1), Point::new(750.0, 250.0), gigabytes(capacity_gb))
+                .unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        let area = trimcaching_wireless::geometry::DeploymentArea::paper_default();
+        let positions: Vec<Point> = (0..num_users).map(|_| area.sample_uniform(&mut rng)).collect();
+        let demand = DemandConfig::paper_defaults()
+            .generate(num_users, library.num_models(), &mut rng)
+            .unwrap();
+        Scenario::builder()
+            .library(library)
+            .servers(servers)
+            .users_at(&positions)
+            .demand(demand)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_consistent_dimensions() {
+        let s = build_scenario(8, 1.0);
+        assert_eq!(s.num_servers(), 2);
+        assert_eq!(s.num_users(), 8);
+        assert_eq!(s.num_models(), 9);
+        assert_eq!(s.servers().len(), 2);
+        assert_eq!(s.users().len(), 8);
+        assert_eq!(s.capacity_bytes(ServerId(0)).unwrap(), 1_000_000_000);
+        assert!(s.capacity_bytes(ServerId(5)).is_err());
+        assert_eq!(s.rates().num_servers(), 2);
+        assert_eq!(s.eligibility().num_models(), 9);
+        assert!(s.radio().validate().is_ok());
+        assert_eq!(s.backhaul().num_servers(), 2);
+        assert_eq!(s.coverage().num_users(), 8);
+        assert_eq!(s.demand().num_users(), 8);
+        assert_eq!(s.library().num_models(), 9);
+    }
+
+    #[test]
+    fn missing_components_are_reported() {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(2)
+            .build(1);
+        let err = Scenario::builder().library(library).build();
+        assert!(matches!(
+            err,
+            Err(ScenarioError::MissingComponent { component: "servers" })
+        ));
+        let err = Scenario::builder().build();
+        assert!(matches!(
+            err,
+            Err(ScenarioError::MissingComponent { component: "library" })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(2)
+            .build(1);
+        let servers = vec![EdgeServer::new(ServerId(0), Point::new(0.0, 0.0), 100).unwrap()];
+        let mut rng = StdRng::seed_from_u64(1);
+        // Demand for the wrong user count.
+        let demand = DemandConfig::paper_defaults()
+            .generate(3, library.num_models(), &mut rng)
+            .unwrap();
+        let err = Scenario::builder()
+            .library(library.clone())
+            .servers(servers.clone())
+            .users_at(&[Point::new(1.0, 1.0)])
+            .demand(demand)
+            .build();
+        assert!(matches!(err, Err(ScenarioError::DimensionMismatch { .. })));
+        // Demand for the wrong model count.
+        let demand = DemandConfig::paper_defaults().generate(1, 2, &mut rng).unwrap();
+        let err = Scenario::builder()
+            .library(library)
+            .servers(servers)
+            .users_at(&[Point::new(1.0, 1.0)])
+            .demand(demand)
+            .build();
+        assert!(matches!(err, Err(ScenarioError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn hit_ratio_grows_as_models_are_placed() {
+        let s = build_scenario(10, 1.0);
+        let mut placement = s.empty_placement();
+        assert_eq!(s.hit_ratio(&placement), 0.0);
+        let objective = s.objective();
+        // Place the model with the largest marginal gain on server 0.
+        let best = (0..s.num_models())
+            .max_by(|a, b| {
+                objective
+                    .marginal_hits(&placement, ServerId(0), ModelId(*a))
+                    .partial_cmp(&objective.marginal_hits(&placement, ServerId(0), ModelId(*b)))
+                    .unwrap()
+            })
+            .unwrap();
+        placement.place(ServerId(0), ModelId(best)).unwrap();
+        let u1 = s.hit_ratio(&placement);
+        assert!(u1 > 0.0, "placing the best model should yield hits");
+        assert!(s.satisfies_capacities(&placement));
+    }
+
+    #[test]
+    fn capacity_check_detects_overflow() {
+        // 1 MB capacity cannot hold any ~50-100 MB model.
+        let s = build_scenario(4, 0.001);
+        let mut placement = s.empty_placement();
+        placement.place(ServerId(0), ModelId(0)).unwrap();
+        assert!(!s.satisfies_capacities(&placement));
+    }
+
+    #[test]
+    fn fading_evaluation_is_close_to_expected_rate_evaluation() {
+        let s = build_scenario(10, 1.0);
+        let mut placement = s.empty_placement();
+        for i in 0..3 {
+            placement.place(ServerId(0), ModelId(i)).unwrap();
+            placement.place(ServerId(1), ModelId(i)).unwrap();
+        }
+        let nominal = s.hit_ratio(&placement);
+        let mut rng = StdRng::seed_from_u64(9);
+        let faded = s
+            .average_hit_ratio_under_fading(&placement, 50, &mut rng)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&faded));
+        // Fading can only push the rate (and hence the hit ratio) around the
+        // nominal value; with 50 draws it should stay in a broad band.
+        assert!((faded - nominal).abs() < 0.5);
+        // Zero realisations falls back to the nominal evaluation.
+        let zero = s
+            .average_hit_ratio_under_fading(&placement, 0, &mut rng)
+            .unwrap();
+        assert_eq!(zero, nominal);
+    }
+
+    #[test]
+    fn moving_users_rebuilds_coverage_and_keeps_dimensions() {
+        let s = build_scenario(6, 1.0);
+        let new_positions: Vec<Point> = (0..6)
+            .map(|i| Point::new(100.0 + 50.0 * i as f64, 900.0))
+            .collect();
+        let moved = s.with_user_positions(&new_positions).unwrap();
+        assert_eq!(moved.num_users(), 6);
+        assert_eq!(moved.num_servers(), s.num_servers());
+        assert_eq!(moved.num_models(), s.num_models());
+        assert_eq!(moved.users()[2].position(), new_positions[2]);
+        // Demand is preserved.
+        assert_eq!(moved.demand(), s.demand());
+        // Wrong position count is rejected.
+        assert!(s.with_user_positions(&new_positions[..3]).is_err());
+    }
+
+    #[test]
+    fn empty_server_or_user_lists_are_rejected() {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(2)
+            .build(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let demand = DemandConfig::paper_defaults()
+            .generate(1, library.num_models(), &mut rng)
+            .unwrap();
+        let err = Scenario::builder()
+            .library(library.clone())
+            .servers(vec![])
+            .users_at(&[Point::new(0.0, 0.0)])
+            .demand(demand.clone())
+            .build();
+        assert!(err.is_err());
+        let err = Scenario::builder()
+            .library(library)
+            .servers(vec![
+                EdgeServer::new(ServerId(0), Point::new(0.0, 0.0), 100).unwrap()
+            ])
+            .users(vec![])
+            .demand(demand)
+            .build();
+        assert!(err.is_err());
+    }
+}

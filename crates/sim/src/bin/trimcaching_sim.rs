@@ -1,0 +1,192 @@
+//! `trimcaching-sim` — command-line driver regenerating the paper's
+//! figures.
+//!
+//! ```text
+//! trimcaching-sim <experiment> [--paper|--fast] [--topologies N]
+//!                 [--realisations N] [--csv] [--out FILE]
+//!
+//! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
+//!              replacement replacement-trigger
+//!              ablation-epsilon ablation-sharing ablation-zipf
+//!              ablation-scaling ablation-backhaul ablation-deadline
+//!              ablation-shadowing all
+//! ```
+//!
+//! The default repetition counts are the `reduced` preset (15 topologies ×
+//! 100 fading realisations), which preserves the paper's trends while
+//! finishing in minutes; `--paper` selects the full 100 × 1000 setting.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use trimcaching_sim::experiments::{
+    ablation, fig1, fig4, fig5, fig6, fig7, lora, replacement, RunConfig,
+};
+use trimcaching_sim::montecarlo::MonteCarloConfig;
+use trimcaching_sim::SimError;
+
+/// Parsed command-line options.
+struct Options {
+    experiment: String,
+    config: RunConfig,
+    csv: bool,
+    out: Option<String>,
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
+         [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
+         experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
+         replacement replacement-trigger lora-market \
+         ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
+         ablation-backhaul ablation-deadline ablation-shadowing all"
+    );
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut experiment = None;
+    let mut config = RunConfig::reduced();
+    let mut csv = false;
+    let mut out = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => config = RunConfig::paper(),
+            "--fast" => {
+                config.monte_carlo = MonteCarloConfig {
+                    topologies: 3,
+                    fading_realisations: 20,
+                    ..config.monte_carlo
+                };
+            }
+            "--csv" => csv = true,
+            "--topologies" | "--realisations" | "--models-per-backbone" | "--seed" | "--out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("missing value for {arg}"))?;
+                match arg.as_str() {
+                    "--topologies" => {
+                        config.monte_carlo.topologies =
+                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                    }
+                    "--realisations" => {
+                        config.monte_carlo.fading_realisations =
+                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                    }
+                    "--models-per-backbone" => {
+                        config.models_per_backbone =
+                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                    }
+                    "--seed" => {
+                        config.monte_carlo.seed =
+                            value.parse().map_err(|_| format!("invalid seed {value}"))?;
+                    }
+                    "--out" => out = Some(value.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            other if !other.starts_with("--") && experiment.is_none() => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Options {
+        experiment: experiment.ok_or_else(|| "missing experiment name".to_string())?,
+        config,
+        csv,
+        out,
+    })
+}
+
+/// Runs one experiment and returns its rendered output.
+fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, SimError> {
+    let render_table = |t: trimcaching_sim::ExperimentTable| {
+        if csv {
+            t.to_csv()
+        } else {
+            t.to_markdown()
+        }
+    };
+    let render_comparison = |t: trimcaching_sim::ComparisonTable| {
+        if csv {
+            t.to_csv()
+        } else {
+            t.to_markdown()
+        }
+    };
+    Ok(match name {
+        "fig1" => render_table(fig1::accuracy_vs_frozen_layers()),
+        "fig4a" => render_table(fig4::capacity_sweep(config)?),
+        "fig4b" => render_table(fig4::server_sweep(config)?),
+        "fig4c" => render_table(fig4::user_sweep(config)?),
+        "fig5a" => render_table(fig5::capacity_sweep(config)?),
+        "fig5b" => render_table(fig5::server_sweep(config)?),
+        "fig5c" => render_table(fig5::user_sweep(config)?),
+        "fig6a" => render_comparison(fig6::special_case_vs_optimal(config)?),
+        "fig6b" => render_comparison(fig6::general_case_runtime(config)?),
+        "fig7" => render_table(fig7::mobility_robustness(config)?),
+        "replacement" => render_table(replacement::replacement_study(config)?),
+        "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
+        "lora-market" => render_table(lora::capacity_sweep(config)?),
+        "ablation-epsilon" => render_table(ablation::epsilon_sweep(config)?),
+        "ablation-sharing" => render_table(ablation::sharing_depth_sweep(config)?),
+        "ablation-zipf" => render_table(ablation::zipf_sweep(config)?),
+        "ablation-scaling" => render_table(ablation::library_scaling(config)?),
+        "ablation-backhaul" => render_table(ablation::backhaul_sweep(config)?),
+        "ablation-deadline" => render_table(ablation::deadline_sweep(config)?),
+        "ablation-shadowing" => render_table(ablation::shadowing_sweep(config)?),
+        "all" => {
+            let mut out = String::new();
+            for exp in [
+                "fig1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b",
+                "fig7", "replacement", "replacement-trigger", "lora-market", "ablation-epsilon",
+                "ablation-sharing", "ablation-zipf", "ablation-scaling", "ablation-backhaul",
+                "ablation-deadline", "ablation-shadowing",
+            ] {
+                eprintln!("[trimcaching-sim] running {exp} ...");
+                out.push_str(&run_experiment(exp, config, csv)?);
+            }
+            out
+        }
+        other => {
+            return Err(SimError::InvalidConfig {
+                reason: format!("unknown experiment {other}"),
+            })
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_experiment(&options.experiment, &options.config, options.csv) {
+        Ok(rendered) => {
+            if let Some(path) = options.out {
+                match std::fs::File::create(&path).and_then(|mut f| f.write_all(rendered.as_bytes()))
+                {
+                    Ok(()) => eprintln!("[trimcaching-sim] wrote {path}"),
+                    Err(e) => {
+                        eprintln!("error writing {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{rendered}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

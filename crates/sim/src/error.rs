@@ -1,0 +1,95 @@
+//! Error type for the simulation harness.
+
+use std::fmt;
+
+use trimcaching_modellib::ModelLibError;
+use trimcaching_placement::PlacementError;
+use trimcaching_scenario::ScenarioError;
+
+/// Errors produced by the simulation harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An experiment or topology configuration was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A placement algorithm failed.
+    Placement(PlacementError),
+    /// The scenario layer failed.
+    Scenario(ScenarioError),
+    /// The model-library layer failed.
+    ModelLib(ModelLibError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::Placement(e) => write!(f, "placement error: {e}"),
+            SimError::Scenario(e) => write!(f, "scenario error: {e}"),
+            SimError::ModelLib(e) => write!(f, "model library error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Placement(e) => Some(e),
+            SimError::Scenario(e) => Some(e),
+            SimError::ModelLib(e) => Some(e),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<PlacementError> for SimError {
+    fn from(e: PlacementError) -> Self {
+        SimError::Placement(e)
+    }
+}
+
+impl From<ScenarioError> for SimError {
+    fn from(e: ScenarioError) -> Self {
+        SimError::Scenario(e)
+    }
+}
+
+impl From<ModelLibError> for SimError {
+    fn from(e: ModelLibError) -> Self {
+        SimError::ModelLib(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions_work() {
+        use std::error::Error;
+        let e = SimError::InvalidConfig {
+            reason: "zero topologies".into(),
+        };
+        assert!(e.to_string().contains("zero topologies"));
+        assert!(e.source().is_none());
+        let e: SimError = PlacementError::InvalidConfig {
+            reason: "epsilon".into(),
+        }
+        .into();
+        assert!(matches!(e, SimError::Placement(_)));
+        assert!(e.source().is_some());
+        let e: SimError = ScenarioError::MissingComponent { component: "x" }.into();
+        assert!(matches!(e, SimError::Scenario(_)));
+        let e: SimError = ModelLibError::UnknownBlock { block: 0 }.into();
+        assert!(matches!(e, SimError::ModelLib(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

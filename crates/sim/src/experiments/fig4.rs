@@ -1,0 +1,145 @@
+//! Fig. 4 — cache hit ratio in the *special case* (small fixed number of
+//! shared parameter blocks).
+//!
+//! Three sweeps over the special-case 30-model library (10 models per
+//! backbone at the default [`RunConfig`]), comparing TrimCaching Spec,
+//! TrimCaching Gen and Independent Caching:
+//!
+//! * Fig. 4(a): capacity `Q ∈ {0.5, 0.75, 1, 1.25, 1.5}` GB with `M = 10`;
+//! * Fig. 4(b): `M ∈ {6, 8, 10, 12, 14}` servers with `Q = 1` GB;
+//! * Fig. 4(c): `K ∈ {10, 20, 30, 40, 50}` users with `Q = 1` GB, `M = 10`.
+
+use trimcaching_placement::{
+    IndependentCaching, PlacementAlgorithm, TrimCachingGen, TrimCachingSpec,
+};
+
+use super::{sweep, LibraryKind, RunConfig};
+use crate::report::ExperimentTable;
+use crate::topology::TopologyConfig;
+use crate::SimError;
+
+/// The capacity values (GB) swept by Fig. 4(a) / Fig. 5(a).
+pub const CAPACITY_POINTS_GB: [f64; 5] = [0.5, 0.75, 1.0, 1.25, 1.5];
+/// The edge-server counts swept by Fig. 4(b) / Fig. 5(b).
+pub const SERVER_POINTS: [usize; 5] = [6, 8, 10, 12, 14];
+/// The user counts swept by Fig. 4(c) / Fig. 5(c).
+pub const USER_POINTS: [usize; 5] = [10, 20, 30, 40, 50];
+
+fn algorithms() -> (TrimCachingSpec, TrimCachingGen, IndependentCaching) {
+    (
+        TrimCachingSpec::new(),
+        TrimCachingGen::new(),
+        IndependentCaching::new(),
+    )
+}
+
+/// Fig. 4(a): cache hit ratio vs. edge-server capacity `Q`.
+pub fn capacity_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    let (spec, gen, ind) = algorithms();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&spec, &gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = CAPACITY_POINTS_GB
+        .iter()
+        .map(|&q| (q, TopologyConfig::paper_defaults().with_capacity_gb(q)))
+        .collect();
+    sweep(
+        "fig4a",
+        "Special case: cache hit ratio vs. capacity Q (M = 10, I = 30)",
+        "Edge server capacity Q (GB)",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+/// Fig. 4(b): cache hit ratio vs. number of edge servers `M`.
+pub fn server_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    let (spec, gen, ind) = algorithms();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&spec, &gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = SERVER_POINTS
+        .iter()
+        .map(|&m| (m as f64, TopologyConfig::paper_defaults().with_servers(m)))
+        .collect();
+    sweep(
+        "fig4b",
+        "Special case: cache hit ratio vs. number of edge servers M (Q = 1 GB, I = 30)",
+        "Number of edge servers M",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+/// Fig. 4(c): cache hit ratio vs. number of users `K`.
+pub fn user_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    let (spec, gen, ind) = algorithms();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&spec, &gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = USER_POINTS
+        .iter()
+        .map(|&k| (k as f64, TopologyConfig::paper_defaults().with_users(k)))
+        .collect();
+    sweep(
+        "fig4c",
+        "Special case: cache hit ratio vs. number of users K (Q = 1 GB, M = 10)",
+        "Number of users K",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::MonteCarloConfig;
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            monte_carlo: MonteCarloConfig {
+                topologies: 1,
+                fading_realisations: 0,
+                seed: 3,
+                threads: 1,
+            },
+            models_per_backbone: 2,
+            library_seed: 3,
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_produces_the_expected_shape() {
+        // A smoke-scale run: one topology, no fading, tiny library. The
+        // full-scale reproduction is exercised by the benchmarks/CLI.
+        let table = capacity_sweep(&tiny_config()).unwrap();
+        assert_eq!(table.id, "fig4a");
+        assert_eq!(table.rows.len(), CAPACITY_POINTS_GB.len());
+        assert_eq!(
+            table.series,
+            vec!["trimcaching-spec", "trimcaching-gen", "independent-caching"]
+        );
+        for row in &table.rows {
+            for cell in &row.cells {
+                assert!((0.0..=1.0).contains(&cell.mean));
+            }
+        }
+        // Sharing-aware placement should never lose to the baseline at any
+        // capacity (paper's core qualitative claim).
+        let spec = table.series_means("trimcaching-spec").unwrap();
+        let ind = table.series_means("independent-caching").unwrap();
+        for (s, i) in spec.iter().zip(&ind) {
+            assert!(s >= &(i - 1e-9));
+        }
+    }
+
+    #[test]
+    fn sweep_points_match_the_paper() {
+        assert_eq!(CAPACITY_POINTS_GB, [0.5, 0.75, 1.0, 1.25, 1.5]);
+        assert_eq!(SERVER_POINTS, [6, 8, 10, 12, 14]);
+        assert_eq!(USER_POINTS, [10, 20, 30, 40, 50]);
+    }
+}

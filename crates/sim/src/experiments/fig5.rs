@@ -1,0 +1,108 @@
+//! Fig. 5 — cache hit ratio in the *general case* (arbitrary parameter
+//! sharing).
+//!
+//! Same three sweeps as Fig. 4 but on the general-case library (two-round
+//! fine-tuning per Table I), comparing TrimCaching Gen against Independent
+//! Caching — the paper does not run TrimCaching Spec here because its
+//! combination enumeration is exponential in the general case.
+
+use trimcaching_placement::{IndependentCaching, PlacementAlgorithm, TrimCachingGen};
+
+use super::fig4::{CAPACITY_POINTS_GB, SERVER_POINTS, USER_POINTS};
+use super::{sweep, LibraryKind, RunConfig};
+use crate::report::ExperimentTable;
+use crate::topology::TopologyConfig;
+use crate::SimError;
+
+/// Fig. 5(a): cache hit ratio vs. edge-server capacity `Q`.
+pub fn capacity_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::General);
+    let gen = TrimCachingGen::new();
+    let ind = IndependentCaching::new();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = CAPACITY_POINTS_GB
+        .iter()
+        .map(|&q| (q, TopologyConfig::paper_defaults().with_capacity_gb(q)))
+        .collect();
+    sweep(
+        "fig5a",
+        "General case: cache hit ratio vs. capacity Q (M = 10, I = 30)",
+        "Edge server capacity Q (GB)",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+/// Fig. 5(b): cache hit ratio vs. number of edge servers `M`.
+pub fn server_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::General);
+    let gen = TrimCachingGen::new();
+    let ind = IndependentCaching::new();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = SERVER_POINTS
+        .iter()
+        .map(|&m| (m as f64, TopologyConfig::paper_defaults().with_servers(m)))
+        .collect();
+    sweep(
+        "fig5b",
+        "General case: cache hit ratio vs. number of edge servers M (Q = 1 GB, I = 30)",
+        "Number of edge servers M",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+/// Fig. 5(c): cache hit ratio vs. number of users `K`.
+pub fn user_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::General);
+    let gen = TrimCachingGen::new();
+    let ind = IndependentCaching::new();
+    let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&gen, &ind];
+    let points: Vec<(f64, TopologyConfig)> = USER_POINTS
+        .iter()
+        .map(|&k| (k as f64, TopologyConfig::paper_defaults().with_users(k)))
+        .collect();
+    sweep(
+        "fig5c",
+        "General case: cache hit ratio vs. number of users K (Q = 1 GB, M = 10)",
+        "Number of users K",
+        &library,
+        &points,
+        &algorithms,
+        &config.monte_carlo,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::MonteCarloConfig;
+
+    #[test]
+    fn general_case_sweep_has_two_series_and_respects_bounds() {
+        let config = RunConfig {
+            monte_carlo: MonteCarloConfig {
+                topologies: 1,
+                fading_realisations: 0,
+                seed: 5,
+                threads: 1,
+            },
+            models_per_backbone: 2,
+            library_seed: 5,
+        };
+        let table = user_sweep(&config).unwrap();
+        assert_eq!(table.id, "fig5c");
+        assert_eq!(table.series, vec!["trimcaching-gen", "independent-caching"]);
+        assert_eq!(table.rows.len(), USER_POINTS.len());
+        let gen = table.series_means("trimcaching-gen").unwrap();
+        let ind = table.series_means("independent-caching").unwrap();
+        for (g, i) in gen.iter().zip(&ind) {
+            assert!((0.0..=1.0).contains(g));
+            assert!(g >= &(i - 1e-9), "gen {g} below independent {i}");
+        }
+    }
+}

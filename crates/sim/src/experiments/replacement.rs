@@ -1,0 +1,232 @@
+//! Online re-placement study (extension of Fig. 7).
+//!
+//! The paper argues that because a stale placement degrades slowly under
+//! mobility (Fig. 7), model replacement "does not need to be re-conducted
+//! frequently, thereby saving backbone bandwidth resources". The two
+//! drivers in this module quantify both sides of that argument:
+//!
+//! * [`replacement_study`] — the Fig. 7 time series with a *static*
+//!   placement next to a threshold-triggered *adaptive* placement
+//!   (re-placement whenever the expected-rate hit ratio drops more than 5%
+//!   below its post-placement level);
+//! * [`trigger_sweep`] — how the average hit ratio, the number of
+//!   re-placements and the migrated bytes trade off as the trigger
+//!   threshold is tightened.
+
+use trimcaching_placement::TrimCachingGen;
+use trimcaching_wireless::geometry::DeploymentArea;
+
+use super::{LibraryKind, RunConfig};
+use crate::replacement::{replay_with_policy, ReplacementPolicy, ReplayConfig};
+use crate::report::{ExperimentTable, Measurement};
+use crate::topology::TopologyConfig;
+use crate::SimError;
+
+/// Trigger thresholds swept by [`trigger_sweep`].
+pub const TRIGGER_POINTS: [f64; 4] = [0.02, 0.05, 0.10, 0.20];
+
+fn replay_config(config: &RunConfig) -> ReplayConfig {
+    ReplayConfig {
+        total_minutes: 120,
+        sample_interval_minutes: 20,
+        fading_realisations: config.monte_carlo.fading_realisations.min(100),
+    }
+}
+
+/// Static vs. adaptive placement under mobility: hit ratio over time.
+pub fn replacement_study(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    let topology = TopologyConfig::paper_defaults()
+        .with_users(10)
+        .with_capacity_gb(1.0);
+    let area = DeploymentArea::new(topology.area_side_m)
+        .map_err(trimcaching_scenario::ScenarioError::from)?;
+    let replay = replay_config(config);
+    let policy = ReplacementPolicy::five_percent();
+    let algorithm = TrimCachingGen::new();
+
+    let num_samples = replay.total_minutes / replay.sample_interval_minutes + 1;
+    let mut static_series: Vec<Vec<f64>> = vec![Vec::new(); num_samples];
+    let mut adaptive_series: Vec<Vec<f64>> = vec![Vec::new(); num_samples];
+    let mut replacements = 0usize;
+
+    for topo_index in 0..config.monte_carlo.topologies {
+        let scenario = topology.generate(&library, config.monte_carlo.seed, topo_index as u64)?;
+        let mobility_seed = config
+            .monte_carlo
+            .seed
+            .wrapping_mul(31)
+            .wrapping_add(topo_index as u64);
+        let fading_seed = config
+            .monte_carlo
+            .seed
+            .wrapping_add(topo_index as u64)
+            .wrapping_mul(0x9E37_79B9);
+        let static_trace = replay_with_policy(
+            &scenario,
+            area,
+            &algorithm,
+            None,
+            &replay,
+            mobility_seed,
+            fading_seed,
+        )?;
+        let adaptive_trace = replay_with_policy(
+            &scenario,
+            area,
+            &algorithm,
+            Some(&policy),
+            &replay,
+            mobility_seed,
+            fading_seed,
+        )?;
+        replacements += adaptive_trace.replacements;
+        for (s, &h) in static_trace.hit_ratios.iter().enumerate() {
+            static_series[s].push(h);
+        }
+        for (s, &h) in adaptive_trace.hit_ratios.iter().enumerate() {
+            adaptive_series[s].push(h);
+        }
+    }
+
+    let mut table = ExperimentTable::new(
+        "replacement",
+        format!(
+            "Static vs. threshold-triggered re-placement under mobility \
+             (5% trigger, {} re-placements over {} topologies)",
+            replacements, config.monte_carlo.topologies
+        ),
+        "Time (min)",
+        "Cache hit ratio",
+        vec!["static trimcaching-gen".into(), "adaptive trimcaching-gen".into()],
+    );
+    for s in 0..num_samples {
+        table.push_row(
+            (s * replay.sample_interval_minutes) as f64,
+            vec![
+                Measurement::from_samples(&static_series[s]),
+                Measurement::from_samples(&adaptive_series[s]),
+            ],
+        );
+    }
+    Ok(table)
+}
+
+/// Trade-off between hit ratio, re-placement count and migrated bytes as the
+/// trigger threshold varies.
+pub fn trigger_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    let topology = TopologyConfig::paper_defaults()
+        .with_users(10)
+        .with_capacity_gb(1.0);
+    let area = DeploymentArea::new(topology.area_side_m)
+        .map_err(trimcaching_scenario::ScenarioError::from)?;
+    let replay = replay_config(config);
+    let algorithm = TrimCachingGen::new();
+
+    let mut table = ExperimentTable::new(
+        "replacement-trigger",
+        "Re-placement trigger threshold vs. hit ratio, re-placements and backbone traffic",
+        "Trigger threshold (relative hit-ratio drop)",
+        "Mean hit ratio / re-placements / migrated GB",
+        vec![
+            "mean hit ratio".into(),
+            "re-placements per replay".into(),
+            "migrated GB per replay".into(),
+        ],
+    );
+    for &trigger in &TRIGGER_POINTS {
+        let policy = ReplacementPolicy::with_trigger_drop(trigger);
+        let mut hits = Vec::new();
+        let mut counts = Vec::new();
+        let mut migrated = Vec::new();
+        for topo_index in 0..config.monte_carlo.topologies {
+            let scenario =
+                topology.generate(&library, config.monte_carlo.seed, topo_index as u64)?;
+            let trace = replay_with_policy(
+                &scenario,
+                area,
+                &algorithm,
+                Some(&policy),
+                &replay,
+                config
+                    .monte_carlo
+                    .seed
+                    .wrapping_mul(31)
+                    .wrapping_add(topo_index as u64),
+                config
+                    .monte_carlo
+                    .seed
+                    .wrapping_add(topo_index as u64)
+                    .wrapping_mul(0x9E37_79B9),
+            )?;
+            hits.push(trace.mean_hit_ratio());
+            counts.push(trace.replacements as f64);
+            migrated.push(trace.migrated_bytes as f64 / 1e9);
+        }
+        table.push_row(
+            trigger,
+            vec![
+                Measurement::from_samples(&hits),
+                Measurement::from_samples(&counts),
+                Measurement::from_samples(&migrated),
+            ],
+        );
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::MonteCarloConfig;
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            monte_carlo: MonteCarloConfig {
+                topologies: 1,
+                fading_realisations: 0,
+                seed: 5,
+                threads: 1,
+            },
+            models_per_backbone: 2,
+            library_seed: 5,
+        }
+    }
+
+    #[test]
+    fn replacement_study_reports_both_policies_over_time() {
+        let table = replacement_study(&tiny_config()).unwrap();
+        assert_eq!(table.id, "replacement");
+        assert_eq!(table.series.len(), 2);
+        assert_eq!(table.rows.len(), 7);
+        let static_means = table.series_means("static trimcaching-gen").unwrap();
+        let adaptive_means = table.series_means("adaptive trimcaching-gen").unwrap();
+        // The adaptive policy can never do worse on average than keeping the
+        // stale placement (it only replaces when that improves the
+        // expected-rate hit ratio it tracks).
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&adaptive_means) >= avg(&static_means) - 0.05);
+        for row in &table.rows {
+            for cell in &row.cells {
+                assert!((0.0..=1.0).contains(&cell.mean));
+            }
+        }
+    }
+
+    #[test]
+    fn trigger_sweep_has_one_row_per_threshold() {
+        let table = trigger_sweep(&tiny_config()).unwrap();
+        assert_eq!(table.rows.len(), TRIGGER_POINTS.len());
+        for row in &table.rows {
+            assert!((0.0..=1.0).contains(&row.cells[0].mean));
+            assert!(row.cells[1].mean >= 0.0);
+            assert!(row.cells[2].mean >= 0.0);
+        }
+        // A tighter trigger can only lead to at least as many re-placements.
+        let replacements: Vec<f64> = table.rows.iter().map(|r| r.cells[1].mean).collect();
+        for pair in replacements.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9);
+        }
+    }
+}

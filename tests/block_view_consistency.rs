@@ -1,0 +1,122 @@
+//! Property tests on the x↔y mapping of Section IV-B: the block-level view
+//! `Y` of any model placement `X` stores exactly the deduplicated bytes of
+//! Eq. (7), and the placement induced back from `Y` contains `X`.
+
+use proptest::prelude::*;
+
+use trimcaching::modellib::builders::{GeneralCaseBuilder, SpecialCaseBuilder};
+use trimcaching::modellib::{ModelId, ModelLibrary};
+use trimcaching::prelude::*;
+
+fn library(seed: u64, special: bool, models_per_backbone: usize) -> ModelLibrary {
+    if special {
+        SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(models_per_backbone)
+            .build(seed)
+    } else {
+        GeneralCaseBuilder::paper_setup()
+            .classes_per_backbone(models_per_backbone)
+            .build(seed)
+    }
+}
+
+/// Builds a placement over `num_servers` servers from a bit mask per
+/// server-model pair.
+fn placement_from_mask(
+    library: &ModelLibrary,
+    num_servers: usize,
+    mask: u64,
+) -> Placement {
+    let mut placement = Placement::empty(num_servers, library.num_models());
+    let mut bit = 0u32;
+    for m in 0..num_servers {
+        for i in 0..library.num_models() {
+            if (mask >> (bit % 64)) & 1 == 1 {
+                placement.place(ServerId(m), ModelId(i)).unwrap();
+            }
+            bit += 1;
+        }
+    }
+    placement
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The block view's per-server byte count equals the Eq. (7) union size
+    /// of the placed models, and it never exceeds the naive (sharing-
+    /// oblivious) sum.
+    #[test]
+    fn block_view_storage_matches_eq7(
+        seed in 0u64..2000,
+        special in any::<bool>(),
+        models_per_backbone in 2usize..4,
+        num_servers in 1usize..4,
+        mask in any::<u64>(),
+    ) {
+        let library = library(seed, special, models_per_backbone);
+        let placement = placement_from_mask(&library, num_servers, mask);
+        let view = BlockPlacement::from_placement(&placement, &library).unwrap();
+        for m in 0..num_servers {
+            let models = placement.models_on(ServerId(m)).unwrap();
+            let union = library.union_size_bytes(models.iter().copied());
+            let stored = view.stored_bytes(ServerId(m), &library).unwrap();
+            prop_assert_eq!(stored, union);
+            let naive: u64 = models
+                .iter()
+                .map(|i| library.model_size_bytes(*i).unwrap())
+                .sum();
+            prop_assert!(stored <= naive);
+        }
+    }
+
+    /// Inducing a model placement back from the block view recovers at
+    /// least the original placement (`X ⊆ induced(Y(X))`), and the induced
+    /// placement stores no additional blocks.
+    #[test]
+    fn induced_placement_contains_the_original(
+        seed in 0u64..2000,
+        special in any::<bool>(),
+        models_per_backbone in 2usize..4,
+        num_servers in 1usize..4,
+        mask in any::<u64>(),
+    ) {
+        let library = library(seed, special, models_per_backbone);
+        let placement = placement_from_mask(&library, num_servers, mask);
+        let view = BlockPlacement::from_placement(&placement, &library).unwrap();
+        let induced = view.induced_placement(&library).unwrap();
+        for (server, model) in placement.iter() {
+            prop_assert!(induced.contains(server, model));
+        }
+        // The induced placement may contain extra models (subset models come
+        // for free) but it never needs more blocks than the view stores.
+        let reinduced = BlockPlacement::from_placement(&induced, &library).unwrap();
+        for m in 0..num_servers {
+            prop_assert_eq!(
+                reinduced.stored_bytes(ServerId(m), &library).unwrap(),
+                view.stored_bytes(ServerId(m), &library).unwrap()
+            );
+        }
+    }
+
+    /// The incremental storage tracker agrees with the block view for any
+    /// insertion order.
+    #[test]
+    fn storage_tracker_agrees_with_block_view(
+        seed in 0u64..2000,
+        models_per_backbone in 2usize..4,
+        mask in any::<u64>(),
+    ) {
+        let library = library(seed, true, models_per_backbone);
+        let placement = placement_from_mask(&library, 1, mask);
+        let mut tracker = StorageTracker::new(&library, u64::MAX);
+        for (_, model) in placement.iter() {
+            tracker.add(model).unwrap();
+        }
+        let view = BlockPlacement::from_placement(&placement, &library).unwrap();
+        prop_assert_eq!(
+            tracker.used_bytes(),
+            view.stored_bytes(ServerId(0), &library).unwrap()
+        );
+    }
+}

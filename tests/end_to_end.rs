@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: library → scenario → placement →
+//! evaluation, for both of the paper's library constructions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trimcaching::modellib::builders::{GeneralCaseBuilder, SpecialCaseBuilder};
+use trimcaching::modellib::ModelLibrary;
+use trimcaching::prelude::*;
+use trimcaching::wireless::geometry::{DeploymentArea, Point};
+
+/// Builds a moderately sized scenario over the given library with servers
+/// on a grid (so coverage is guaranteed) and users spread uniformly.
+fn scenario_for(library: ModelLibrary, num_users: usize, capacity_gb: f64, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let area = DeploymentArea::paper_default();
+    let servers: Vec<EdgeServer> = [
+        (250.0, 250.0),
+        (750.0, 250.0),
+        (250.0, 750.0),
+        (750.0, 750.0),
+        (500.0, 500.0),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(m, (x, y))| {
+        EdgeServer::new(ServerId(m), Point::new(*x, *y), gigabytes(capacity_gb)).unwrap()
+    })
+    .collect();
+    let users: Vec<Point> = (0..num_users).map(|_| area.sample_uniform(&mut rng)).collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(num_users, library.num_models(), &mut rng)
+        .unwrap();
+    Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn full_pipeline_special_case() {
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(5)
+        .build(42);
+    let scenario = scenario_for(library, 20, 1.0, 42);
+
+    let spec = TrimCachingSpec::new().place(&scenario).unwrap();
+    let gen = TrimCachingGen::new().place(&scenario).unwrap();
+    let independent = IndependentCaching::new().place(&scenario).unwrap();
+
+    // All placements respect the shared-storage capacities.
+    for outcome in [&spec, &gen, &independent] {
+        assert!(scenario.satisfies_capacities(&outcome.placement));
+        assert!((0.0..=1.0).contains(&outcome.hit_ratio));
+    }
+    // The paper's qualitative ordering.
+    assert!(spec.hit_ratio >= independent.hit_ratio - 1e-9);
+    assert!(gen.hit_ratio >= independent.hit_ratio - 1e-9);
+    assert!(spec.hit_ratio >= gen.hit_ratio - 0.03);
+    // Something useful is cached.
+    assert!(spec.hit_ratio > 0.0);
+
+    // Fading evaluation stays within [0, 1] and near the nominal value.
+    let mut rng = StdRng::seed_from_u64(1);
+    let faded = scenario
+        .average_hit_ratio_under_fading(&spec.placement, 100, &mut rng)
+        .unwrap();
+    assert!((0.0..=1.0).contains(&faded));
+    assert!((faded - spec.hit_ratio).abs() < 0.4);
+}
+
+#[test]
+fn full_pipeline_general_case() {
+    let library = GeneralCaseBuilder::paper_setup()
+        .classes_per_backbone(5)
+        .build(42);
+    let scenario = scenario_for(library, 20, 1.0, 43);
+    let gen = TrimCachingGen::new().place(&scenario).unwrap();
+    let independent = IndependentCaching::new().place(&scenario).unwrap();
+    assert!(scenario.satisfies_capacities(&gen.placement));
+    assert!(gen.hit_ratio >= independent.hit_ratio - 1e-9);
+    assert!(gen.hit_ratio > 0.0);
+}
+
+#[test]
+fn sharing_gain_grows_when_capacity_is_scarce() {
+    // The benefit of TrimCaching over Independent Caching should be larger
+    // at 0.5 GB than at 1.5 GB, where both can cache nearly everything.
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(5)
+        .build(9);
+    let tight = scenario_for(library.clone(), 20, 0.4, 9);
+    let roomy = scenario_for(library, 20, 2.5, 9);
+    let gain = |s: &Scenario| {
+        let gen = TrimCachingGen::new().place(s).unwrap().hit_ratio;
+        let ind = IndependentCaching::new().place(s).unwrap().hit_ratio;
+        gen - ind
+    };
+    let tight_gain = gain(&tight);
+    let roomy_gain = gain(&roomy);
+    assert!(
+        tight_gain >= roomy_gain - 1e-9,
+        "sharing gain should not shrink when storage gets scarce ({tight_gain} vs {roomy_gain})"
+    );
+}
+
+#[test]
+fn stale_placement_survives_user_movement() {
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(5)
+        .build(4);
+    let scenario = scenario_for(library, 12, 1.0, 4);
+    let placement = TrimCachingSpec::new().place(&scenario).unwrap().placement;
+    let initial = scenario.hit_ratio(&placement);
+    assert!(initial > 0.0);
+
+    let area = DeploymentArea::paper_default();
+    let positions: Vec<Point> = scenario.users().iter().map(|u| u.position()).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut mobility =
+        trimcaching::scenario::mobility::MobilityModel::paper_mix(&positions, area, &mut rng);
+    // One hour of movement.
+    let moved_positions = mobility.run_slots(720, &mut rng);
+    let moved = scenario.with_user_positions(&moved_positions).unwrap();
+    let stale = moved.hit_ratio(&placement);
+    assert!((0.0..=1.0).contains(&stale));
+    // Re-optimising on the fresh snapshot can only help.
+    let reoptimised = TrimCachingSpec::new().place(&moved).unwrap().hit_ratio;
+    assert!(reoptimised >= stale - 0.03);
+}
+
+#[test]
+fn exhaustive_reference_bounds_the_heuristics_end_to_end() {
+    // Small instance where exhaustive search is cheap.
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(2)
+        .build(8);
+    let mut rng = StdRng::seed_from_u64(8);
+    let area = DeploymentArea::paper_small();
+    let servers: Vec<EdgeServer> = vec![
+        EdgeServer::new(ServerId(0), Point::new(100.0, 200.0), gigabytes(0.15)).unwrap(),
+        EdgeServer::new(ServerId(1), Point::new(300.0, 200.0), gigabytes(0.15)).unwrap(),
+    ];
+    let users: Vec<Point> = (0..6).map(|_| area.sample_uniform(&mut rng)).collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(6, library.num_models(), &mut rng)
+        .unwrap();
+    let scenario = Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .build()
+        .unwrap();
+
+    let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
+    let spec = TrimCachingSpec::new()
+        .with_epsilon(0.0)
+        .place(&scenario)
+        .unwrap();
+    let gen = TrimCachingGen::new().place(&scenario).unwrap();
+    assert!(optimal.hit_ratio >= spec.hit_ratio - 1e-9);
+    assert!(optimal.hit_ratio >= gen.hit_ratio - 1e-9);
+    // Theorem 2 with epsilon = 0: at least half of the optimum.
+    assert!(spec.hit_ratio >= 0.5 * optimal.hit_ratio - 1e-9);
+}

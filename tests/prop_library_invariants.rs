@@ -1,0 +1,143 @@
+//! Property-based tests on the parameter-sharing model library and the
+//! storage accounting — the data structures every algorithm relies on.
+
+use proptest::prelude::*;
+
+use trimcaching::modellib::{ModelId, ModelLibrary};
+use trimcaching::scenario::StorageTracker;
+
+/// Strategy: a random parameter-sharing library described as a list of
+/// models, each being a set of block indices into a shared pool plus a
+/// private block. Block `j` of the pool has size `(j + 1) * 7` bytes.
+fn arbitrary_library() -> impl Strategy<Value = ModelLibrary> {
+    // Up to 10 models, each referencing up to 8 of 12 pool blocks.
+    prop::collection::vec(prop::collection::btree_set(0usize..12, 1..8), 1..10).prop_map(
+        |models| {
+            let mut builder = ModelLibrary::builder();
+            for (i, pool_blocks) in models.iter().enumerate() {
+                let mut blocks: Vec<(String, u64)> = pool_blocks
+                    .iter()
+                    .map(|j| (format!("pool/block{j}"), (*j as u64 + 1) * 7))
+                    .collect();
+                blocks.push((format!("model{i}/own"), 13 + i as u64));
+                builder
+                    .add_model_with_blocks(format!("model{i}"), "task", &blocks)
+                    .expect("generated blocks are valid");
+            }
+            builder.build().expect("at least one model")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The deduplicated union size never exceeds the naive sum, and both
+    /// are consistent with the per-model shared/specific split.
+    #[test]
+    fn union_size_is_bounded_by_naive_sum(library in arbitrary_library()) {
+        let all: Vec<ModelId> = library.model_ids().collect();
+        let union = library.union_size_bytes(all.iter().copied());
+        let naive = library.total_naive_bytes();
+        prop_assert!(union <= naive);
+        prop_assert_eq!(union, library.total_unique_bytes());
+        for id in library.model_ids() {
+            let total = library.model_size_bytes(id).unwrap();
+            let shared = library.shared_size_bytes(id).unwrap();
+            let specific = library.specific_size_bytes(id).unwrap();
+            prop_assert_eq!(total, shared + specific);
+            // A single model's union is exactly its size.
+            prop_assert_eq!(library.union_size_bytes([id]), total);
+        }
+    }
+
+    /// The union size is monotone and subadditive in the model set.
+    #[test]
+    fn union_size_is_monotone_and_subadditive(
+        library in arbitrary_library(),
+        split in 1usize..9,
+    ) {
+        let all: Vec<ModelId> = library.model_ids().collect();
+        let cut = split.min(all.len());
+        let (a, b) = all.split_at(cut);
+        let ua = library.union_size_bytes(a.iter().copied());
+        let ub = library.union_size_bytes(b.iter().copied());
+        let uall = library.union_size_bytes(all.iter().copied());
+        prop_assert!(uall >= ua);
+        prop_assert!(uall >= ub);
+        prop_assert!(uall <= ua + ub);
+    }
+
+    /// The incremental storage tracker agrees with the closed-form union
+    /// size after any sequence of insertions, and removal returns to the
+    /// starting state.
+    #[test]
+    fn storage_tracker_matches_union_size(
+        library in arbitrary_library(),
+        order in prop::collection::vec(0usize..10, 1..20),
+    ) {
+        let mut tracker = StorageTracker::new(&library, u64::MAX);
+        let mut inserted: Vec<ModelId> = Vec::new();
+        for raw in order {
+            let id = ModelId(raw % library.num_models());
+            tracker.add(id).unwrap();
+            if !inserted.contains(&id) {
+                inserted.push(id);
+            }
+            prop_assert_eq!(
+                tracker.used_bytes(),
+                library.union_size_bytes(inserted.iter().copied())
+            );
+        }
+        // Remove everything; usage must return to zero.
+        for id in inserted.clone() {
+            tracker.remove(id).unwrap();
+        }
+        prop_assert_eq!(tracker.used_bytes(), 0);
+        prop_assert_eq!(tracker.naive_used_bytes(), 0);
+    }
+
+    /// Marginal cost of adding a model equals the difference of union
+    /// sizes (the quantity greedy algorithms rely on).
+    #[test]
+    fn marginal_cost_equals_union_difference(
+        library in arbitrary_library(),
+        base in prop::collection::vec(0usize..10, 0..6),
+        extra in 0usize..10,
+    ) {
+        let base: Vec<ModelId> = base
+            .into_iter()
+            .map(|i| ModelId(i % library.num_models()))
+            .collect();
+        let extra = ModelId(extra % library.num_models());
+        let mut tracker = StorageTracker::new(&library, u64::MAX);
+        for id in &base {
+            tracker.add(*id).unwrap();
+        }
+        let marginal = tracker.marginal_bytes(extra).unwrap();
+        let mut with_extra: Vec<ModelId> = base.clone();
+        with_extra.push(extra);
+        let expected = library.union_size_bytes(with_extra)
+            - library.union_size_bytes(base.iter().copied());
+        prop_assert_eq!(marginal, expected);
+    }
+
+    /// Subsetting a library preserves per-model sizes and never increases
+    /// the union size of the kept models.
+    #[test]
+    fn subsets_preserve_model_sizes(library in arbitrary_library(), keep in 1usize..6) {
+        let ids: Vec<ModelId> = library.model_ids().take(keep).collect();
+        let subset = library.subset(&ids).unwrap();
+        prop_assert_eq!(subset.num_models(), ids.len());
+        for (new_idx, old_id) in ids.iter().enumerate() {
+            prop_assert_eq!(
+                subset.model_size_bytes(ModelId(new_idx)).unwrap(),
+                library.model_size_bytes(*old_id).unwrap()
+            );
+        }
+        prop_assert_eq!(
+            subset.total_unique_bytes(),
+            library.union_size_bytes(ids.iter().copied())
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on the optimisation problem's structure
+//! (Proposition 1 of the paper) and on the algorithms' feasibility
+//! guarantees, over randomly generated scenarios.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trimcaching::modellib::builders::{GeneralCaseBuilder, SpecialCaseBuilder};
+use trimcaching::placement::{
+    check_objective_monotonicity, check_objective_submodularity, check_storage_submodularity,
+    IndependentCaching, PlacementAlgorithm, TrimCachingGen, TrimCachingSpec,
+};
+use trimcaching::prelude::*;
+use trimcaching::wireless::geometry::{DeploymentArea, Point};
+
+/// Deterministically builds a random scenario from compact parameters.
+fn build_scenario(
+    seed: u64,
+    special: bool,
+    num_servers: usize,
+    num_users: usize,
+    models_per_backbone: usize,
+    capacity_gb: f64,
+) -> Scenario {
+    let library = if special {
+        SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(models_per_backbone)
+            .build(seed)
+    } else {
+        GeneralCaseBuilder::paper_setup()
+            .classes_per_backbone(models_per_backbone)
+            .build(seed)
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let area = DeploymentArea::paper_default();
+    let servers: Vec<EdgeServer> = (0..num_servers)
+        .map(|m| {
+            EdgeServer::new(
+                ServerId(m),
+                area.sample_uniform(&mut rng),
+                gigabytes(capacity_gb),
+            )
+            .unwrap()
+        })
+        .collect();
+    // Anchor users near servers so the latency constraints are non-trivial.
+    use rand::Rng;
+    let users: Vec<Point> = (0..num_users)
+        .map(|_| {
+            let anchor = servers[rng.gen_range(0..servers.len())].position();
+            let r: f64 = rng.gen_range(5.0..260.0);
+            let a: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            area.clamp(anchor.translated(r * a.cos(), r * a.sin()))
+        })
+        .collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(num_users, library.num_models(), &mut rng)
+        .unwrap();
+    Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Proposition 1: the objective is monotone submodular and the storage
+    /// constraint is submodular, on random scenarios of both library kinds.
+    #[test]
+    fn proposition_1_structure_holds(
+        seed in 0u64..5000,
+        special in any::<bool>(),
+        num_servers in 2usize..4,
+        num_users in 4usize..10,
+        models_per_backbone in 2usize..4,
+    ) {
+        let scenario = build_scenario(seed, special, num_servers, num_users, models_per_backbone, 0.6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let objective = check_objective_submodularity(&scenario, 60, &mut rng);
+        prop_assert!(objective.holds(), "objective submodularity violated: {objective:?}");
+        let storage = check_storage_submodularity(&scenario, 60, &mut rng);
+        prop_assert!(storage.holds(), "storage submodularity violated: {storage:?}");
+        let monotone = check_objective_monotonicity(&scenario, 30, &mut rng);
+        prop_assert!(monotone.holds(), "objective monotonicity violated: {monotone:?}");
+    }
+
+    /// Every algorithm always returns a placement within its storage
+    /// budget, with a hit ratio in [0, 1], and sharing-aware algorithms
+    /// never lose to the sharing-oblivious baseline.
+    #[test]
+    fn algorithms_always_return_feasible_placements(
+        seed in 0u64..5000,
+        special in any::<bool>(),
+        num_servers in 2usize..5,
+        num_users in 4usize..12,
+        capacity_tenths in 2u32..16,
+    ) {
+        let capacity_gb = capacity_tenths as f64 / 10.0;
+        let scenario = build_scenario(seed, special, num_servers, num_users, 3, capacity_gb);
+        let spec = TrimCachingSpec::new().place(&scenario).unwrap();
+        let gen = TrimCachingGen::new().place(&scenario).unwrap();
+        let independent = IndependentCaching::new().place(&scenario).unwrap();
+        for outcome in [&spec, &gen, &independent] {
+            prop_assert!((0.0..=1.0).contains(&outcome.hit_ratio));
+            prop_assert!(scenario.satisfies_capacities(&outcome.placement));
+        }
+        prop_assert!(gen.hit_ratio >= independent.hit_ratio - 1e-9);
+        prop_assert!(spec.hit_ratio >= independent.hit_ratio - 1e-9);
+        // Spec's successive-greedy with the rounding DP may differ slightly
+        // from Gen, but never collapses.
+        prop_assert!(spec.hit_ratio >= gen.hit_ratio - 0.1);
+    }
+
+    /// Giving every server more storage never reduces the hit ratio of
+    /// TrimCaching Gen (capacity monotonicity).
+    #[test]
+    fn more_capacity_never_hurts(
+        seed in 0u64..2000,
+        num_servers in 2usize..4,
+        num_users in 4usize..10,
+    ) {
+        let small = build_scenario(seed, true, num_servers, num_users, 3, 0.4);
+        let large = build_scenario(seed, true, num_servers, num_users, 3, 1.4);
+        let u_small = TrimCachingGen::new().place(&small).unwrap().hit_ratio;
+        let u_large = TrimCachingGen::new().place(&large).unwrap().hit_ratio;
+        prop_assert!(u_large >= u_small - 1e-9, "{u_large} < {u_small}");
+    }
+}
