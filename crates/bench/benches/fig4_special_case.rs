@@ -38,9 +38,7 @@ fn bench(c: &mut Criterion) {
         fig4::user_sweep(&cfg).expect("fig4c runs"),
     ] {
         eprintln!("{}", table.to_markdown());
-        if let Some(gain) =
-            table.average_relative_gain("trimcaching-spec", "independent-caching")
-        {
+        if let Some(gain) = table.average_relative_gain("trimcaching-spec", "independent-caching") {
             eprintln!(
                 "[{}] average gain of Spec over Independent Caching: {:.1}%\n",
                 table.id,

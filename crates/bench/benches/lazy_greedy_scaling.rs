@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
             .generate(&library, 2024, 0)
             .expect("topology generates");
         let eager = TrimCachingGen::new().place(&scenario).expect("eager runs");
-        let lazy = TrimCachingGenLazy::new().place(&scenario).expect("lazy runs");
+        let lazy = TrimCachingGenLazy::new()
+            .place(&scenario)
+            .expect("lazy runs");
         assert_eq!(eager.placement, lazy.placement);
         eprintln!(
             "[lazy_greedy] I = {}: eager {} evaluations, lazy {} evaluations ({}x fewer)",

@@ -52,8 +52,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("two_hour_adaptive_replay", |b| {
         b.iter(|| {
-            replay_with_policy(&scenario, area, &algorithm, Some(&policy), &replay, 17, 23)
-                .unwrap()
+            replay_with_policy(&scenario, area, &algorithm, Some(&policy), &replay, 17, 23).unwrap()
         })
     });
     group.finish();

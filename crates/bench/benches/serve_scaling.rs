@@ -1,0 +1,89 @@
+//! Bench target for the online serving engine: request throughput as
+//! users and requests scale.
+//!
+//! Two parts:
+//!
+//! 1. a headline scaling run — 10 000 users served until ≥100 000
+//!    requests have fired — printing wall-clock and requests/second
+//!    (recorded in EXPERIMENTS.md);
+//! 2. Criterion timings of complete serving runs at increasing user
+//!    counts on the paper's default radio footprint.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use trimcaching_modellib::builders::{FoundationSpec, LoraLibraryBuilder};
+use trimcaching_runtime::{serve, CostAwareLfu, ServeConfig};
+use trimcaching_sim::TopologyConfig;
+use trimcaching_wireless::RadioParams;
+
+/// Dense-user serving: thousands of users per cell downloading
+/// lightweight LoRA-adapted models, with the activity probability set to
+/// the live workload's measured concurrency (~1%) rather than the
+/// offline p_A = 0.5 (see tests/runtime_serving.rs for the rationale).
+fn scenario_with_users(num_users: usize) -> trimcaching_scenario::Scenario {
+    let foundations = (0..3)
+        .map(|f| FoundationSpec::new(format!("edge-fm{f}"), 4, 8_000_000))
+        .collect();
+    let library = LoraLibraryBuilder::with_foundations(foundations)
+        .adapters_per_foundation(8)
+        .adapter_size_bytes(1_500_000)
+        .head_size_bytes(500_000)
+        .build(2024);
+    let radio = RadioParams::builder()
+        .activity_probability(0.01)
+        .build()
+        .expect("radio params are valid");
+    let mut topology = TopologyConfig::paper_defaults()
+        .with_servers(10)
+        .with_users(num_users)
+        .with_capacity_gb(0.04);
+    topology.radio = radio;
+    topology
+        .generate(&library, 2024, 0)
+        .expect("topology generates")
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline run: >=100k requests over 10k users.
+    let users = 10_000;
+    let scenario = scenario_with_users(users);
+    // 10 req/user over the run -> ~100k requests in expectation.
+    let config = ServeConfig::paper_defaults()
+        .with_duration_s(200.0)
+        .with_request_rate_hz(0.05)
+        .with_seed(2024);
+    let start = Instant::now();
+    let report = serve(&scenario, &CostAwareLfu, None, &config).expect("serve runs");
+    let elapsed = start.elapsed();
+    let requests = report.metrics.requests;
+    eprintln!(
+        "[serve_scaling] {users} users, {requests} requests in {elapsed:.2?} \
+         ({:.0} req/s replay throughput), hit ratio {:.4}",
+        requests as f64 / elapsed.as_secs_f64(),
+        report.metrics.hit_ratio()
+    );
+
+    // Criterion: complete runs at increasing user counts.
+    let mut group = c.benchmark_group("serve/users");
+    group.sample_size(10);
+    for users in [100usize, 1_000, 10_000] {
+        let scenario = scenario_with_users(users);
+        let config = ServeConfig::paper_defaults()
+            .with_duration_s(60.0)
+            .with_request_rate_hz(0.05)
+            .with_seed(7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(users),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| serve(scenario, &CostAwareLfu, None, &config).expect("serve runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

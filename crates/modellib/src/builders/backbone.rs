@@ -43,7 +43,7 @@ impl Backbone {
                 reason: format!("backbone {name} has no layers"),
             });
         }
-        if layer_sizes_bytes.iter().any(|&s| s == 0) {
+        if layer_sizes_bytes.contains(&0) {
             return Err(ModelLibError::InvalidConfig {
                 reason: format!("backbone {name} has a zero-sized layer"),
             });
@@ -176,11 +176,7 @@ impl Backbone {
 
     /// Total bytes of the first `depth` (frozen) layers.
     pub fn prefix_bytes(&self, depth: usize) -> u64 {
-        self.layer_sizes_bytes
-            .iter()
-            .take(depth)
-            .copied()
-            .sum()
+        self.layer_sizes_bytes.iter().take(depth).copied().sum()
     }
 }
 
@@ -234,7 +230,11 @@ mod tests {
         for bb in Backbone::paper_family() {
             let (lo, _) = bb.freeze_range();
             let frac = bb.prefix_bytes(lo) as f64 / bb.total_bytes() as f64;
-            assert!(frac > 0.25, "{}: frozen fraction {frac} too small", bb.name());
+            assert!(
+                frac > 0.25,
+                "{}: frozen fraction {frac} too small",
+                bb.name()
+            );
         }
     }
 

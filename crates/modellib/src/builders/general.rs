@@ -124,7 +124,10 @@ impl GeneralCaseBuilder {
     }
 
     /// Builds from custom backbones and a custom mapping.
-    pub fn with_backbones_and_mapping(backbones: Vec<Backbone>, mapping: SuperclassMapping) -> Self {
+    pub fn with_backbones_and_mapping(
+        backbones: Vec<Backbone>,
+        mapping: SuperclassMapping,
+    ) -> Self {
         Self {
             backbones,
             mapping,
@@ -225,12 +228,7 @@ impl GeneralCaseBuilder {
                 for (l, &size) in bb.layer_sizes_bytes().iter().enumerate().take(freeze_depth) {
                     blocks.push((format!("{prefix_ns}/layer{l:03}"), size));
                 }
-                for (l, &size) in bb
-                    .layer_sizes_bytes()
-                    .iter()
-                    .enumerate()
-                    .skip(freeze_depth)
-                {
+                for (l, &size) in bb.layer_sizes_bytes().iter().enumerate().skip(freeze_depth) {
                     blocks.push((
                         format!("{}/{task}/{suffix_role}/layer{l:03}", bb.name()),
                         size,
@@ -274,7 +272,10 @@ mod tests {
         assert_eq!(m.groups[0].0, "fruit and vegetables");
         assert_eq!(m.groups[0].1, vec!["flowers", "trees"]);
         assert_eq!(m.groups[1].1.len(), 5);
-        assert_eq!(m.groups[2].1, vec!["large man-made outdoor things", "vehicles 1"]);
+        assert_eq!(
+            m.groups[2].1,
+            vec!["large man-made outdoor things", "vehicles 1"]
+        );
         assert_eq!(m.covered_superclasses().len(), 12);
         assert_eq!(m.group_of("fruit and vegetables"), Some((0, true)));
         assert_eq!(m.group_of("trees"), Some((0, false)));

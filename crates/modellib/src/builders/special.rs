@@ -56,9 +56,7 @@ pub(crate) fn freeze_depth_choices(lo: usize, hi: usize, distinct: Option<usize>
             if n == 1 {
                 return vec![hi];
             }
-            (0..n)
-                .map(|j| lo + (j * (hi - lo)) / (n - 1))
-                .collect()
+            (0..n).map(|j| lo + (j * (hi - lo)) / (n - 1)).collect()
         }
     }
 }
@@ -149,19 +147,13 @@ impl SpecialCaseBuilder {
             let depth_choices = freeze_depth_choices(lo, hi, self.distinct_freeze_depths);
             for n in 0..self.models_per_backbone {
                 let freeze_depth = depth_choices[rng.gen_range(0..depth_choices.len())];
-                let mut blocks: Vec<(String, u64)> =
-                    Vec::with_capacity(bb.num_layers() + 1);
+                let mut blocks: Vec<(String, u64)> = Vec::with_capacity(bb.num_layers() + 1);
                 // Shared frozen prefix: identical labels across siblings.
                 for (l, &size) in bb.layer_sizes_bytes().iter().enumerate().take(freeze_depth) {
                     blocks.push((format!("{}/pretrained/layer{:03}", bb.name(), l), size));
                 }
                 // Fine-tuned suffix: unique per model.
-                for (l, &size) in bb
-                    .layer_sizes_bytes()
-                    .iter()
-                    .enumerate()
-                    .skip(freeze_depth)
-                {
+                for (l, &size) in bb.layer_sizes_bytes().iter().enumerate().skip(freeze_depth) {
                     blocks.push((
                         format!("{}/m{:03}/finetuned/layer{:03}", bb.name(), n, l),
                         size,
@@ -175,11 +167,7 @@ impl SpecialCaseBuilder {
                 let task = class_label(class_counter);
                 class_counter += 1;
                 builder
-                    .add_model_with_blocks(
-                        format!("{}-ft-{:03}", bb.name(), n),
-                        task,
-                        &blocks,
-                    )
+                    .add_model_with_blocks(format!("{}-ft-{:03}", bb.name(), n), task, &blocks)
                     .expect("generated model definitions are valid");
             }
         }

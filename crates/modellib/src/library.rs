@@ -462,10 +462,8 @@ mod tests {
     fn fig3_like_library() -> ModelLibrary {
         let mut b = ModelLibrary::builder();
         // Backbone A shared prefix: blocks a1..a5, backbone B: b1..b4.
-        let shared_a: Vec<(String, u64)> =
-            (1..=5).map(|i| (format!("bbA/layer{i}"), 10)).collect();
-        let shared_b: Vec<(String, u64)> =
-            (1..=4).map(|i| (format!("bbB/layer{i}"), 20)).collect();
+        let shared_a: Vec<(String, u64)> = (1..=5).map(|i| (format!("bbA/layer{i}"), 10)).collect();
+        let shared_b: Vec<(String, u64)> = (1..=4).map(|i| (format!("bbB/layer{i}"), 20)).collect();
 
         // Model 1: backbone A prefix + 2 specific blocks.
         let mut m1 = shared_a.clone();

@@ -153,7 +153,8 @@ mod tests {
             .unwrap();
         b.add_model_with_blocks("m1", "t", &[("shared".into(), 100), ("b".into(), 30)])
             .unwrap();
-        b.add_model_with_blocks("m2", "t", &[("c".into(), 50)]).unwrap();
+        b.add_model_with_blocks("m2", "t", &[("c".into(), 50)])
+            .unwrap();
         b.build().unwrap()
     }
 

@@ -202,7 +202,10 @@ mod tests {
         for seed in [2_u64, 6] {
             let scenario = tiny_scenario(6, 0.2, seed);
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
-            let spec = TrimCachingSpec::new().with_epsilon(0.1).place(&scenario).unwrap();
+            let spec = TrimCachingSpec::new()
+                .with_epsilon(0.1)
+                .place(&scenario)
+                .unwrap();
             let floor = spec_guarantee_floor(optimal.hit_ratio, 0.1);
             assert!(
                 spec.hit_ratio >= floor - 1e-9,

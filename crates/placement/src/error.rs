@@ -78,8 +78,7 @@ mod tests {
     #[test]
     fn display_and_source_are_wired() {
         use std::error::Error;
-        let e: PlacementError =
-            ScenarioError::MissingComponent { component: "x" }.into();
+        let e: PlacementError = ScenarioError::MissingComponent { component: "x" }.into();
         assert!(e.to_string().contains("scenario"));
         assert!(e.source().is_some());
         let e = PlacementError::InvalidConfig {

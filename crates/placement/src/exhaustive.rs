@@ -61,7 +61,6 @@ impl ExhaustiveSearch {
 
         #[allow(clippy::too_many_arguments)]
         fn recurse(
-            scenario: &Scenario,
             tracker: &mut StorageTracker<'_>,
             current: &mut Vec<ModelId>,
             next: usize,
@@ -96,21 +95,32 @@ impl ExhaustiveSearch {
                 tracker.add(model)?;
                 current.push(model);
                 recurse(
-                    scenario, tracker, current, next + 1, num_models, subsets, nodes,
-                    subset_budget, node_budget,
+                    tracker,
+                    current,
+                    next + 1,
+                    num_models,
+                    subsets,
+                    nodes,
+                    subset_budget,
+                    node_budget,
                 )?;
                 current.pop();
                 tracker.remove(model)?;
             }
             // Branch 2: exclude the model.
             recurse(
-                scenario, tracker, current, next + 1, num_models, subsets, nodes, subset_budget,
+                tracker,
+                current,
+                next + 1,
+                num_models,
+                subsets,
+                nodes,
+                subset_budget,
                 node_budget,
             )
         }
 
         recurse(
-            scenario,
             &mut tracker,
             &mut current,
             0,
@@ -166,11 +176,7 @@ impl PlacementAlgorithm for ExhaustiveSearch {
         // Precompute, for every server and subset, the (user, model) pairs
         // it serves, as a bitmask over K*I bits, plus the request weights.
         let weights: Vec<f64> = (0..num_users)
-            .flat_map(|k| {
-                (0..num_models)
-                    .map(move |i| (k, i))
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|k| (0..num_models).map(move |i| (k, i)).collect::<Vec<_>>())
             .map(|(k, i)| objective.weight(UserId(k), ModelId(i)))
             .collect();
         let words = (num_users * num_models).div_ceil(64);
@@ -234,11 +240,7 @@ impl PlacementAlgorithm for ExhaustiveSearch {
             }
             for (s, mask) in served_masks[server].iter().enumerate() {
                 choice[server] = s;
-                let combined: Vec<u64> = served
-                    .iter()
-                    .zip(mask)
-                    .map(|(a, b)| a | b)
-                    .collect();
+                let combined: Vec<u64> = served.iter().zip(mask).map(|(a, b)| a | b).collect();
                 search(
                     server + 1,
                     num_servers,
@@ -299,7 +301,10 @@ mod tests {
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
             assert!(scenario.satisfies_capacities(&optimal.placement));
             for heuristic in [
-                TrimCachingSpec::new().with_epsilon(0.0).place(&scenario).unwrap(),
+                TrimCachingSpec::new()
+                    .with_epsilon(0.0)
+                    .place(&scenario)
+                    .unwrap(),
                 TrimCachingGen::new().place(&scenario).unwrap(),
                 IndependentCaching::new().place(&scenario).unwrap(),
             ] {
@@ -338,7 +343,10 @@ mod tests {
             }
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!(avg > 0.9, "Spec should be near-optimal on average, got {avg}");
+        assert!(
+            avg > 0.9,
+            "Spec should be near-optimal on average, got {avg}"
+        );
     }
 
     #[test]

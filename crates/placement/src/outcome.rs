@@ -107,13 +107,7 @@ mod tests {
     fn outcome_computes_hit_ratio_from_scenario() {
         let s = scenario();
         let empty = s.empty_placement();
-        let outcome = PlacementOutcome::new(
-            "noop",
-            &s,
-            empty.clone(),
-            Duration::from_millis(1),
-            0,
-        );
+        let outcome = PlacementOutcome::new("noop", &s, empty.clone(), Duration::from_millis(1), 0);
         assert_eq!(outcome.algorithm, "noop");
         assert_eq!(outcome.hit_ratio, 0.0);
         assert_eq!(outcome.placement, empty);

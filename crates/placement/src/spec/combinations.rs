@@ -149,7 +149,7 @@ impl SharingAnalysis {
         }
         let mut component_of: Vec<usize> = vec![0; distinct.len()];
         let mut component_roots: Vec<usize> = Vec::new();
-        for i in 0..distinct.len() {
+        for (i, slot) in component_of.iter_mut().enumerate() {
             let root = find(&mut parent, i);
             let comp = match component_roots.iter().position(|&r| r == root) {
                 Some(c) => c,
@@ -158,7 +158,7 @@ impl SharingAnalysis {
                     component_roots.len() - 1
                 }
             };
-            component_of[i] = comp;
+            *slot = comp;
         }
 
         // 4. Build the per-group choices.
@@ -171,9 +171,7 @@ impl SharingAnalysis {
                 .map(|(_, s)| s)
                 .collect();
             members.sort_by_key(|s| s.len());
-            let is_chain = members
-                .windows(2)
-                .all(|w| w[0].is_subset(w[1]));
+            let is_chain = members.windows(2).all(|w| w[0].is_subset(w[1]));
             let candidate_sets: Vec<BTreeSet<BlockId>> = if is_chain {
                 members.into_iter().cloned().collect()
             } else {
@@ -243,11 +241,7 @@ impl SharingAnalysis {
                 // choices intersect it (groups are disjoint).
                 let group = groups
                     .iter()
-                    .position(|g| {
-                        g.choices
-                            .iter()
-                            .any(|c| !c.blocks.is_disjoint(sig))
-                    })
+                    .position(|g| g.choices.iter().any(|c| !c.blocks.is_disjoint(sig)))
                     .expect("every non-empty signature belongs to a group");
                 let eligible_at = groups[group]
                     .choices
@@ -274,9 +268,9 @@ impl SharingAnalysis {
     /// will yield.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn num_combinations(&self) -> u128 {
-        self.groups
-            .iter()
-            .fold(1u128, |acc, g| acc.saturating_mul(g.choices.len() as u128 + 1))
+        self.groups.iter().fold(1u128, |acc, g| {
+            acc.saturating_mul(g.choices.len() as u128 + 1)
+        })
     }
 
     /// Whether `model` is placeable under `combination`, i.e. all of its
@@ -396,18 +390,10 @@ mod tests {
         )
         .unwrap();
         // Backbone B, single prefix depth.
-        b.add_model_with_blocks(
-            "b1",
-            "t",
-            &[("B/l0".into(), 20), ("b1/own".into(), 4)],
-        )
-        .unwrap();
-        b.add_model_with_blocks(
-            "b2",
-            "t",
-            &[("B/l0".into(), 20), ("b2/own".into(), 5)],
-        )
-        .unwrap();
+        b.add_model_with_blocks("b1", "t", &[("B/l0".into(), 20), ("b1/own".into(), 4)])
+            .unwrap();
+        b.add_model_with_blocks("b2", "t", &[("B/l0".into(), 20), ("b2/own".into(), 5)])
+            .unwrap();
         // A model with no shared blocks at all.
         b.add_model_with_blocks("solo", "t", &[("solo/own".into(), 7)])
             .unwrap();
@@ -480,10 +466,7 @@ mod tests {
             .models_per_backbone(10)
             .build(3);
         let err = SharingAnalysis::analyze(&lib, 4, 20);
-        assert!(matches!(
-            err,
-            Err(PlacementError::InstanceTooLarge { .. })
-        ));
+        assert!(matches!(err, Err(PlacementError::InstanceTooLarge { .. })));
     }
 
     #[test]

@@ -261,13 +261,7 @@ mod tests {
         for _ in 0..30 {
             let n = rng.gen_range(2..9);
             let items: Vec<Item> = (0..n)
-                .map(|j| {
-                    item(
-                        j,
-                        rng.gen_range(0.01..1.0),
-                        rng.gen_range(1..50),
-                    )
-                })
+                .map(|j| item(j, rng.gen_range(0.01..1.0), rng.gen_range(1..50)))
                 .collect();
             let capacity = rng.gen_range(10..120);
             let sol = solve(&items, capacity, 0.0, 1_000_000);
@@ -316,11 +310,7 @@ mod tests {
     fn weight_cap_keeps_the_table_bounded_but_feasible() {
         // Extreme weight ratio would explode the value axis; the cap must
         // kick in while still returning a feasible, sensible answer.
-        let items = vec![
-            item(0, 1000.0, 50),
-            item(1, 0.001, 10),
-            item(2, 500.0, 60),
-        ];
+        let items = vec![item(0, 1000.0, 50), item(1, 0.001, 10), item(2, 500.0, 60)];
         let sol = solve(&items, 70, 0.0, 1_000);
         assert!(sol.cost_bytes <= 70);
         // The heaviest item must be part of the best solution.

@@ -206,7 +206,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TrimCachingSpec::new().validate().is_ok());
-        assert!(TrimCachingSpec::new().with_epsilon(-0.1).validate().is_err());
+        assert!(TrimCachingSpec::new()
+            .with_epsilon(-0.1)
+            .validate()
+            .is_err());
         assert!(TrimCachingSpec::new().with_epsilon(1.5).validate().is_err());
         assert!(TrimCachingSpec::new()
             .with_epsilon(f64::NAN)
@@ -261,8 +264,14 @@ mod tests {
     #[test]
     fn smaller_epsilon_never_hurts_much() {
         let scenario = paper_like_scenario(3, 10, 9, 0.3, 17, true);
-        let coarse = TrimCachingSpec::new().with_epsilon(0.5).place(&scenario).unwrap();
-        let fine = TrimCachingSpec::new().with_epsilon(0.0).place(&scenario).unwrap();
+        let coarse = TrimCachingSpec::new()
+            .with_epsilon(0.5)
+            .place(&scenario)
+            .unwrap();
+        let fine = TrimCachingSpec::new()
+            .with_epsilon(0.0)
+            .place(&scenario)
+            .unwrap();
         assert!(fine.hit_ratio >= coarse.hit_ratio - 1e-9);
     }
 

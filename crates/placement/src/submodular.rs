@@ -46,9 +46,7 @@ pub fn check_objective_submodularity<R: Rng + ?Sized>(
 ) -> SubmodularityReport {
     let objective = scenario.objective();
     let ground: Vec<(ServerId, ModelId)> = (0..scenario.num_servers())
-        .flat_map(|m| {
-            (0..scenario.num_models()).map(move |i| (ServerId(m), ModelId(i)))
-        })
+        .flat_map(|m| (0..scenario.num_models()).map(move |i| (ServerId(m), ModelId(i))))
         .collect();
     let mut violations = 0usize;
     let mut worst: f64 = 0.0;

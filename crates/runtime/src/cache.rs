@@ -1,0 +1,204 @@
+//! Per-server online model caches.
+//!
+//! A [`ServerCache`] wraps the scenario layer's [`StorageTracker`] —
+//! which already performs the paper's shared-storage accounting `g_m`
+//! (Eq. 7) incrementally — and adds the online bookkeeping eviction
+//! policies rank victims by: last-access recency, access frequency and
+//! the observed per-model request mass at this server.
+
+use trimcaching_modellib::{ModelId, ModelLibrary};
+use trimcaching_scenario::StorageTracker;
+
+use crate::error::RuntimeError;
+
+/// Read-only view of one server cache handed to eviction policies.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheView<'c, 'lib> {
+    /// The shared-storage tracker (capacity, usage, marginal costs).
+    pub tracker: &'c StorageTracker<'lib>,
+    /// Last access time per model in simulated seconds
+    /// (`f64::NEG_INFINITY` = never accessed).
+    pub last_access_s: &'c [f64],
+    /// Requests served from this cache per model.
+    pub access_count: &'c [u64],
+}
+
+/// One edge server's cache with online access statistics.
+#[derive(Debug, Clone)]
+pub struct ServerCache<'lib> {
+    tracker: StorageTracker<'lib>,
+    last_access_s: Vec<f64>,
+    access_count: Vec<u64>,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl<'lib> ServerCache<'lib> {
+    /// Creates an empty cache of `capacity_bytes` over `library`.
+    pub fn new(library: &'lib ModelLibrary, capacity_bytes: u64) -> Self {
+        let n = library.num_models();
+        Self {
+            tracker: StorageTracker::new(library, capacity_bytes),
+            last_access_s: vec![f64::NEG_INFINITY; n],
+            access_count: vec![0; n],
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The read-only view policies rank victims over.
+    pub fn view(&self) -> CacheView<'_, 'lib> {
+        CacheView {
+            tracker: &self.tracker,
+            last_access_s: &self.last_access_s,
+            access_count: &self.access_count,
+        }
+    }
+
+    /// Whether `model` is cached.
+    pub fn contains(&self, model: ModelId) -> bool {
+        self.tracker.contains(model)
+    }
+
+    /// Whether `model` would fit right now (no evictions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn fits(&self, model: ModelId) -> Result<bool, RuntimeError> {
+        Ok(self.tracker.fits(model)?)
+    }
+
+    /// Deduplicated bytes currently used.
+    pub fn used_bytes(&self) -> u64 {
+        self.tracker.used_bytes()
+    }
+
+    /// Storage capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.tracker.capacity_bytes()
+    }
+
+    /// The cached models in ascending id order.
+    pub fn cached_models(&self) -> Vec<ModelId> {
+        self.tracker.cached_models()
+    }
+
+    /// Cache insertions performed so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Records a request for `model` routed to this server at `now_s` —
+    /// whether it hit, was admitted, or was refused; either way the
+    /// model's observed-demand statistics at this server warm up.
+    pub fn record_access(&mut self, model: ModelId, now_s: f64) {
+        if let Some(slot) = self.last_access_s.get_mut(model.index()) {
+            *slot = now_s;
+            self.access_count[model.index()] += 1;
+        }
+    }
+
+    /// Inserts `model` (capacity is the caller's responsibility — the
+    /// engine evicts via the policy first). Returns the deduplicated
+    /// bytes actually downloaded. Access statistics are *not* touched;
+    /// the engine records the triggering request separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn insert(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
+        let added = self.tracker.add(model)?;
+        self.insertions += 1;
+        Ok(added)
+    }
+
+    /// Warm-starts the cache with `model` (e.g. from an offline
+    /// TrimCaching placement) without counting it as an online insertion
+    /// or an access. Returns the deduplicated bytes provisioned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn preload(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
+        Ok(self.tracker.add(model)?)
+    }
+
+    /// Evicts `model`, returning the bytes freed (possibly zero when all
+    /// its blocks are shared with other cached models).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn evict(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
+        let freed = self.tracker.remove(model)?;
+        self.evictions += 1;
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimcaching_modellib::ModelLibrary;
+
+    fn library() -> ModelLibrary {
+        let mut b = ModelLibrary::builder();
+        b.add_model_with_blocks("m0", "t", &[("shared".into(), 100), ("m0/own".into(), 10)])
+            .unwrap();
+        b.add_model_with_blocks("m1", "t", &[("shared".into(), 100), ("m1/own".into(), 20)])
+            .unwrap();
+        b.add_model_with_blocks("m2", "t", &[("m2/own".into(), 50)])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_access_evict_round_trip() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 200);
+        assert!(!cache.contains(ModelId(0)));
+        assert!(cache.fits(ModelId(0)).unwrap());
+        assert_eq!(cache.insert(ModelId(0)).unwrap(), 110);
+        assert_eq!(cache.insert(ModelId(1)).unwrap(), 20);
+        assert_eq!(cache.used_bytes(), 130);
+        assert_eq!(cache.capacity_bytes(), 200);
+        cache.record_access(ModelId(0), 3.0);
+        cache.record_access(ModelId(1), 2.0);
+        cache.record_access(ModelId(0), 3.5);
+        let view = cache.view();
+        assert_eq!(view.last_access_s[0], 3.5);
+        assert_eq!(view.last_access_s[1], 2.0);
+        assert_eq!(view.access_count[0], 2);
+        assert_eq!(view.access_count[1], 1);
+        // Evicting m0 frees only its private block.
+        assert_eq!(cache.evict(ModelId(0)).unwrap(), 10);
+        assert_eq!(cache.insertions(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.cached_models(), vec![ModelId(1)]);
+    }
+
+    #[test]
+    fn preload_counts_neither_insertions_nor_accesses() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 200);
+        assert_eq!(cache.preload(ModelId(0)).unwrap(), 110);
+        assert!(cache.contains(ModelId(0)));
+        assert_eq!(cache.insertions(), 0);
+        assert_eq!(cache.view().access_count[0], 0);
+        assert_eq!(cache.view().last_access_s[0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn out_of_range_access_is_ignored() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 100);
+        cache.record_access(ModelId(99), 1.0);
+        assert!(cache.view().access_count.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,630 @@
+//! The event-driven serving engine.
+//!
+//! [`ServeEngine`] replays a live request workload against one scenario:
+//! Poisson request arrivals per user ([`Workload`]), user mobility
+//! advanced in event time with radio-snapshot re-derivation (and thus
+//! server handover), request service through the scenario's
+//! [`LatencyEvaluator`]/eligibility machinery, and per-server caches
+//! maintained online by a pluggable [`EvictionPolicy`].
+//!
+//! A request by user `k` for model `i` is served exactly as the paper's
+//! service model prescribes (Eqs. 3–5): any server `m` with
+//! `I1(m, k, i) = 1` can deliver within the deadline; if an eligible
+//! server caches `i` the request is a **hit** and is served by the
+//! eligible cache with the lowest end-to-end latency. Otherwise, if some
+//! eligible server exists, the model is fetched from the cloud through
+//! that server (**miss**, charged [`ServeConfig::cloud_fetch_penalty_s`]
+//! extra) and offered to its cache under the eviction policy. If no
+//! server is eligible the request is **rejected**.
+//!
+//! Determinism: a single seeded RNG, a tie-broken event queue and
+//! policies that are pure functions of cache state make every run a pure
+//! function of `(scenario, policy, config)` — identical seeds produce
+//! identical metric traces, which the integration tests assert.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use trimcaching_modellib::ModelId;
+use trimcaching_scenario::mobility::MobilityModel;
+use trimcaching_scenario::{LatencyEvaluator, Placement, Scenario, UserId};
+use trimcaching_wireless::geometry::DeploymentArea;
+
+use crate::cache::ServerCache;
+use crate::error::RuntimeError;
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::{RequestOutcome, ServeMetrics};
+use crate::policy::EvictionPolicy;
+use crate::workload::Workload;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Per-user Poisson request rate in Hz.
+    pub request_rate_hz: f64,
+    /// Length of one hit-ratio metrics window in seconds.
+    pub window_s: f64,
+    /// Extra latency charged when a model must be fetched from the cloud
+    /// before edge delivery (the cloud is outside the paper's latency
+    /// model, so this is a single knob rather than a modelled path).
+    pub cloud_fetch_penalty_s: f64,
+    /// Mobility slot length in seconds; `0` keeps users static.
+    pub mobility_slot_s: f64,
+    /// Side of the square deployment area users move within (only used
+    /// when mobility is enabled).
+    pub area_side_m: f64,
+    /// RNG seed; identical seeds give identical runs.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Ten simulated minutes of moderate per-user traffic with one-minute
+    /// metric windows and static users.
+    pub fn paper_defaults() -> Self {
+        Self {
+            duration_s: 600.0,
+            request_rate_hz: 0.05,
+            window_s: 60.0,
+            cloud_fetch_penalty_s: 0.25,
+            mobility_slot_s: 0.0,
+            area_side_m: 1000.0,
+            seed: 2024,
+        }
+    }
+
+    /// A tiny configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            duration_s: 60.0,
+            request_rate_hz: 0.2,
+            window_s: 10.0,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Sets the simulated duration.
+    pub fn with_duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the per-user request rate.
+    pub fn with_request_rate_hz(mut self, rate_hz: f64) -> Self {
+        self.request_rate_hz = rate_hz;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables mobility with the given slot length (users re-derive the
+    /// radio snapshot every slot, as the paper's Fig. 7 study does every
+    /// 5 s).
+    pub fn with_mobility_slot_s(mut self, slot_s: f64) -> Self {
+        self.mobility_slot_s = slot_s;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        let positive = [
+            ("duration_s", self.duration_s),
+            ("request_rate_hz", self.request_rate_hz),
+            ("window_s", self.window_s),
+            ("area_side_m", self.area_side_m),
+        ];
+        for (name, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!("{name} must be positive and finite, got {value}"),
+                });
+            }
+        }
+        for (name, value) in [
+            ("cloud_fetch_penalty_s", self.cloud_fetch_penalty_s),
+            ("mobility_slot_s", self.mobility_slot_s),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!("{name} must be non-negative and finite, got {value}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Result of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Name of the eviction policy that ran.
+    pub policy: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// All streaming metrics.
+    pub metrics: ServeMetrics,
+    /// Models cached per server when the run ended (ascending ids).
+    pub final_caches: Vec<Vec<ModelId>>,
+}
+
+/// The discrete-event serving engine. See the module docs for the
+/// service semantics.
+pub struct ServeEngine<'a> {
+    scenario: &'a Scenario,
+    policy: &'a dyn EvictionPolicy,
+    config: ServeConfig,
+    current: Scenario,
+    caches: Vec<ServerCache<'a>>,
+    workload: Workload,
+    metrics: ServeMetrics,
+    /// Per-user primary server (highest-rate covering server) under the
+    /// current snapshot; used to count handovers across mobility slots.
+    primary: Vec<Option<usize>>,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Prepares an engine over `scenario` with empty caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for an invalid
+    /// configuration and propagates scenario errors.
+    pub fn new(
+        scenario: &'a Scenario,
+        policy: &'a dyn EvictionPolicy,
+        config: ServeConfig,
+    ) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        let workload = Workload::from_demand(scenario.demand(), config.request_rate_hz)?;
+        let caches = scenario
+            .servers()
+            .iter()
+            .map(|s| ServerCache::new(scenario.library(), s.capacity_bytes()))
+            .collect();
+        let primary = primary_servers(scenario)?;
+        Ok(Self {
+            scenario,
+            policy,
+            config,
+            current: scenario.clone(),
+            caches,
+            workload,
+            metrics: ServeMetrics::new(config.window_s),
+            primary,
+        })
+    }
+
+    /// Warm-starts the caches from an offline placement (e.g. a
+    /// TrimCaching Spec/Gen outcome): every `x_{m,i} = 1` entry is
+    /// preloaded, skipping models that no longer fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario errors for mismatched placements.
+    pub fn warm_start(&mut self, placement: &Placement) -> Result<(), RuntimeError> {
+        for (m, cache) in self.caches.iter_mut().enumerate() {
+            for model in placement.models_on(trimcaching_scenario::ServerId(m))? {
+                if cache.fits(model)? {
+                    cache.preload(model)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the engine to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario errors (which indicate an internally
+    /// inconsistent snapshot).
+    pub fn run(mut self) -> Result<ServeReport, RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut queue = EventQueue::new();
+        let mut mobility = if self.config.mobility_slot_s > 0.0 {
+            let area = DeploymentArea::new(self.config.area_side_m)
+                .map_err(trimcaching_scenario::ScenarioError::from)?;
+            let positions: Vec<_> = self.scenario.users().iter().map(|u| u.position()).collect();
+            queue.push(self.config.mobility_slot_s, EventKind::MobilitySlot);
+            Some(MobilityModel::paper_mix(&positions, area, &mut rng))
+        } else {
+            None
+        };
+
+        for k in 0..self.scenario.num_users() {
+            let t = self.workload.next_interarrival_s(&mut rng);
+            queue.push(t, EventKind::Request { user: UserId(k) });
+        }
+
+        while let Some(event) = queue.pop() {
+            if event.time_s > self.config.duration_s {
+                break;
+            }
+            match event.kind {
+                EventKind::Request { user } => {
+                    let model = self.workload.draw_model(user, &mut rng);
+                    self.serve_request(user, model, event.time_s)?;
+                    let gap = self.workload.next_interarrival_s(&mut rng);
+                    queue.push(event.time_s + gap, EventKind::Request { user });
+                }
+                EventKind::MobilitySlot => {
+                    let mobility = mobility
+                        .as_mut()
+                        .expect("mobility events only scheduled when mobility is on");
+                    mobility.step(&mut rng);
+                    self.current = self.current.with_user_positions(&mobility.positions())?;
+                    self.metrics.snapshot_rebuilds += 1;
+                    let fresh = primary_servers(&self.current)?;
+                    self.metrics.handovers += self
+                        .primary
+                        .iter()
+                        .zip(&fresh)
+                        .filter(|(old, new)| old != new)
+                        .count() as u64;
+                    self.primary = fresh;
+                    queue.push(
+                        event.time_s + self.config.mobility_slot_s,
+                        EventKind::MobilitySlot,
+                    );
+                }
+            }
+        }
+
+        self.metrics.finish(self.config.duration_s);
+        Ok(ServeReport {
+            policy: self.policy.name().to_string(),
+            seed: self.config.seed,
+            metrics: self.metrics,
+            final_caches: self.caches.iter().map(|c| c.cached_models()).collect(),
+        })
+    }
+
+    /// Serves one request under the current snapshot.
+    fn serve_request(
+        &mut self,
+        user: UserId,
+        model: ModelId,
+        now_s: f64,
+    ) -> Result<(), RuntimeError> {
+        let current = &self.current;
+        let evaluator = LatencyEvaluator::new(
+            current.library(),
+            current.demand(),
+            current.coverage(),
+            current.backhaul(),
+            current.rates(),
+        )?;
+        let eligibility = current.eligibility();
+
+        // Lowest-latency eligible server overall, and among caches
+        // holding the model.
+        let mut best_any: Option<(f64, usize)> = None;
+        let mut best_hit: Option<(f64, usize)> = None;
+        for m in 0..current.num_servers() {
+            if !eligibility.eligible(m, user, model) {
+                continue;
+            }
+            let latency = evaluator.latency_s(m, user, model)?;
+            if best_any.is_none_or(|(best, _)| latency < best) {
+                best_any = Some((latency, m));
+            }
+            if self.caches[m].contains(model) && best_hit.is_none_or(|(best, _)| latency < best) {
+                best_hit = Some((latency, m));
+            }
+        }
+
+        match (best_hit, best_any) {
+            (Some((latency, m)), _) => {
+                self.caches[m].record_access(model, now_s);
+                self.metrics
+                    .record(now_s, RequestOutcome::Hit, Some(latency));
+            }
+            (None, Some((latency, m))) => {
+                let total = latency + self.config.cloud_fetch_penalty_s;
+                self.metrics
+                    .record(now_s, RequestOutcome::MissServed, Some(total));
+                let cache = &mut self.caches[m];
+                cache.record_access(model, now_s);
+                // A model larger than the whole cache can never fit, no
+                // matter how much is evicted — bail out before the
+                // eviction loop would drain the cache for nothing.
+                let standalone_bytes = self
+                    .scenario
+                    .library()
+                    .model_size_bytes(model)
+                    .map_err(trimcaching_scenario::ScenarioError::from)?;
+                if standalone_bytes <= cache.capacity_bytes()
+                    && self.policy.admits(cache.view(), model)
+                {
+                    while !cache.fits(model)? {
+                        match self.policy.victim(cache.view(), model) {
+                            Some(victim) => {
+                                cache.evict(victim)?;
+                                self.metrics.evictions += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if cache.fits(model)? {
+                        self.metrics.bytes_downloaded += cache.insert(model)?;
+                        self.metrics.insertions += 1;
+                    }
+                }
+            }
+            (None, None) => {
+                self.metrics.record(now_s, RequestOutcome::Rejected, None);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-user primary (highest expected rate) covering server, or `None`
+/// for uncovered users.
+fn primary_servers(scenario: &Scenario) -> Result<Vec<Option<usize>>, RuntimeError> {
+    let rates = scenario.rates();
+    let coverage = scenario.coverage();
+    let mut primary = Vec::with_capacity(scenario.num_users());
+    for k in 0..scenario.num_users() {
+        let servers = coverage
+            .servers_of_user(k)
+            .map_err(trimcaching_scenario::ScenarioError::from)?;
+        let mut best: Option<(f64, usize)> = None;
+        for &m in servers {
+            let rate = rates.rate_bps(m, k)?;
+            if best.is_none_or(|(r, _)| rate > r) {
+                best = Some((rate, m));
+            }
+        }
+        primary.push(best.map(|(_, m)| m));
+    }
+    Ok(primary)
+}
+
+/// Runs one serving replay: build engine, optional warm start, run.
+///
+/// # Errors
+///
+/// Propagates configuration and scenario errors.
+pub fn serve(
+    scenario: &Scenario,
+    policy: &dyn EvictionPolicy,
+    initial: Option<&Placement>,
+    config: &ServeConfig,
+) -> Result<ServeReport, RuntimeError> {
+    let mut engine = ServeEngine::new(scenario, policy, *config)?;
+    if let Some(placement) = initial {
+        engine.warm_start(placement)?;
+    }
+    engine.run()
+}
+
+/// Fans `runs` independent serving replays (seeds `config.seed`,
+/// `config.seed + 1`, ...) out across `threads` worker threads (0 = one
+/// per available CPU), like the Monte-Carlo driver. The returned reports
+/// are ordered by run index regardless of thread scheduling.
+///
+/// # Errors
+///
+/// Returns the first error any run produced.
+pub fn serve_ensemble(
+    scenario: &Scenario,
+    policy: &dyn EvictionPolicy,
+    initial: Option<&Placement>,
+    config: &ServeConfig,
+    runs: usize,
+    threads: usize,
+) -> Result<Vec<ServeReport>, RuntimeError> {
+    if runs == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            reason: "at least one run is required".into(),
+        });
+    }
+    config.validate()?;
+    let workers = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    .min(runs)
+    .max(1);
+
+    let results: std::sync::Mutex<Vec<Option<Result<ServeReport, RuntimeError>>>> =
+        std::sync::Mutex::new((0..runs).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if index >= runs {
+                    break;
+                }
+                let run_config = config.with_seed(config.seed.wrapping_add(index as u64));
+                let outcome = serve(scenario, policy, initial, &run_config);
+                let failed = outcome.is_err();
+                results.lock().expect("no poisoned runs")[index] = Some(outcome);
+                if failed {
+                    break;
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("no poisoned runs")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CostAwareLfu, Lfu, Lru};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trimcaching_modellib::builders::SpecialCaseBuilder;
+    use trimcaching_scenario::prelude::*;
+    use trimcaching_wireless::geometry::Point;
+
+    fn scenario(num_users: usize, capacity_gb: f64) -> Scenario {
+        let library = SpecialCaseBuilder::paper_setup()
+            .models_per_backbone(3)
+            .build(5);
+        let mut rng = StdRng::seed_from_u64(77);
+        let area = DeploymentArea::paper_default();
+        let positions: Vec<Point> = (0..num_users)
+            .map(|_| area.sample_uniform(&mut rng))
+            .collect();
+        let demand = DemandConfig::paper_defaults()
+            .generate(num_users, library.num_models(), &mut rng)
+            .unwrap();
+        Scenario::builder()
+            .library(library)
+            .servers(vec![
+                EdgeServer::new(
+                    ServerId(0),
+                    Point::new(300.0, 500.0),
+                    gigabytes(capacity_gb),
+                )
+                .unwrap(),
+                EdgeServer::new(
+                    ServerId(1),
+                    Point::new(700.0, 500.0),
+                    gigabytes(capacity_gb),
+                )
+                .unwrap(),
+            ])
+            .users_at(&positions)
+            .demand(demand)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn smoke_run_produces_consistent_metrics() {
+        let s = scenario(12, 0.5);
+        let report = serve(&s, &Lru, None, &ServeConfig::smoke()).unwrap();
+        let m = &report.metrics;
+        assert_eq!(report.policy, "lru");
+        assert!(m.requests > 0, "a minute at 0.2 Hz x 12 users must fire");
+        assert_eq!(m.requests, m.hits + m.misses_served + m.rejected);
+        assert!((0.0..=1.0).contains(&m.hit_ratio()));
+        assert!(m.hit_ratio() <= m.served_ratio());
+        assert!(!m.windows().is_empty());
+        // Every cached set respects the shared-storage capacity.
+        for (srv, cached) in report.final_caches.iter().enumerate() {
+            let used = s.library().union_size_bytes(cached.iter().copied());
+            assert!(used <= s.capacity_bytes(ServerId(srv)).unwrap());
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let s = scenario(10, 0.3);
+        let config = ServeConfig::smoke().with_seed(99);
+        for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
+            let a = serve(&s, policy, None, &config).unwrap();
+            let b = serve(&s, policy, None, &config).unwrap();
+            assert_eq!(a, b, "policy {} must be deterministic", policy.name());
+        }
+        let c = serve(&s, &Lru, None, &config.with_seed(100)).unwrap();
+        assert_ne!(
+            serve(&s, &Lru, None, &config).unwrap().metrics,
+            c.metrics,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn warm_start_preloads_only_fitting_models() {
+        let s = scenario(8, 0.5);
+        let mut placement = s.empty_placement();
+        for i in 0..3 {
+            placement.place(ServerId(0), ModelId(i)).unwrap();
+        }
+        let mut engine = ServeEngine::new(&s, &Lru, ServeConfig::smoke()).unwrap();
+        engine.warm_start(&placement).unwrap();
+        let report = engine.run().unwrap();
+        // The preloaded server should have served something from cache.
+        assert!(report.metrics.hits > 0 || report.metrics.requests == 0);
+    }
+
+    #[test]
+    fn mobility_rebuilds_snapshots_and_counts_handovers() {
+        let s = scenario(9, 0.5);
+        let config = ServeConfig::smoke().with_mobility_slot_s(10.0);
+        let report = serve(&s, &Lru, None, &config).unwrap();
+        // 60 s / 10 s slots -> 5 rebuilds fire strictly before the end.
+        assert!(report.metrics.snapshot_rebuilds >= 5);
+        // Two identical runs still agree under mobility.
+        assert_eq!(serve(&s, &Lru, None, &config).unwrap(), report);
+    }
+
+    #[test]
+    fn ensemble_is_ordered_and_deterministic() {
+        let s = scenario(6, 0.4);
+        let config = ServeConfig::smoke();
+        let reports = serve_ensemble(&s, &Lfu, None, &config, 4, 2).unwrap();
+        assert_eq!(reports.len(), 4);
+        for (r, report) in reports.iter().enumerate() {
+            assert_eq!(report.seed, config.seed + r as u64);
+        }
+        let again = serve_ensemble(&s, &Lfu, None, &config, 4, 4).unwrap();
+        assert_eq!(reports, again, "thread count must not affect results");
+        assert!(serve_ensemble(&s, &Lfu, None, &config, 0, 1).is_err());
+    }
+
+    #[test]
+    fn oversized_models_never_drain_the_cache() {
+        // ~1 MB capacity cannot hold any ~50-100 MB paper model: every
+        // miss must leave the caches untouched instead of evicting
+        // whatever happens to be resident.
+        let s = scenario(12, 0.001);
+        let report = serve(&s, &Lru, None, &ServeConfig::smoke()).unwrap();
+        assert!(report.metrics.requests > 0);
+        assert_eq!(report.metrics.evictions, 0);
+        assert_eq!(report.metrics.insertions, 0);
+        assert_eq!(report.metrics.hits, 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let s = scenario(4, 0.5);
+        for bad in [
+            ServeConfig::smoke().with_duration_s(0.0),
+            ServeConfig::smoke().with_request_rate_hz(-1.0),
+            ServeConfig {
+                window_s: f64::NAN,
+                ..ServeConfig::smoke()
+            },
+            ServeConfig {
+                cloud_fetch_penalty_s: -0.5,
+                ..ServeConfig::smoke()
+            },
+        ] {
+            assert!(serve(&s, &Lru, None, &bad).is_err(), "{bad:?}");
+        }
+    }
+}

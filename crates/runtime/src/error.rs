@@ -1,0 +1,77 @@
+//! Error type for the online serving runtime.
+
+use std::fmt;
+
+use trimcaching_modellib::ModelLibError;
+use trimcaching_scenario::ScenarioError;
+
+/// Errors produced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A serving configuration was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The scenario layer failed.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig { reason } => {
+                write!(f, "invalid serving configuration: {reason}")
+            }
+            RuntimeError::Scenario(e) => write!(f, "scenario error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Scenario(e) => Some(e),
+            RuntimeError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for RuntimeError {
+    fn from(e: ScenarioError) -> Self {
+        RuntimeError::Scenario(e)
+    }
+}
+
+impl From<ModelLibError> for RuntimeError {
+    fn from(e: ModelLibError) -> Self {
+        RuntimeError::Scenario(ScenarioError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions_work() {
+        use std::error::Error;
+        let e = RuntimeError::InvalidConfig {
+            reason: "zero duration".into(),
+        };
+        assert!(e.to_string().contains("zero duration"));
+        assert!(e.source().is_none());
+        let e: RuntimeError = ScenarioError::MissingComponent { component: "x" }.into();
+        assert!(matches!(e, RuntimeError::Scenario(_)));
+        assert!(e.source().is_some());
+        let e: RuntimeError = ModelLibError::UnknownBlock { block: 3 }.into();
+        assert!(matches!(e, RuntimeError::Scenario(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! The deterministic discrete-event queue driving the serving engine.
+//!
+//! Events are ordered by simulated time; ties are broken by a
+//! monotonically increasing sequence number assigned at push time, so the
+//! pop order is a pure function of the push sequence — two runs that push
+//! the same events in the same order pop them in the same order,
+//! byte-for-byte. That, plus a single seeded RNG, is what makes whole
+//! serving runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use trimcaching_scenario::UserId;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A user requests a model (the model is drawn when the event fires,
+    /// so the draw order is the deterministic pop order).
+    Request {
+        /// The requesting user.
+        user: UserId,
+    },
+    /// Users move for one mobility slot and the radio snapshot (coverage,
+    /// rates, eligibility) is re-derived — server handover happens here.
+    MobilitySlot,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated firing time in seconds.
+    pub time_s: f64,
+    /// Push sequence number (tie-breaker; unique per queue).
+    pub seq: u64,
+    /// The action to perform.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event
+        // first (and the lowest sequence number among equal times).
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_s` is not finite — a non-finite firing time means
+    /// an arrival-rate or mobility configuration bug and would otherwise
+    /// poison the ordering invariant.
+    pub fn push(&mut self, time_s: f64, kind: EventKind) {
+        assert!(
+            time_s.is_finite(),
+            "event time must be finite, got {time_s}"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time_s, seq, kind });
+    }
+
+    /// Pops the earliest event (lowest time, then lowest sequence).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, EventKind::MobilitySlot);
+        q.push(1.0, EventKind::Request { user: UserId(0) });
+        q.push(2.0, EventKind::Request { user: UserId(1) });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time_s)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for k in 0..100 {
+            q.push(5.0, EventKind::Request { user: UserId(k) });
+        }
+        let users: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Request { user } => user.index(),
+                EventKind::MobilitySlot => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(users, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_pushes_preserve_global_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::MobilitySlot);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().time_s, 2.0);
+        q.push(4.0, EventKind::MobilitySlot);
+        q.push(3.0, EventKind::Request { user: UserId(7) });
+        let first = q.pop().unwrap();
+        assert_eq!(first.time_s, 3.0);
+        assert!(matches!(first.kind, EventKind::Request { user } if user == UserId(7)));
+        assert_eq!(q.pop().unwrap().time_s, 4.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::MobilitySlot);
+    }
+}

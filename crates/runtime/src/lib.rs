@@ -1,0 +1,72 @@
+//! Event-driven online request-serving engine for TrimCaching placements.
+//!
+//! The offline crates solve the paper's placement problem on a snapshot
+//! and score it with the *expected* cache hit ratio (Eq. 2). This crate
+//! answers the operational question behind the ROADMAP north star —
+//! what happens when live traffic actually arrives? — with a
+//! deterministic discrete-event simulation:
+//!
+//! * [`event`] — a seeded, tie-broken event queue: identical seeds
+//!   produce byte-identical runs;
+//! * [`workload`] — per-user Poisson request streams whose model choices
+//!   follow the scenario's demand matrix `p_{k,i}`;
+//! * [`cache`] — per-server caches over the scenario layer's
+//!   shared-storage accounting (Eq. 7), with online access statistics;
+//! * [`policy`] — pluggable eviction/admission policies: classical LRU
+//!   and LFU baselines plus the shared-block-aware [`CostAwareLfu`],
+//!   which ranks victims by observed demand per *reclaimable* byte
+//!   (evicting a model only frees its unshared blocks);
+//! * [`engine`] — the serving loop: requests served through the
+//!   eligibility indicator `I1(m, k, i)` and end-to-end latencies of
+//!   Eqs. (3)–(5), user mobility advanced in event time with server
+//!   handover, caches maintained online, and independent runs fanned out
+//!   across worker threads;
+//! * [`metrics`] — streaming metrics: windowed hit-ratio trace,
+//!   hit/miss/rejected counts, and a latency histogram with p50/p95/p99.
+//!
+//! # Example
+//!
+//! ```
+//! use trimcaching_runtime::{serve, CostAwareLfu, ServeConfig};
+//! # use rand::{rngs::StdRng, SeedableRng};
+//! # use trimcaching_modellib::builders::SpecialCaseBuilder;
+//! # use trimcaching_scenario::prelude::*;
+//! # use trimcaching_wireless::geometry::{DeploymentArea, Point};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let library = SpecialCaseBuilder::paper_setup().models_per_backbone(2).build(1);
+//! # let mut rng = StdRng::seed_from_u64(7);
+//! # let area = DeploymentArea::paper_default();
+//! # let users: Vec<Point> = (0..6).map(|_| area.sample_uniform(&mut rng)).collect();
+//! # let demand = DemandConfig::paper_defaults().generate(6, library.num_models(), &mut rng)?;
+//! # let scenario = Scenario::builder()
+//! #     .library(library)
+//! #     .servers(vec![EdgeServer::new(ServerId(0), Point::new(500.0, 500.0), gigabytes(0.5))?])
+//! #     .users_at(&users)
+//! #     .demand(demand)
+//! #     .build()?;
+//! let config = ServeConfig::smoke().with_seed(42);
+//! let report = serve(&scenario, &CostAwareLfu, None, &config)?;
+//! assert!((0.0..=1.0).contains(&report.metrics.hit_ratio()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod metrics;
+pub mod policy;
+pub mod workload;
+
+pub use cache::{CacheView, ServerCache};
+pub use engine::{serve, serve_ensemble, ServeConfig, ServeEngine, ServeReport};
+pub use error::RuntimeError;
+pub use event::{Event, EventKind, EventQueue};
+pub use metrics::{LatencyHistogram, RequestOutcome, ServeMetrics, WindowPoint};
+pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
+pub use workload::Workload;

@@ -1,0 +1,356 @@
+//! Streaming metrics of one serving run.
+//!
+//! The engine records every request as it is served; the metrics layer
+//! keeps O(1) running state per request: global counters, a windowed
+//! hit-ratio trace (the time series the operator would alert on) and a
+//! logarithmically bucketed latency histogram from which p50/p95/p99 are
+//! read. Everything is a pure function of the recorded event stream, so
+//! two identically seeded runs produce identical metric values — the
+//! property the determinism tests pin down.
+
+use serde::{Deserialize, Serialize};
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Served from an edge cache within the deadline — a cache hit.
+    Hit,
+    /// No eligible server cached the model; it was fetched from the cloud
+    /// (and possibly admitted into a cache). Counts against the hit ratio.
+    MissServed,
+    /// No edge server could deliver the model within its deadline at all.
+    Rejected,
+}
+
+/// Hit/request counts of one completed metrics window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// End of the window in simulated seconds.
+    pub end_s: f64,
+    /// Requests that fired during the window.
+    pub requests: u64,
+    /// Cache hits during the window.
+    pub hits: u64,
+}
+
+impl WindowPoint {
+    /// Hit ratio of the window (zero for an empty window).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Fixed log-spaced latency histogram over `[100 µs, 1000 s]`.
+///
+/// 120 buckets give ~14% relative resolution — coarse, but quantiles of
+/// a serving run are reported, not asserted to sub-percent precision,
+/// and a fixed layout keeps recording allocation-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+const HIST_BUCKETS: usize = 120;
+const HIST_MIN_S: f64 = 1e-4;
+const HIST_MAX_S: f64 = 1e3;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+        }
+    }
+
+    fn bucket_of(latency_s: f64) -> usize {
+        let clamped = latency_s.clamp(HIST_MIN_S, HIST_MAX_S);
+        let position = (clamped / HIST_MIN_S).ln() / (HIST_MAX_S / HIST_MIN_S).ln();
+        ((position * HIST_BUCKETS as f64) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper latency bound of bucket `b` in seconds.
+    fn bucket_upper_s(b: usize) -> f64 {
+        HIST_MIN_S * (HIST_MAX_S / HIST_MIN_S).powf((b + 1) as f64 / HIST_BUCKETS as f64)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_s: f64) {
+        self.buckets[Self::bucket_of(latency_s)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper edge of the bucket
+    /// containing it, or `None` if the histogram is empty.
+    pub fn quantile_s(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Self::bucket_upper_s(b));
+            }
+        }
+        Some(Self::bucket_upper_s(HIST_BUCKETS - 1))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All metrics of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Total requests fired.
+    pub requests: u64,
+    /// Requests served from an edge cache (hits).
+    pub hits: u64,
+    /// Requests served by fetching from the cloud (misses).
+    pub misses_served: u64,
+    /// Requests no eligible server could serve within the deadline.
+    pub rejected: u64,
+    /// Deduplicated bytes pulled from the cloud into edge caches.
+    pub bytes_downloaded: u64,
+    /// Cache insertions performed.
+    pub insertions: u64,
+    /// Cache evictions performed.
+    pub evictions: u64,
+    /// Radio-snapshot rebuilds triggered by mobility slots.
+    pub snapshot_rebuilds: u64,
+    /// Users whose primary (highest-rate covering) server changed across
+    /// a mobility slot — the handovers the engine carried out.
+    pub handovers: u64,
+    /// Latency histogram over all *served* requests (hits and misses).
+    pub latency: LatencyHistogram,
+    /// Completed hit-ratio windows in time order.
+    windows: Vec<WindowPoint>,
+    window_s: f64,
+    window_end_s: f64,
+    window_requests: u64,
+    window_hits: u64,
+    last_event_s: f64,
+}
+
+impl ServeMetrics {
+    /// Creates empty metrics with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive and finite (the
+    /// engine validates its configuration before constructing metrics).
+    pub fn new(window_s: f64) -> Self {
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "metrics window must be positive"
+        );
+        Self {
+            requests: 0,
+            hits: 0,
+            misses_served: 0,
+            rejected: 0,
+            bytes_downloaded: 0,
+            insertions: 0,
+            evictions: 0,
+            snapshot_rebuilds: 0,
+            handovers: 0,
+            latency: LatencyHistogram::new(),
+            windows: Vec::new(),
+            window_s,
+            window_end_s: window_s,
+            window_requests: 0,
+            window_hits: 0,
+            last_event_s: 0.0,
+        }
+    }
+
+    /// Advances the window clock to `time_s`, flushing completed windows
+    /// (empty windows are recorded too — a silent outage must show up in
+    /// the trace).
+    fn roll_to(&mut self, time_s: f64) {
+        while time_s >= self.window_end_s {
+            self.windows.push(WindowPoint {
+                end_s: self.window_end_s,
+                requests: self.window_requests,
+                hits: self.window_hits,
+            });
+            self.window_requests = 0;
+            self.window_hits = 0;
+            self.window_end_s += self.window_s;
+        }
+        self.last_event_s = time_s;
+    }
+
+    /// Records one request outcome at simulated time `time_s`.
+    /// `latency_s` must be given for served requests (hit or miss).
+    pub fn record(&mut self, time_s: f64, outcome: RequestOutcome, latency_s: Option<f64>) {
+        self.roll_to(time_s);
+        self.requests += 1;
+        self.window_requests += 1;
+        match outcome {
+            RequestOutcome::Hit => {
+                self.hits += 1;
+                self.window_hits += 1;
+            }
+            RequestOutcome::MissServed => self.misses_served += 1,
+            RequestOutcome::Rejected => self.rejected += 1,
+        }
+        if let Some(l) = latency_s {
+            self.latency.record(l);
+        }
+    }
+
+    /// Flushes the trailing partial window at the end of the run.
+    pub fn finish(&mut self, duration_s: f64) {
+        self.roll_to(duration_s);
+        if self.window_requests > 0 {
+            self.windows.push(WindowPoint {
+                end_s: duration_s,
+                requests: self.window_requests,
+                hits: self.window_hits,
+            });
+            self.window_requests = 0;
+            self.window_hits = 0;
+        }
+    }
+
+    /// Overall cache hit ratio (hits over all requests, as in Eq. (2):
+    /// rejected requests count against it).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests that were served at all (hit or cloud fetch).
+    pub fn served_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.hits + self.misses_served) as f64 / self.requests as f64
+        }
+    }
+
+    /// The completed windowed hit-ratio trace.
+    pub fn windows(&self) -> &[WindowPoint] {
+        &self.windows
+    }
+
+    /// Simulated time of the last recorded event.
+    pub fn last_event_s(&self) -> f64 {
+        self.last_event_s
+    }
+
+    /// Median service latency, if any request was served.
+    pub fn p50_latency_s(&self) -> Option<f64> {
+        self.latency.quantile_s(0.50)
+    }
+
+    /// 95th-percentile service latency.
+    pub fn p95_latency_s(&self) -> Option<f64> {
+        self.latency.quantile_s(0.95)
+    }
+
+    /// 99th-percentile service latency.
+    pub fn p99_latency_s(&self) -> Option<f64> {
+        self.latency.quantile_s(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_ratios_add_up() {
+        let mut m = ServeMetrics::new(10.0);
+        m.record(1.0, RequestOutcome::Hit, Some(0.2));
+        m.record(2.0, RequestOutcome::MissServed, Some(0.8));
+        m.record(3.0, RequestOutcome::Rejected, None);
+        m.record(4.0, RequestOutcome::Hit, Some(0.3));
+        m.finish(10.0);
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.hits, 2);
+        assert_eq!(m.misses_served, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.hit_ratio(), 0.5);
+        assert_eq!(m.served_ratio(), 0.75);
+        assert_eq!(m.latency.count(), 3);
+    }
+
+    #[test]
+    fn windows_flush_in_time_order_including_empty_ones() {
+        let mut m = ServeMetrics::new(5.0);
+        m.record(1.0, RequestOutcome::Hit, Some(0.1));
+        m.record(2.0, RequestOutcome::MissServed, Some(0.4));
+        // Nothing between 5 s and 15 s.
+        m.record(16.0, RequestOutcome::Hit, Some(0.1));
+        m.finish(20.0);
+        let w = m.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].end_s, 5.0);
+        assert_eq!(w[0].requests, 2);
+        assert_eq!(w[0].hits, 1);
+        assert_eq!(w[1].requests, 0);
+        assert_eq!(w[1].hit_ratio(), 0.0);
+        assert_eq!(w[2].requests, 0);
+        assert_eq!(w[3].requests, 1);
+        assert_eq!(w[3].hit_ratio(), 1.0);
+        // Window ends are strictly increasing.
+        assert!(w.windows(2).all(|p| p[0].end_s < p[1].end_s));
+    }
+
+    #[test]
+    fn trailing_partial_window_is_flushed_once() {
+        let mut m = ServeMetrics::new(10.0);
+        m.record(12.0, RequestOutcome::Hit, Some(0.1));
+        m.finish(15.0);
+        let w = m.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].end_s, 15.0);
+        assert_eq!(w[1].requests, 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_s(0.5), None);
+        for i in 1..=100 {
+            h.record(i as f64 * 0.01); // 10 ms .. 1 s
+        }
+        let p50 = h.quantile_s(0.50).unwrap();
+        let p95 = h.quantile_s(0.95).unwrap();
+        let p99 = h.quantile_s(0.99).unwrap();
+        assert!(p50 > 0.4 && p50 < 0.65, "p50 {p50}");
+        assert!(p95 > 0.85 && p95 < 1.15, "p95 {p95}");
+        assert!(p99 >= p95 && p99 < 1.25, "p99 {p99}");
+        // Out-of-range samples are clamped, not lost.
+        h.record(0.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = ServeMetrics::new(0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Online request workload: Poisson arrivals with demand-driven model
+//! selection.
+//!
+//! The offline formulation only needs the request *probabilities*
+//! `p_{k,i}`; an online engine needs actual request streams. Following
+//! the standard content-delivery workload model (and the online serving
+//! formulations of Fu et al., arXiv:2509.19341), every user emits
+//! requests as an independent Poisson process, and each request picks a
+//! model from the user's own popularity row of the [`Demand`] — i.e. the
+//! empirical request frequencies converge to exactly the `p_{k,i}` the
+//! placement algorithms optimised for.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use trimcaching_modellib::ModelId;
+use trimcaching_scenario::{Demand, UserId};
+
+use crate::error::RuntimeError;
+
+/// Per-user Poisson request stream over the demand distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    rate_hz: f64,
+    /// `cdfs[k]` is the normalised cumulative distribution over models
+    /// for user `k`.
+    cdfs: Vec<Vec<f64>>,
+}
+
+impl Workload {
+    /// Builds a workload in which every user issues requests at
+    /// `rate_hz` (Poisson) and draws models from its row of `demand`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the rate is not
+    /// strictly positive and finite, or if a user's demand row has zero
+    /// total mass (such a user could never issue a request).
+    pub fn from_demand(demand: &Demand, rate_hz: f64) -> Result<Self, RuntimeError> {
+        if !(rate_hz.is_finite() && rate_hz > 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("request rate must be positive and finite, got {rate_hz}"),
+            });
+        }
+        let num_models = demand.num_models();
+        let mut cdfs = Vec::with_capacity(demand.num_users());
+        for k in 0..demand.num_users() {
+            let mut row = Vec::with_capacity(num_models);
+            let mut acc = 0.0;
+            for i in 0..num_models {
+                acc += demand
+                    .probability(UserId(k), ModelId(i))
+                    .map_err(RuntimeError::from)?;
+                row.push(acc);
+            }
+            if acc <= 0.0 {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!("user {k} has zero total request probability"),
+                });
+            }
+            for c in &mut row {
+                *c /= acc;
+            }
+            cdfs.push(row);
+        }
+        Ok(Self { rate_hz, cdfs })
+    }
+
+    /// The per-user request rate in Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.cdfs.len()
+    }
+
+    /// Draws the time to a user's next request (exponential with the
+    /// workload rate).
+    pub fn next_interarrival_s(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen();
+        // u < 1, so ln(1 - u) is finite and the gap strictly positive.
+        -(1.0 - u).ln().max(f64::MIN_POSITIVE.ln()) / self.rate_hz
+    }
+
+    /// Draws the model requested by `user` from its demand distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range (the engine only passes users the
+    /// workload was built from).
+    pub fn draw_model(&self, user: UserId, rng: &mut StdRng) -> ModelId {
+        let cdf = &self.cdfs[user.index()];
+        let u: f64 = rng.gen();
+        let idx = cdf.partition_point(|&c| c <= u);
+        ModelId(idx.min(cdf.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trimcaching_scenario::DemandConfig;
+
+    fn demand(users: usize, models: usize) -> Demand {
+        let mut rng = StdRng::seed_from_u64(5);
+        DemandConfig::paper_defaults()
+            .generate(users, models, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_the_demand() {
+        let demand = demand(1, 8);
+        let workload = Workload::from_demand(&demand, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u64; 8];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[workload.draw_model(UserId(0), &mut rng).index()] += 1;
+        }
+        let mass: f64 = (0..8)
+            .map(|i| demand.probability(UserId(0), ModelId(i)).unwrap())
+            .sum();
+        for (i, &count) in counts.iter().enumerate() {
+            let expected = demand.probability(UserId(0), ModelId(i)).unwrap() / mass;
+            let observed = count as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "model {i}: observed {observed:.3} vs expected {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn interarrivals_have_the_configured_mean() {
+        let workload = Workload::from_demand(&demand(2, 3), 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| workload.next_interarrival_s(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.01,
+            "mean interarrival {mean:.4} should be ~1/4 s"
+        );
+        assert_eq!(workload.rate_hz(), 4.0);
+        assert_eq!(workload.num_users(), 2);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let d = demand(2, 3);
+        assert!(Workload::from_demand(&d, 0.0).is_err());
+        assert!(Workload::from_demand(&d, -1.0).is_err());
+        assert!(Workload::from_demand(&d, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let d = demand(3, 5);
+        let w = Workload::from_demand(&d, 2.0).unwrap();
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|j| w.draw_model(UserId(j % 3), &mut rng).index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -138,13 +138,15 @@ impl BlockPlacement {
         library: &ModelLibrary,
     ) -> Result<u64, ScenarioError> {
         let mut total = 0u64;
-        for &b in self.stored.get(server.index()).ok_or(
-            ScenarioError::IndexOutOfRange {
+        for &b in self
+            .stored
+            .get(server.index())
+            .ok_or(ScenarioError::IndexOutOfRange {
                 entity: "server",
                 index: server.index(),
                 len: self.num_servers,
-            },
-        )? {
+            })?
+        {
             total += library.block_size_bytes(b)?;
         }
         Ok(total)
@@ -192,19 +194,12 @@ mod tests {
 
     fn library() -> ModelLibrary {
         let mut b = ModelLibrary::builder();
-        b.add_model_with_blocks(
-            "m0",
-            "t",
-            &[("shared".into(), 100), ("m0/own".into(), 10)],
-        )
-        .unwrap();
-        b.add_model_with_blocks(
-            "m1",
-            "t",
-            &[("shared".into(), 100), ("m1/own".into(), 20)],
-        )
-        .unwrap();
-        b.add_model_with_blocks("m2", "t", &[("m2/own".into(), 50)]).unwrap();
+        b.add_model_with_blocks("m0", "t", &[("shared".into(), 100), ("m0/own".into(), 10)])
+            .unwrap();
+        b.add_model_with_blocks("m1", "t", &[("shared".into(), 100), ("m1/own".into(), 20)])
+            .unwrap();
+        b.add_model_with_blocks("m2", "t", &[("m2/own".into(), 50)])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -255,13 +250,10 @@ mod tests {
         // bijection, which is exactly why P1.2 is only *equivalent* in
         // optimum, not per solution.
         let mut b = ModelLibrary::builder();
-        b.add_model_with_blocks("small", "t", &[("base".into(), 10)]).unwrap();
-        b.add_model_with_blocks(
-            "big",
-            "t",
-            &[("base".into(), 10), ("extra".into(), 5)],
-        )
-        .unwrap();
+        b.add_model_with_blocks("small", "t", &[("base".into(), 10)])
+            .unwrap();
+        b.add_model_with_blocks("big", "t", &[("base".into(), 10), ("extra".into(), 5)])
+            .unwrap();
         let lib = b.build().unwrap();
         let mut x = Placement::empty(1, 2);
         x.place(ServerId(0), ModelId(1)).unwrap();

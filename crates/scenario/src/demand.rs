@@ -57,7 +57,9 @@ impl Demand {
         let same_shape = |m: &Vec<Vec<f64>>| m.len() == k && m.iter().all(|row| row.len() == i);
         if !same_shape(&probabilities) || !same_shape(&deadlines_s) || !same_shape(&inference_s) {
             return Err(ScenarioError::DimensionMismatch {
-                reason: format!("expected {k} x {i} matrices for probabilities/deadlines/inference"),
+                reason: format!(
+                    "expected {k} x {i} matrices for probabilities/deadlines/inference"
+                ),
             });
         }
         for row in &probabilities {
@@ -70,7 +72,10 @@ impl Demand {
                 }
             }
         }
-        for (name, matrix) in [("deadline", &deadlines_s), ("inference latency", &inference_s)] {
+        for (name, matrix) in [
+            ("deadline", &deadlines_s),
+            ("inference latency", &inference_s),
+        ] {
             for row in matrix.iter() {
                 for &v in row {
                     if !v.is_finite() || v <= 0.0 {
@@ -306,28 +311,13 @@ mod tests {
         assert!(Demand::new(vec![], vec![], vec![]).is_err());
         assert!(Demand::new(vec![vec![]], vec![vec![]], vec![vec![]]).is_err());
         // Mismatched shapes.
-        assert!(Demand::new(
-            vec![vec![0.1, 0.2]],
-            vec![vec![1.0]],
-            vec![vec![0.1, 0.1]]
-        )
-        .is_err());
+        assert!(Demand::new(vec![vec![0.1, 0.2]], vec![vec![1.0]], vec![vec![0.1, 0.1]]).is_err());
         // Negative probability.
-        assert!(Demand::new(
-            vec![vec![-0.1]],
-            vec![vec![1.0]],
-            vec![vec![0.1]]
-        )
-        .is_err());
+        assert!(Demand::new(vec![vec![-0.1]], vec![vec![1.0]], vec![vec![0.1]]).is_err());
         // Zero deadline.
         assert!(Demand::new(vec![vec![0.1]], vec![vec![0.0]], vec![vec![0.1]]).is_err());
         // Non-finite inference latency.
-        assert!(Demand::new(
-            vec![vec![0.1]],
-            vec![vec![1.0]],
-            vec![vec![f64::NAN]]
-        )
-        .is_err());
+        assert!(Demand::new(vec![vec![0.1]], vec![vec![1.0]], vec![vec![f64::NAN]]).is_err());
     }
 
     #[test]
@@ -355,12 +345,8 @@ mod tests {
     #[test]
     fn generator_is_deterministic_per_seed() {
         let cfg = DemandConfig::paper_defaults();
-        let a = cfg
-            .generate(5, 10, &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = cfg
-            .generate(5, 10, &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a = cfg.generate(5, 10, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = cfg.generate(5, 10, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 

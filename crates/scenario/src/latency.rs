@@ -72,11 +72,11 @@ impl RateMatrix {
         let m_count = coverage.num_servers();
         let k_count = coverage.num_users();
         let mut rates = vec![vec![0.0; k_count]; m_count];
-        for m in 0..m_count {
+        for (m, row) in rates.iter_mut().enumerate() {
             let share = allocation.share(m)?;
             for &k in coverage.users_of_server(m)? {
                 let d = coverage.distance_m(m, k)?;
-                rates[m][k] = rate_with_fading_bps(
+                row[k] = rate_with_fading_bps(
                     share.bandwidth_hz,
                     share.power_w,
                     d,
@@ -155,9 +155,7 @@ impl<'a> LatencyEvaluator<'a> {
                 ),
             });
         }
-        if demand.num_users() != coverage.num_users()
-            || rates.num_users() != coverage.num_users()
-        {
+        if demand.num_users() != coverage.num_users() || rates.num_users() != coverage.num_users() {
             return Err(ScenarioError::DimensionMismatch {
                 reason: "user counts of demand, coverage and rate matrix differ".into(),
             });
@@ -186,12 +184,7 @@ impl<'a> LatencyEvaluator<'a> {
     /// # Errors
     ///
     /// Returns an error for unknown indices.
-    pub fn latency_s(
-        &self,
-        m: usize,
-        user: UserId,
-        model: ModelId,
-    ) -> Result<f64, ScenarioError> {
+    pub fn latency_s(&self, m: usize, user: UserId, model: ModelId) -> Result<f64, ScenarioError> {
         let k = user.index();
         let size_bytes = self.library.model_size_bytes(model)?;
         let size_bits = size_bytes as f64 * 8.0;
@@ -313,12 +306,7 @@ impl EligibilityTensor {
 
     /// Builds a tensor directly from a closure; exposed for tests and for
     /// synthetic experiments that bypass the radio model.
-    pub fn from_fn<F>(
-        num_servers: usize,
-        num_users: usize,
-        num_models: usize,
-        mut f: F,
-    ) -> Self
+    pub fn from_fn<F>(num_servers: usize, num_users: usize, num_models: usize, mut f: F) -> Self
     where
         F: FnMut(usize, usize, usize) -> bool,
     {
@@ -364,8 +352,8 @@ mod tests {
             .build(1);
         let servers = vec![Point::new(0.0, 0.0), Point::new(600.0, 0.0)];
         let users = vec![
-            Point::new(50.0, 0.0),  // near server 0
-            Point::new(620.0, 0.0), // near server 1
+            Point::new(50.0, 0.0),    // near server 0
+            Point::new(620.0, 0.0),   // near server 1
             Point::new(900.0, 900.0), // uncovered
         ];
         let coverage = CoverageMap::build(&users, &servers, params.coverage_radius_m).unwrap();
@@ -402,8 +390,7 @@ mod tests {
     fn fading_reduces_or_keeps_rates() {
         let f = fixture();
         let alloc = PerUserAllocation::compute(&f.coverage, &f.params).unwrap();
-        let faded =
-            RateMatrix::with_fading(&f.coverage, &alloc, &f.params, |_m, _k| 0.25).unwrap();
+        let faded = RateMatrix::with_fading(&f.coverage, &alloc, &f.params, |_m, _k| 0.25).unwrap();
         assert!(faded.rate_bps(0, 0).unwrap() < f.rates.rate_bps(0, 0).unwrap());
     }
 
@@ -496,35 +483,23 @@ mod tests {
         let bad_demand = DemandConfig::paper_defaults()
             .generate(3, 2, &mut rng)
             .unwrap();
-        assert!(LatencyEvaluator::new(
-            &f.library,
-            &bad_demand,
-            &f.coverage,
-            &f.backhaul,
-            &f.rates
-        )
-        .is_err());
+        assert!(
+            LatencyEvaluator::new(&f.library, &bad_demand, &f.coverage, &f.backhaul, &f.rates)
+                .is_err()
+        );
         // Backhaul with the wrong number of servers.
         let bad_backhaul = Backhaul::paper_default(5);
-        assert!(LatencyEvaluator::new(
-            &f.library,
-            &f.demand,
-            &f.coverage,
-            &bad_backhaul,
-            &f.rates
-        )
-        .is_err());
+        assert!(
+            LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &bad_backhaul, &f.rates)
+                .is_err()
+        );
         // Demand over the wrong number of users.
         let bad_users = DemandConfig::paper_defaults()
             .generate(2, f.library.num_models(), &mut rng)
             .unwrap();
-        assert!(LatencyEvaluator::new(
-            &f.library,
-            &bad_users,
-            &f.coverage,
-            &f.backhaul,
-            &f.rates
-        )
-        .is_err());
+        assert!(
+            LatencyEvaluator::new(&f.library, &bad_users, &f.coverage, &f.backhaul, &f.rates)
+                .is_err()
+        );
     }
 }

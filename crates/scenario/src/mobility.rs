@@ -221,16 +221,10 @@ mod tests {
 
     #[test]
     fn class_parameter_ranges_match_the_paper() {
-        assert_eq!(
-            MobilityClass::Pedestrian.initial_speed_range(),
-            (0.5, 1.8)
-        );
+        assert_eq!(MobilityClass::Pedestrian.initial_speed_range(), (0.5, 1.8));
         assert_eq!(MobilityClass::Bike.initial_speed_range(), (2.0, 8.0));
         assert_eq!(MobilityClass::Vehicle.initial_speed_range(), (5.5, 20.0));
-        assert_eq!(
-            MobilityClass::Pedestrian.acceleration_range(),
-            (-0.3, 0.3)
-        );
+        assert_eq!(MobilityClass::Pedestrian.acceleration_range(), (-0.3, 0.3));
         assert_eq!(MobilityClass::Vehicle.acceleration_range(), (-3.0, 3.0));
         let (lo, hi) = MobilityClass::Bike.angular_velocity_range();
         assert!((lo + PI / 3.0).abs() < 1e-12 && (hi - PI / 3.0).abs() < 1e-12);

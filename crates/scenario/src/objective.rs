@@ -93,8 +93,7 @@ impl<'a> HitRatioObjective<'a> {
     /// Whether request `(k, i)` is a hit under `placement`.
     pub fn is_served(&self, placement: &Placement, user: UserId, model: ModelId) -> bool {
         (0..self.eligibility.num_servers()).any(|m| {
-            placement.contains(ServerId(m), model)
-                && self.eligibility.eligible(m, user, model)
+            placement.contains(ServerId(m), model) && self.eligibility.eligible(m, user, model)
         })
     }
 
@@ -128,12 +127,7 @@ impl<'a> HitRatioObjective<'a> {
     /// (i.e. expressed in expected-hit units). Only requests for `model`
     /// that are not already served and become eligible through `server`
     /// contribute.
-    pub fn marginal_hits(
-        &self,
-        placement: &Placement,
-        server: ServerId,
-        model: ModelId,
-    ) -> f64 {
+    pub fn marginal_hits(&self, placement: &Placement, server: ServerId, model: ModelId) -> f64 {
         if placement.contains(server, model) {
             return 0.0;
         }
@@ -200,10 +194,8 @@ mod tests {
             vec![vec![0.1; 2]; 2],
         )
         .unwrap();
-        let eligibility = EligibilityTensor::from_fn(2, 2, 2, |m, k, i| match (m, k, i) {
-            (0, 0, _) => true,
-            (1, 1, 1) => true,
-            _ => false,
+        let eligibility = EligibilityTensor::from_fn(2, 2, 2, |m, k, i| {
+            matches!((m, k, i), (0, 0, _) | (1, 1, 1))
         });
         (demand, eligibility)
     }

@@ -166,18 +166,10 @@ mod tests {
 
     fn tiny_library() -> ModelLibrary {
         let mut b = ModelLibrary::builder();
-        b.add_model_with_blocks(
-            "m0",
-            "t0",
-            &[("shared".into(), 10), ("m0/own".into(), 5)],
-        )
-        .unwrap();
-        b.add_model_with_blocks(
-            "m1",
-            "t1",
-            &[("shared".into(), 10), ("m1/own".into(), 7)],
-        )
-        .unwrap();
+        b.add_model_with_blocks("m0", "t0", &[("shared".into(), 10), ("m0/own".into(), 5)])
+            .unwrap();
+        b.add_model_with_blocks("m1", "t1", &[("shared".into(), 10), ("m1/own".into(), 7)])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -211,7 +203,10 @@ mod tests {
         p.place(ServerId(0), ModelId(2)).unwrap();
         p.place(ServerId(0), ModelId(1)).unwrap();
         p.place(ServerId(2), ModelId(2)).unwrap();
-        assert_eq!(p.models_on(ServerId(0)).unwrap(), vec![ModelId(1), ModelId(2)]);
+        assert_eq!(
+            p.models_on(ServerId(0)).unwrap(),
+            vec![ModelId(1), ModelId(2)]
+        );
         assert_eq!(p.servers_of(ModelId(2)), vec![ServerId(0), ServerId(2)]);
         assert!(p.servers_of(ModelId(0)).is_empty());
         assert_eq!(p.len(), 3);

@@ -158,9 +158,7 @@ impl Scenario {
     /// under shared (deduplicated) storage.
     pub fn satisfies_capacities(&self, placement: &Placement) -> bool {
         (0..self.num_servers()).all(|m| {
-            let models = placement
-                .models_on(ServerId(m))
-                .unwrap_or_default();
+            let models = placement.models_on(ServerId(m)).unwrap_or_default();
             self.library.union_size_bytes(models) <= self.servers[m].capacity_bytes()
         })
     }
@@ -202,9 +200,10 @@ impl Scenario {
         F: Fading,
         R: Rng + ?Sized,
     {
-        let rates = RateMatrix::with_fading(&self.coverage, &self.allocation, &self.radio, |_, _| {
-            fading.sample_power_gain(rng)
-        })?;
+        let rates =
+            RateMatrix::with_fading(&self.coverage, &self.allocation, &self.radio, |_, _| {
+                fading.sample_power_gain(rng)
+            })?;
         let evaluator = LatencyEvaluator::new(
             &self.library,
             &self.demand,
@@ -373,9 +372,9 @@ impl ScenarioBuilder {
         let servers = self.servers.ok_or(ScenarioError::MissingComponent {
             component: "servers",
         })?;
-        let users = self.users.ok_or(ScenarioError::MissingComponent {
-            component: "users",
-        })?;
+        let users = self
+            .users
+            .ok_or(ScenarioError::MissingComponent { component: "users" })?;
         let demand = self.demand.ok_or(ScenarioError::MissingComponent {
             component: "demand",
         })?;
@@ -452,14 +451,24 @@ mod tests {
             .models_per_backbone(3)
             .build(5);
         let servers = vec![
-            EdgeServer::new(ServerId(0), Point::new(250.0, 250.0), gigabytes(capacity_gb))
-                .unwrap(),
-            EdgeServer::new(ServerId(1), Point::new(750.0, 250.0), gigabytes(capacity_gb))
-                .unwrap(),
+            EdgeServer::new(
+                ServerId(0),
+                Point::new(250.0, 250.0),
+                gigabytes(capacity_gb),
+            )
+            .unwrap(),
+            EdgeServer::new(
+                ServerId(1),
+                Point::new(750.0, 250.0),
+                gigabytes(capacity_gb),
+            )
+            .unwrap(),
         ];
         let mut rng = StdRng::seed_from_u64(42);
         let area = trimcaching_wireless::geometry::DeploymentArea::paper_default();
-        let positions: Vec<Point> = (0..num_users).map(|_| area.sample_uniform(&mut rng)).collect();
+        let positions: Vec<Point> = (0..num_users)
+            .map(|_| area.sample_uniform(&mut rng))
+            .collect();
         let demand = DemandConfig::paper_defaults()
             .generate(num_users, library.num_models(), &mut rng)
             .unwrap();
@@ -499,12 +508,16 @@ mod tests {
         let err = Scenario::builder().library(library).build();
         assert!(matches!(
             err,
-            Err(ScenarioError::MissingComponent { component: "servers" })
+            Err(ScenarioError::MissingComponent {
+                component: "servers"
+            })
         ));
         let err = Scenario::builder().build();
         assert!(matches!(
             err,
-            Err(ScenarioError::MissingComponent { component: "library" })
+            Err(ScenarioError::MissingComponent {
+                component: "library"
+            })
         ));
     }
 
@@ -527,7 +540,9 @@ mod tests {
             .build();
         assert!(matches!(err, Err(ScenarioError::DimensionMismatch { .. })));
         // Demand for the wrong model count.
-        let demand = DemandConfig::paper_defaults().generate(1, 2, &mut rng).unwrap();
+        let demand = DemandConfig::paper_defaults()
+            .generate(1, 2, &mut rng)
+            .unwrap();
         let err = Scenario::builder()
             .library(library)
             .servers(servers)
@@ -626,9 +641,12 @@ mod tests {
         assert!(err.is_err());
         let err = Scenario::builder()
             .library(library)
-            .servers(vec![
-                EdgeServer::new(ServerId(0), Point::new(0.0, 0.0), 100).unwrap()
-            ])
+            .servers(vec![EdgeServer::new(
+                ServerId(0),
+                Point::new(0.0, 0.0),
+                100,
+            )
+            .unwrap()])
             .users(vec![])
             .demand(demand)
             .build();

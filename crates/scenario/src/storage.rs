@@ -130,6 +130,30 @@ impl<'a> StorageTracker<'a> {
         Ok(marginal)
     }
 
+    /// Bytes that removing `model` would free — the sizes of its blocks
+    /// referenced by no other cached model. Zero if the model is not
+    /// cached. This is the read-only counterpart of
+    /// [`StorageTracker::remove`], used by online eviction policies to
+    /// rank victims without mutating the cache: a model whose blocks are
+    /// all shared with other cached models frees nothing and is free to
+    /// keep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn release_bytes(&self, model: ModelId) -> Result<u64, ScenarioError> {
+        if !self.contains(model) {
+            return Ok(0);
+        }
+        let mut freed = 0u64;
+        for &b in self.library.model(model)?.blocks() {
+            if self.block_refcount[b.index()] == 1 {
+                freed += self.library.block_size_bytes(b)?;
+            }
+        }
+        Ok(freed)
+    }
+
     /// Removes `model` from the cache, returning the bytes freed (blocks no
     /// longer referenced by any cached model).
     ///
@@ -184,18 +208,10 @@ mod tests {
 
     fn library() -> ModelLibrary {
         let mut b = ModelLibrary::builder();
-        b.add_model_with_blocks(
-            "m0",
-            "t",
-            &[("shared".into(), 100), ("m0/own".into(), 10)],
-        )
-        .unwrap();
-        b.add_model_with_blocks(
-            "m1",
-            "t",
-            &[("shared".into(), 100), ("m1/own".into(), 20)],
-        )
-        .unwrap();
+        b.add_model_with_blocks("m0", "t", &[("shared".into(), 100), ("m0/own".into(), 10)])
+            .unwrap();
+        b.add_model_with_blocks("m1", "t", &[("shared".into(), 100), ("m1/own".into(), 20)])
+            .unwrap();
         b.add_model_with_blocks("m2", "t", &[("m2/own".into(), 50)])
             .unwrap();
         b.build().unwrap()
@@ -233,6 +249,26 @@ mod tests {
         );
         assert_eq!(t.remaining_bytes(), 870);
         assert_eq!(t.cached_models(), vec![ModelId(0), ModelId(1)]);
+    }
+
+    #[test]
+    fn release_bytes_predicts_removal() {
+        let lib = library();
+        let mut t = StorageTracker::new(&lib, 1_000);
+        t.add(ModelId(0)).unwrap();
+        t.add(ModelId(1)).unwrap();
+        // m0's shared block is still referenced by m1: only its own 10
+        // bytes would come back.
+        assert_eq!(t.release_bytes(ModelId(0)).unwrap(), 10);
+        assert_eq!(t.release_bytes(ModelId(1)).unwrap(), 20);
+        // Not cached -> nothing to free.
+        assert_eq!(t.release_bytes(ModelId(2)).unwrap(), 0);
+        let predicted = t.release_bytes(ModelId(0)).unwrap();
+        assert_eq!(t.remove(ModelId(0)).unwrap(), predicted);
+        // With m0 gone, removing m1 frees the shared block too.
+        assert_eq!(t.release_bytes(ModelId(1)).unwrap(), 120);
+        // Unknown ids short-circuit on the contains() check, like remove().
+        assert_eq!(t.release_bytes(ModelId(9)).unwrap(), 0);
     }
 
     #[test]

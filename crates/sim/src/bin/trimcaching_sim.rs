@@ -6,7 +6,7 @@
 //!                 [--realisations N] [--csv] [--out FILE]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
-//!              replacement replacement-trigger
+//!              serve serve-trace replacement replacement-trigger
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -20,7 +20,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
-    ablation, fig1, fig4, fig5, fig6, fig7, lora, replacement, RunConfig,
+    ablation, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
 use trimcaching_sim::SimError;
@@ -38,7 +38,7 @@ fn print_usage() {
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
          [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
-         replacement replacement-trigger lora-market \
+         serve serve-trace replacement replacement-trigger lora-market \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
@@ -67,16 +67,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("missing value for {arg}"))?;
                 match arg.as_str() {
                     "--topologies" => {
-                        config.monte_carlo.topologies =
-                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                        config.monte_carlo.topologies = value
+                            .parse()
+                            .map_err(|_| format!("invalid count {value}"))?;
                     }
                     "--realisations" => {
-                        config.monte_carlo.fading_realisations =
-                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                        config.monte_carlo.fading_realisations = value
+                            .parse()
+                            .map_err(|_| format!("invalid count {value}"))?;
                     }
                     "--models-per-backbone" => {
-                        config.models_per_backbone =
-                            value.parse().map_err(|_| format!("invalid count {value}"))?;
+                        config.models_per_backbone = value
+                            .parse()
+                            .map_err(|_| format!("invalid count {value}"))?;
                     }
                     "--seed" => {
                         config.monte_carlo.seed =
@@ -127,6 +130,8 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "fig6a" => render_comparison(fig6::special_case_vs_optimal(config)?),
         "fig6b" => render_comparison(fig6::general_case_runtime(config)?),
         "fig7" => render_table(fig7::mobility_robustness(config)?),
+        "serve" => render_table(serve::policy_comparison(config)?),
+        "serve-trace" => render_table(serve::warm_start_trace(config)?),
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
@@ -140,10 +145,28 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "all" => {
             let mut out = String::new();
             for exp in [
-                "fig1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b",
-                "fig7", "replacement", "replacement-trigger", "lora-market", "ablation-epsilon",
-                "ablation-sharing", "ablation-zipf", "ablation-scaling", "ablation-backhaul",
-                "ablation-deadline", "ablation-shadowing",
+                "fig1",
+                "fig4a",
+                "fig4b",
+                "fig4c",
+                "fig5a",
+                "fig5b",
+                "fig5c",
+                "fig6a",
+                "fig6b",
+                "fig7",
+                "serve",
+                "serve-trace",
+                "replacement",
+                "replacement-trigger",
+                "lora-market",
+                "ablation-epsilon",
+                "ablation-sharing",
+                "ablation-zipf",
+                "ablation-scaling",
+                "ablation-backhaul",
+                "ablation-deadline",
+                "ablation-shadowing",
             ] {
                 eprintln!("[trimcaching-sim] running {exp} ...");
                 out.push_str(&run_experiment(exp, config, csv)?);
@@ -171,7 +194,8 @@ fn main() -> ExitCode {
     match run_experiment(&options.experiment, &options.config, options.csv) {
         Ok(rendered) => {
             if let Some(path) = options.out {
-                match std::fs::File::create(&path).and_then(|mut f| f.write_all(rendered.as_bytes()))
+                match std::fs::File::create(&path)
+                    .and_then(|mut f| f.write_all(rendered.as_bytes()))
                 {
                     Ok(()) => eprintln!("[trimcaching-sim] wrote {path}"),
                     Err(e) => {

@@ -4,6 +4,7 @@ use std::fmt;
 
 use trimcaching_modellib::ModelLibError;
 use trimcaching_placement::PlacementError;
+use trimcaching_runtime::RuntimeError;
 use trimcaching_scenario::ScenarioError;
 
 /// Errors produced by the simulation harness.
@@ -21,6 +22,8 @@ pub enum SimError {
     Scenario(ScenarioError),
     /// The model-library layer failed.
     ModelLib(ModelLibError),
+    /// The online serving runtime failed.
+    Runtime(RuntimeError),
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +33,7 @@ impl fmt::Display for SimError {
             SimError::Placement(e) => write!(f, "placement error: {e}"),
             SimError::Scenario(e) => write!(f, "scenario error: {e}"),
             SimError::ModelLib(e) => write!(f, "model library error: {e}"),
+            SimError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -40,6 +44,7 @@ impl std::error::Error for SimError {
             SimError::Placement(e) => Some(e),
             SimError::Scenario(e) => Some(e),
             SimError::ModelLib(e) => Some(e),
+            SimError::Runtime(e) => Some(e),
             SimError::InvalidConfig { .. } => None,
         }
     }
@@ -60,6 +65,12 @@ impl From<ScenarioError> for SimError {
 impl From<ModelLibError> for SimError {
     fn from(e: ModelLibError) -> Self {
         SimError::ModelLib(e)
+    }
+}
+
+impl From<RuntimeError> for SimError {
+    fn from(e: RuntimeError) -> Self {
+        SimError::Runtime(e)
     }
 }
 
@@ -85,6 +96,11 @@ mod tests {
         assert!(matches!(e, SimError::Scenario(_)));
         let e: SimError = ModelLibError::UnknownBlock { block: 0 }.into();
         assert!(matches!(e, SimError::ModelLib(_)));
+        let e: SimError = RuntimeError::InvalidConfig {
+            reason: "rate".into(),
+        }
+        .into();
+        assert!(matches!(e, SimError::Runtime(_)));
     }
 
     #[test]

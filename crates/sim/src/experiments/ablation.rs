@@ -54,7 +54,10 @@ pub fn epsilon_sweep(config: &RunConfig) -> Result<ExperimentTable, SimError> {
         let spec = TrimCachingSpec::new().with_epsilon(epsilon);
         let algorithms: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![&spec];
         let samples = evaluate_algorithms(&library, &topology, &algorithms, &config.monte_carlo)?;
-        table.push_row(epsilon, vec![samples[0].hit_ratio(), samples[0].runtime_s()]);
+        table.push_row(
+            epsilon,
+            vec![samples[0].hit_ratio(), samples[0].runtime_s()],
+        );
     }
     Ok(table)
 }
@@ -98,10 +101,7 @@ pub fn sharing_depth_sweep(config: &RunConfig) -> Result<ExperimentTable, SimErr
             .models_per_backbone(config.models_per_backbone)
             .build(config.library_seed);
         let samples = evaluate_algorithms(&library, &topology, &algorithms, &config.monte_carlo)?;
-        table.push_row(
-            fraction,
-            samples.iter().map(|s| s.hit_ratio()).collect(),
-        );
+        table.push_row(fraction, samples.iter().map(|s| s.hit_ratio()).collect());
     }
     Ok(table)
 }
@@ -159,7 +159,10 @@ pub fn library_scaling(config: &RunConfig) -> Result<ExperimentTable, SimError> 
         for algorithm in &algorithms {
             let start = Instant::now();
             let outcome = algorithm.place(&scenario)?;
-            let elapsed = start.elapsed().as_secs_f64().max(outcome.runtime.as_secs_f64());
+            let elapsed = start
+                .elapsed()
+                .as_secs_f64()
+                .max(outcome.runtime.as_secs_f64());
             cells.push(Measurement {
                 mean: elapsed,
                 std_dev: 0.0,

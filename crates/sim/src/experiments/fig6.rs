@@ -53,7 +53,9 @@ pub fn special_case_vs_optimal(config: &RunConfig) -> Result<ComparisonTable, Si
     let samples = evaluate_algorithms(&library, &topology, &algorithms, &cfg.monte_carlo)?;
     let mut table = ComparisonTable::new(
         "fig6a",
-        format!("Special case vs. optimal (400 m, M = 2, K = 6, Q = {FIG6A_CAPACITY_GB} GB, ε = 0)"),
+        format!(
+            "Special case vs. optimal (400 m, M = 2, K = 6, Q = {FIG6A_CAPACITY_GB} GB, ε = 0)"
+        ),
     );
     for s in &samples {
         table.push_row(s.algorithm.clone(), s.hit_ratio(), s.runtime_s());
@@ -74,7 +76,9 @@ pub fn general_case_runtime(config: &RunConfig) -> Result<ComparisonTable, SimEr
     let samples = evaluate_algorithms(&library, &topology, &algorithms, &cfg.monte_carlo)?;
     let mut table = ComparisonTable::new(
         "fig6b",
-        format!("General case running time (400 m, M = 2, K = 6, Q = {FIG6B_CAPACITY_GB} GB, ε = 0)"),
+        format!(
+            "General case running time (400 m, M = 2, K = 6, Q = {FIG6B_CAPACITY_GB} GB, ε = 0)"
+        ),
     );
     for s in &samples {
         table.push_row(s.algorithm.clone(), s.hit_ratio(), s.runtime_s());
@@ -141,6 +145,8 @@ mod tests {
         assert_eq!(spec.algorithm, "trimcaching-spec");
         assert_eq!(gen.algorithm, "trimcaching-gen");
         // The speedup helper is usable on this table.
-        assert!(table.speedup("trimcaching-gen", "trimcaching-spec").is_some());
+        assert!(table
+            .speedup("trimcaching-gen", "trimcaching-spec")
+            .is_some());
     }
 }

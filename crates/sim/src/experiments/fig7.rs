@@ -75,9 +75,9 @@ pub fn mobility_robustness(config: &RunConfig) -> Result<ExperimentTable, SimErr
         }
 
         // Mobility replay: the placement stays fixed, the snapshot moves.
-        let area = DeploymentArea::new(topology.area_side_m).map_err(|e| SimError::Scenario(e.into()))?;
-        let initial_positions: Vec<_> =
-            scenario.users().iter().map(|u| u.position()).collect();
+        let area =
+            DeploymentArea::new(topology.area_side_m).map_err(|e| SimError::Scenario(e.into()))?;
+        let initial_positions: Vec<_> = scenario.users().iter().map(|u| u.position()).collect();
         let mut mobility_rng = StdRng::seed_from_u64(
             config
                 .monte_carlo
@@ -86,7 +86,7 @@ pub fn mobility_robustness(config: &RunConfig) -> Result<ExperimentTable, SimErr
                 .wrapping_add(topo_index as u64),
         );
         let mut mobility = MobilityModel::paper_mix(&initial_positions, area, &mut mobility_rng);
-        for sample in 1..=num_samples {
+        for per_sample in per_time.iter_mut().skip(1).take(num_samples) {
             let positions = mobility.run_slots(slots_per_sample, &mut mobility_rng);
             let moved = scenario.with_user_positions(&positions)?;
             for (a, placement) in placements.iter().enumerate() {
@@ -95,7 +95,7 @@ pub fn mobility_robustness(config: &RunConfig) -> Result<ExperimentTable, SimErr
                     config.monte_carlo.fading_realisations,
                     &mut fading_rng,
                 )?;
-                per_time[sample][a].push(hit);
+                per_sample[a].push(hit);
             }
         }
     }
@@ -129,7 +129,10 @@ mod tests {
         };
         let table = mobility_robustness(&config).unwrap();
         assert_eq!(table.id, "fig7");
-        assert_eq!(table.rows.len(), TOTAL_MINUTES / SAMPLE_INTERVAL_MINUTES + 1);
+        assert_eq!(
+            table.rows.len(),
+            TOTAL_MINUTES / SAMPLE_INTERVAL_MINUTES + 1
+        );
         assert_eq!(table.rows[0].x, 0.0);
         assert_eq!(table.rows.last().unwrap().x, TOTAL_MINUTES as f64);
         for row in &table.rows {
@@ -140,8 +143,7 @@ mod tests {
         // The placement is computed for the initial snapshot, so the hit
         // ratio at t = 0 should be at least as good as the 2-hour average.
         let spec_series = table.series_means("trimcaching-spec").unwrap();
-        let avg_later: f64 =
-            spec_series[1..].iter().sum::<f64>() / (spec_series.len() - 1) as f64;
+        let avg_later: f64 = spec_series[1..].iter().sum::<f64>() / (spec_series.len() - 1) as f64;
         assert!(spec_series[0] >= avg_later - 0.25);
     }
 }

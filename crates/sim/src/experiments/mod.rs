@@ -11,6 +11,7 @@
 //! | [`fig7::mobility_robustness`] | Fig. 7 |
 //! | [`ablation`] | ε sweep, sharing-depth sweep, Zipf sweep, scaling, backhaul, deadline, shadowing |
 //! | [`replacement`] | online re-placement extension of Fig. 7 |
+//! | [`serve`] | online serving via `trimcaching-runtime`: eviction policies and warm starts under live traffic |
 
 pub mod ablation;
 pub mod fig1;
@@ -20,6 +21,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod lora;
 pub mod replacement;
+pub mod serve;
 
 use serde::{Deserialize, Serialize};
 

@@ -98,7 +98,10 @@ pub fn replacement_study(config: &RunConfig) -> Result<ExperimentTable, SimError
         ),
         "Time (min)",
         "Cache hit ratio",
-        vec!["static trimcaching-gen".into(), "adaptive trimcaching-gen".into()],
+        vec![
+            "static trimcaching-gen".into(),
+            "adaptive trimcaching-gen".into(),
+        ],
     );
     for s in 0..num_samples {
         table.push_row(

@@ -135,15 +135,17 @@ pub fn evaluate_algorithms(
         });
     }
 
-    let results: Mutex<Vec<Option<Vec<(f64, f64, u64)>>>> =
-        Mutex::new(vec![None; mc.topologies]);
+    // Per topology: one (hit ratio, runtime, evaluations) triple per
+    // algorithm, filled in by whichever worker claims the index.
+    type TopologySamples = Vec<(f64, f64, u64)>;
+    let results: Mutex<Vec<Option<TopologySamples>>> = Mutex::new(vec![None; mc.topologies]);
     let error: Mutex<Option<SimError>> = Mutex::new(None);
     let next_index = std::sync::atomic::AtomicUsize::new(0);
     let workers = mc.worker_threads().min(mc.topologies).max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next_index.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if index >= mc.topologies {
                     break;
@@ -166,11 +168,7 @@ pub fn evaluate_algorithms(
                             mc.fading_realisations,
                             &mut rng,
                         )?;
-                        per_algorithm.push((
-                            hit,
-                            result.runtime.as_secs_f64(),
-                            result.evaluations,
-                        ));
+                        per_algorithm.push((hit, result.runtime.as_secs_f64(), result.evaluations));
                     }
                     Ok(per_algorithm)
                 })();
@@ -186,8 +184,7 @@ pub fn evaluate_algorithms(
                 }
             });
         }
-    })
-    .expect("monte-carlo worker threads do not panic");
+    });
 
     if let Some(e) = error.into_inner() {
         return Err(e);
@@ -283,9 +280,7 @@ mod tests {
         };
         assert!(evaluate_algorithms(&lib, &topology, &algorithms, &mc).is_err());
         let empty: Vec<&(dyn PlacementAlgorithm + Sync)> = vec![];
-        assert!(
-            evaluate_algorithms(&lib, &topology, &empty, &MonteCarloConfig::smoke()).is_err()
-        );
+        assert!(evaluate_algorithms(&lib, &topology, &empty, &MonteCarloConfig::smoke()).is_err());
     }
 
     #[test]

@@ -158,11 +158,7 @@ impl ReplacementTrace {
 
 /// Bytes that must be transferred to turn `old` into `new`: for every
 /// server, the total size of blocks stored under `new` but not under `old`.
-fn migration_bytes(
-    old: &Placement,
-    new: &Placement,
-    scenario: &Scenario,
-) -> Result<u64, SimError> {
+fn migration_bytes(old: &Placement, new: &Placement, scenario: &Scenario) -> Result<u64, SimError> {
     let library = scenario.library();
     let old_view = BlockPlacement::from_placement(old, library)?;
     let new_view = BlockPlacement::from_placement(new, library)?;
@@ -243,7 +239,8 @@ pub fn replay_with_policy(
                 && samples_since_replacement >= policy.min_samples_between;
             if triggered {
                 let refreshed = algorithm.place(&moved)?;
-                trace.migrated_bytes += migration_bytes(&placement, &refreshed.placement, scenario)?;
+                trace.migrated_bytes +=
+                    migration_bytes(&placement, &refreshed.placement, scenario)?;
                 placement = refreshed.placement;
                 reference_hit = moved.hit_ratio(&placement);
                 trace.replacements += 1;
@@ -286,16 +283,8 @@ mod tests {
     fn static_replay_never_replaces() {
         let (scenario, area) = scenario();
         let gen = TrimCachingGen::new();
-        let trace = replay_with_policy(
-            &scenario,
-            area,
-            &gen,
-            None,
-            &ReplayConfig::smoke(),
-            7,
-            13,
-        )
-        .unwrap();
+        let trace =
+            replay_with_policy(&scenario, area, &gen, None, &ReplayConfig::smoke(), 7, 13).unwrap();
         assert_eq!(trace.replacements, 0);
         assert_eq!(trace.migrated_bytes, 0);
         assert_eq!(trace.times_min.len(), 3);
@@ -319,8 +308,7 @@ mod tests {
         };
         let adaptive =
             replay_with_policy(&scenario, area, &gen, Some(&policy), &config, 7, 13).unwrap();
-        let static_trace =
-            replay_with_policy(&scenario, area, &gen, None, &config, 7, 13).unwrap();
+        let static_trace = replay_with_policy(&scenario, area, &gen, None, &config, 7, 13).unwrap();
         // Mobility is random, so a specific run may or may not trigger; with
         // an almost-zero threshold over 80 minutes it practically always
         // does, and re-placing can only help the expected-rate hit ratio.
@@ -355,7 +343,8 @@ mod tests {
         let (scenario, _) = scenario();
         let empty = scenario.empty_placement();
         let mut one = scenario.empty_placement();
-        one.place(ServerId(0), trimcaching_modellib::ModelId(0)).unwrap();
+        one.place(ServerId(0), trimcaching_modellib::ModelId(0))
+            .unwrap();
         let cost = migration_bytes(&empty, &one, &scenario).unwrap();
         assert_eq!(
             cost,
@@ -372,7 +361,10 @@ mod tests {
 
     #[test]
     fn policy_constructors_validate_input() {
-        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::five_percent());
+        assert_eq!(
+            ReplacementPolicy::default(),
+            ReplacementPolicy::five_percent()
+        );
         let p = ReplacementPolicy::with_trigger_drop(0.2);
         assert_eq!(p.trigger_drop, 0.2);
         assert_eq!(ReplayConfig::default(), ReplayConfig::paper());

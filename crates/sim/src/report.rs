@@ -198,7 +198,12 @@ impl ComparisonTable {
     }
 
     /// Appends a row.
-    pub fn push_row(&mut self, algorithm: impl Into<String>, hit_ratio: Measurement, runtime_s: Measurement) {
+    pub fn push_row(
+        &mut self,
+        algorithm: impl Into<String>,
+        hit_ratio: Measurement,
+        runtime_s: Measurement,
+    ) {
         self.rows.push(ComparisonRow {
             algorithm: algorithm.into(),
             hit_ratio,
@@ -209,8 +214,18 @@ impl ComparisonTable {
     /// Ratio of running times `slow / fast` between two named algorithms
     /// (used for the paper's "×22 900 faster" style headlines).
     pub fn speedup(&self, fast: &str, slow: &str) -> Option<f64> {
-        let fast = self.rows.iter().find(|r| r.algorithm == fast)?.runtime_s.mean;
-        let slow = self.rows.iter().find(|r| r.algorithm == slow)?.runtime_s.mean;
+        let fast = self
+            .rows
+            .iter()
+            .find(|r| r.algorithm == fast)?
+            .runtime_s
+            .mean;
+        let slow = self
+            .rows
+            .iter()
+            .find(|r| r.algorithm == slow)?
+            .runtime_s
+            .mean;
         if fast <= 0.0 {
             return None;
         }
@@ -238,7 +253,8 @@ impl ComparisonTable {
 
     /// Renders the table as CSV.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("algorithm,hit ratio mean,hit ratio std,runtime_s mean,runtime_s std\n");
+        let mut out =
+            String::from("algorithm,hit ratio mean,hit ratio std,runtime_s mean,runtime_s std\n");
         for row in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{}\n",

@@ -226,8 +226,10 @@ mod tests {
         let fading = RayleighFading::unit();
         let mut rng = StdRng::seed_from_u64(11);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| fading.sample_power_gain(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| fading.sample_power_gain(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "empirical mean {mean}");
     }
 

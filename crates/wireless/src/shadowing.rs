@@ -136,7 +136,10 @@ mod tests {
 
     fn empirical_mean<F: Fading>(fading: &F, n: usize, seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| fading.sample_power_gain(&mut rng)).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| fading.sample_power_gain(&mut rng))
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -166,7 +169,9 @@ mod tests {
         let wide = LogNormalShadowing::new(10.0);
         let var = |f: &LogNormalShadowing, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let samples: Vec<f64> = (0..100_000).map(|_| f.sample_power_gain(&mut rng)).collect();
+            let samples: Vec<f64> = (0..100_000)
+                .map(|_| f.sample_power_gain(&mut rng))
+                .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64
         };

@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let topology = TopologyConfig::paper_defaults()
             .with_users(40)
             .with_capacity_gb(q);
-        let samples =
-            trimcaching::sim::evaluate_algorithms(&library, &topology, &algorithms, &mc)?;
+        let samples = trimcaching::sim::evaluate_algorithms(&library, &topology, &algorithms, &mc)?;
         let hits: Vec<f64> = samples.iter().map(|s| s.hit_ratio().mean).collect();
         println!("{:<10.2} {:>18.4} {:>22.4}", q, hits[0], hits[1]);
         for (slot, hit) in first_reach.iter_mut().zip(&hits) {
@@ -54,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nsmallest capacity reaching a {:.0}% hit ratio:", TARGET_HIT_RATIO * 100.0);
+    println!(
+        "\nsmallest capacity reaching a {:.0}% hit ratio:",
+        TARGET_HIT_RATIO * 100.0
+    );
     for (name, reach) in ["TrimCaching Gen", "Independent Caching"]
         .iter()
         .zip(&first_reach)

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gen = TrimCachingGen::new().place(&scenario)?;
     let independent = IndependentCaching::new().place(&scenario)?;
 
-    println!("\n{:<22} {:>14} {:>16}", "algorithm", "hit ratio", "tenants cached");
+    println!(
+        "\n{:<22} {:>14} {:>16}",
+        "algorithm", "hit ratio", "tenants cached"
+    );
     for outcome in [&gen, &independent] {
         println!(
             "{:<22} {:>14.4} {:>16}",

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(17);
     let mut mobility = MobilityModel::paper_mix(&initial, area, &mut rng);
 
-    println!("\n{:>10} {:>18} {:>18}", "time (min)", "spec hit ratio", "gen hit ratio");
+    println!(
+        "\n{:>10} {:>18} {:>18}",
+        "time (min)", "spec hit ratio", "gen hit ratio"
+    );
     println!("{:>10} {:>18.4} {:>18.4}", 0, spec.hit_ratio, gen.hit_ratio);
     let interval_min = 20usize;
     let slots_per_interval = (interval_min as f64 * 60.0 / PAPER_SLOT_SECONDS) as usize;

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fading_realisations: 50,
     };
 
-    let static_trace =
-        replay_with_policy(&scenario, area, &algorithm, None, &replay, 17, 23)?;
+    let static_trace = replay_with_policy(&scenario, area, &algorithm, None, &replay, 17, 23)?;
     let policy = ReplacementPolicy::five_percent();
     let adaptive_trace =
         replay_with_policy(&scenario, area, &algorithm, Some(&policy), &replay, 17, 23)?;

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(TrimCachingGen::new()),
         Box::new(IndependentCaching::new()),
     ];
-    println!("\n{:<22} {:>14} {:>14} {:>12}", "algorithm", "hit ratio", "models cached", "runtime");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>12}",
+        "algorithm", "hit ratio", "models cached", "runtime"
+    );
     for algorithm in &algorithms {
         let outcome = algorithm.place(&scenario)?;
         println!(

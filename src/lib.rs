@@ -18,8 +18,13 @@
 //!   mobility, scenarios);
 //! * [`placement`] — the TrimCaching Spec / Gen algorithms, the
 //!   Independent Caching baseline and the exhaustive-search reference;
+//! * [`runtime`] — the event-driven online serving engine: Poisson
+//!   request streams replayed against placements, per-server caches
+//!   under shared-block-aware eviction policies, mobility with server
+//!   handover, and streaming metrics (windowed hit ratio, latency
+//!   percentiles);
 //! * [`sim`] — the simulation harness regenerating every figure of the
-//!   paper's evaluation.
+//!   paper's evaluation, plus the online `serve` experiments.
 //!
 //! # Quickstart
 //!
@@ -61,6 +66,7 @@
 
 pub use trimcaching_modellib as modellib;
 pub use trimcaching_placement as placement;
+pub use trimcaching_runtime as runtime;
 pub use trimcaching_scenario as scenario;
 pub use trimcaching_sim as sim;
 pub use trimcaching_wireless as wireless;
@@ -74,6 +80,9 @@ pub mod prelude {
     pub use trimcaching_placement::{
         ExhaustiveSearch, GammaBound, IndependentCaching, PlacementAlgorithm, PlacementOutcome,
         RandomPlacement, TopPopularity, TrimCachingGen, TrimCachingGenLazy, TrimCachingSpec,
+    };
+    pub use trimcaching_runtime::{
+        serve, serve_ensemble, CostAwareLfu, EvictionPolicy, Lfu, Lru, ServeConfig, ServeReport,
     };
     pub use trimcaching_scenario::prelude::*;
     pub use trimcaching_sim::{

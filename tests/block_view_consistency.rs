@@ -22,11 +22,7 @@ fn library(seed: u64, special: bool, models_per_backbone: usize) -> ModelLibrary
 
 /// Builds a placement over `num_servers` servers from a bit mask per
 /// server-model pair.
-fn placement_from_mask(
-    library: &ModelLibrary,
-    num_servers: usize,
-    mask: u64,
-) -> Placement {
+fn placement_from_mask(library: &ModelLibrary, num_servers: usize, mask: u64) -> Placement {
     let mut placement = Placement::empty(num_servers, library.num_models());
     let mut bit = 0u32;
     for m in 0..num_servers {

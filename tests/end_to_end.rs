@@ -27,7 +27,9 @@ fn scenario_for(library: ModelLibrary, num_users: usize, capacity_gb: f64, seed:
         EdgeServer::new(ServerId(m), Point::new(*x, *y), gigabytes(capacity_gb)).unwrap()
     })
     .collect();
-    let users: Vec<Point> = (0..num_users).map(|_| area.sample_uniform(&mut rng)).collect();
+    let users: Vec<Point> = (0..num_users)
+        .map(|_| area.sample_uniform(&mut rng))
+        .collect();
     let demand = DemandConfig::paper_defaults()
         .generate(num_users, library.num_models(), &mut rng)
         .unwrap();

@@ -42,7 +42,10 @@ fn fig4_all_three_panels_run() {
         let ind = table.series_means("independent-caching").unwrap();
         for (s, i) in spec.iter().zip(&ind) {
             assert!((0.0..=1.0).contains(s));
-            assert!(s >= &(i - 1e-9), "{expected_id}: spec {s} < independent {i}");
+            assert!(
+                s >= &(i - 1e-9),
+                "{expected_id}: spec {s} < independent {i}"
+            );
         }
     }
 }
@@ -90,7 +93,10 @@ fn fig7_mobility_runs() {
 fn ablations_run() {
     let config = smoke_config();
     assert_eq!(ablation::epsilon_sweep(&config).unwrap().rows.len(), 5);
-    assert_eq!(ablation::sharing_depth_sweep(&config).unwrap().rows.len(), 5);
+    assert_eq!(
+        ablation::sharing_depth_sweep(&config).unwrap().rows.len(),
+        5
+    );
     assert_eq!(ablation::zipf_sweep(&config).unwrap().rows.len(), 5);
     assert_eq!(ablation::library_scaling(&config).unwrap().rows.len(), 4);
 }

@@ -11,22 +11,20 @@ use trimcaching::scenario::StorageTracker;
 /// private block. Block `j` of the pool has size `(j + 1) * 7` bytes.
 fn arbitrary_library() -> impl Strategy<Value = ModelLibrary> {
     // Up to 10 models, each referencing up to 8 of 12 pool blocks.
-    prop::collection::vec(prop::collection::btree_set(0usize..12, 1..8), 1..10).prop_map(
-        |models| {
-            let mut builder = ModelLibrary::builder();
-            for (i, pool_blocks) in models.iter().enumerate() {
-                let mut blocks: Vec<(String, u64)> = pool_blocks
-                    .iter()
-                    .map(|j| (format!("pool/block{j}"), (*j as u64 + 1) * 7))
-                    .collect();
-                blocks.push((format!("model{i}/own"), 13 + i as u64));
-                builder
-                    .add_model_with_blocks(format!("model{i}"), "task", &blocks)
-                    .expect("generated blocks are valid");
-            }
-            builder.build().expect("at least one model")
-        },
-    )
+    prop::collection::vec(prop::collection::btree_set(0usize..12, 1..8), 1..10).prop_map(|models| {
+        let mut builder = ModelLibrary::builder();
+        for (i, pool_blocks) in models.iter().enumerate() {
+            let mut blocks: Vec<(String, u64)> = pool_blocks
+                .iter()
+                .map(|j| (format!("pool/block{j}"), (*j as u64 + 1) * 7))
+                .collect();
+            blocks.push((format!("model{i}/own"), 13 + i as u64));
+            builder
+                .add_model_with_blocks(format!("model{i}"), "task", &blocks)
+                .expect("generated blocks are valid");
+        }
+        builder.build().expect("at least one model")
+    })
 }
 
 proptest! {

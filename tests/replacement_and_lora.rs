@@ -46,8 +46,8 @@ fn adaptive_replacement_never_trails_the_static_placement_on_average() {
     assert!(adaptive_trace.mean_hit_ratio() >= static_trace.mean_hit_ratio() - 1e-9);
     // Whatever was migrated is bounded by pushing every server's full
     // deduplicated catalogue once per re-placement.
-    let per_replacement_ceiling = scenario.library().total_unique_bytes()
-        * scenario.num_servers() as u64;
+    let per_replacement_ceiling =
+        scenario.library().total_unique_bytes() * scenario.num_servers() as u64;
     assert!(
         adaptive_trace.migrated_bytes
             <= per_replacement_ceiling * adaptive_trace.replacements.max(1) as u64
@@ -96,9 +96,7 @@ fn lora_marketplace_end_to_end_shows_the_sharing_advantage() {
 
     let mut rng = StdRng::seed_from_u64(5);
     let area = DeploymentArea::new(400.0).unwrap();
-    let users: Vec<Point> = (0..20)
-        .map(|_| area.sample_uniform(&mut rng))
-        .collect();
+    let users: Vec<Point> = (0..20).map(|_| area.sample_uniform(&mut rng)).collect();
     let demand = DemandConfig {
         zipf_exponent: 1.1,
         // Multi-gigabyte LLM downloads get a minutes-scale installation

@@ -1,0 +1,194 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's bench targets use
+//! ([`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`]) with a
+//! deliberately simple measurement loop: every benchmark is warmed up
+//! once and then timed over a handful of iterations, reporting the mean
+//! wall-clock time per iteration on stderr. There is no statistical
+//! analysis, HTML report or comparison to saved baselines — the targets
+//! exist to exercise and time the hot paths, and their table output
+//! (printed by the bench functions themselves) is what EXPERIMENTS.md
+//! records.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id consisting of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean time per iteration of the last [`Bencher::iter`] call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up pass.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last = Some(start.elapsed() / self.iterations as u32);
+    }
+}
+
+fn run_one(name: &str, iterations: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iterations,
+        last: None,
+    };
+    f(&mut bencher);
+    match bencher.last {
+        Some(mean) => eprintln!("bench {name:<50} {mean:>12.2?}/iter ({iterations} iters)"),
+        None => eprintln!("bench {name:<50} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (mapped onto the iteration count here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u64).clamp(1, 20);
+        self
+    }
+
+    /// Configures measurement time; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iterations, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iterations, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (nothing to flush in this stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&name.to_string(), 10, f);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench binaries receive harness flags (e.g. --bench); they
+            // carry no meaning for this stand-in and are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| 3 * 3));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(benches, routine);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

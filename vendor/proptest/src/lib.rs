@@ -1,0 +1,343 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait (ranges, `any::<bool>()`,
+//! `prop::collection::{vec, btree_set}`, `prop_map`), [`ProptestConfig`]
+//! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! generator seeded from the test name (no `PROPTEST_*` environment
+//! handling) and there is **no shrinking** — a failing case panics with
+//! the assertion message directly. That keeps the harness tiny while
+//! preserving the property coverage of the test suite.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for a type (only `bool` is needed in-tree).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_any_uniform {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_any_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a *target* size drawn from
+    /// `size` (duplicates collapse, as in upstream proptest).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            // Cap the attempts so narrow element domains cannot loop
+            // forever; the set simply stays smaller, as upstream allows.
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < n && attempts < 16 * n.max(1) {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Drives one property: `cases` deterministic random draws.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng),
+{
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across properties.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+
+    /// Namespace mirror of the upstream `prop` re-export.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests over random inputs.
+///
+/// Supports the upstream syntax used in-tree:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, flip in any::<bool>()) {
+///         prop_assert!(x < 10 || flip);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config, stringify!($name), |prop_rng| {
+                    $( let $arg = $crate::Strategy::new_value(&($strategy), prop_rng); )*
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strategy ),* ) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0.25f64..=0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in collection::vec(0u32..100, 2..6),
+            s in collection::btree_set(0usize..4, 1..4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!s.is_empty() && s.len() < 4);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u64..50).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(b in any::<bool>(), j in Just(7usize)) {
+            prop_assert!(usize::from(b) <= 1);
+            prop_assert_eq!(j, 7);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize`
+//! implementations; the vendored `serde` gives those traits blanket
+//! implementations instead, so the derives here only need to *exist* (and
+//! accept `#[serde(...)]` attributes) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
