@@ -1,7 +1,7 @@
 //! Request popularity: the Zipf distribution over the model library.
 //!
 //! The paper draws each user's request probabilities over the `I` models
-//! from a Zipf distribution (Section VII-A, ref. [43]): the `r`-th most
+//! from a Zipf distribution (Section VII-A, ref. \[43\]): the `r`-th most
 //! popular model has probability proportional to `1 / r^s`. Users may have
 //! different popularity *orders* (personalised rankings) while following
 //! the same skew; [`ZipfPopularity::per_user_probabilities`] supports both

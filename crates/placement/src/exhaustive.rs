@@ -186,11 +186,9 @@ impl PlacementAlgorithm for ExhaustiveSearch {
             for subset in server_subsets {
                 let mut mask = vec![0u64; words];
                 for &model in subset {
-                    for k in 0..num_users {
-                        if objective.eligible(ServerId(m), UserId(k), model) {
-                            let bit = k * num_models + model.index();
-                            mask[bit / 64] |= 1 << (bit % 64);
-                        }
+                    for user in objective.eligible_users(ServerId(m), model) {
+                        let bit = user.index() * num_models + model.index();
+                        mask[bit / 64] |= 1 << (bit % 64);
                     }
                 }
                 per_subset.push(mask);

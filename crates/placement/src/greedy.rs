@@ -32,7 +32,6 @@ pub(crate) fn greedy_place(
 ) -> Result<(Placement, u64), PlacementError> {
     let objective = scenario.objective();
     let num_servers = scenario.num_servers();
-    let num_models = scenario.num_models();
     let library = scenario.library();
 
     let mut placement = scenario.empty_placement();
@@ -47,8 +46,11 @@ pub(crate) fn greedy_place(
         let mut best: Option<(usize, usize, f64)> = None;
         for m in 0..num_servers {
             let capacity = scenario.capacity_bytes(ServerId(m))?;
-            for i in 0..num_models {
-                let model = ModelId(i);
+            // Only models some user can receive from `m` within deadline
+            // can ever have positive gain; everything else is skipped
+            // without a marginal-gain evaluation.
+            for model in objective.candidate_models(ServerId(m)) {
+                let i = model.index();
                 if placement.contains(ServerId(m), model) {
                     continue;
                 }

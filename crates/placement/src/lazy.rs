@@ -124,7 +124,6 @@ impl PlacementAlgorithm for TrimCachingGenLazy {
         let start = Instant::now();
         let objective = scenario.objective();
         let num_servers = scenario.num_servers();
-        let num_models = scenario.num_models();
 
         let mut placement = scenario.empty_placement();
         let mut trackers: Vec<StorageTracker<'_>> = (0..num_servers)
@@ -132,17 +131,19 @@ impl PlacementAlgorithm for TrimCachingGenLazy {
             .collect::<Result<_, _>>()?;
         let mut evaluations: u64 = 0;
 
-        // Seed the queue with the round-0 gains of every pair.
-        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(num_servers * num_models);
+        // Seed the queue with the round-0 gains of every candidate pair —
+        // only models with at least one eligible user at the server; the
+        // rest have zero gain forever and never enter the queue.
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         for m in 0..num_servers {
-            for i in 0..num_models {
+            for model in objective.candidate_models(ServerId(m)) {
                 evaluations += 1;
-                let gain = objective.marginal_hits(&placement, ServerId(m), ModelId(i));
+                let gain = objective.marginal_hits(&placement, ServerId(m), model);
                 if gain > 0.0 {
                     heap.push(Candidate {
                         gain,
                         server: m,
-                        model: i,
+                        model: model.index(),
                         round: 0,
                     });
                 }

@@ -314,13 +314,11 @@ impl<'a> ServeEngine<'a> {
         let eligibility = current.eligibility();
 
         // Lowest-latency eligible server overall, and among caches
-        // holding the model.
+        // holding the model. Only candidate servers of the request class
+        // are probed — at city scale that is a handful instead of all M.
         let mut best_any: Option<(f64, usize)> = None;
         let mut best_hit: Option<(f64, usize)> = None;
-        for m in 0..current.num_servers() {
-            if !eligibility.eligible(m, user, model) {
-                continue;
-            }
+        for m in eligibility.servers_for(user, model) {
             let latency = evaluator.latency_s(m, user, model)?;
             if best_any.is_none_or(|(best, _)| latency < best) {
                 best_any = Some((latency, m));

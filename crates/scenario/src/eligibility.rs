@@ -1,0 +1,1036 @@
+//! Representations of the service-eligibility indicator `I1(m, k, i)`
+//! (Eq. 3) behind one common [`EligibilityView`] trait.
+//!
+//! Every placement algorithm and the online serving engine consume the
+//! indicator through [`EligibilityView`] rather than through a concrete
+//! array, so the storage layout can be chosen per scenario:
+//!
+//! * [`EligibilityTensor`] — the original **dense** `M × K × I` cube.
+//!   Constant-time point queries, `O(M · K · I)` memory. The right choice
+//!   for paper-scale snapshots (tens of servers, tens of users).
+//! * [`SparseEligibility`] — a **coverage-pruned CSR** representation:
+//!   for every request class `(k, i)` a sorted list of candidate servers,
+//!   plus a per-server reverse index grouping eligible users by model.
+//!   Memory is proportional to the number of eligible triples, which in
+//!   city-scale deployments (1000+ servers, each user covered by a
+//!   handful of them) is orders of magnitude below `M · K · I`.
+//!
+//! [`Eligibility`] wraps the two behind one enum so [`crate::Scenario`]
+//! can hold either without generics, and [`EligibilityRepr`] is the
+//! builder-level knob selecting a representation (`Auto` by default; see
+//! [`EligibilityRepr::resolved`] for the policy).
+//!
+//! The iterator-returning methods ([`EligibilityView::servers_for`],
+//! [`EligibilityView::users_for`], [`EligibilityView::server_models`],
+//! [`EligibilityView::pairs_for_server`]) are the primitives that make
+//! marginal-gain loops scale: a greedy step touches only eligible
+//! triples instead of scanning the full `K × I` plane per server. All
+//! iterators yield indices in ascending order for every representation,
+//! so floating-point accumulation orders — and therefore hit ratios —
+//! are bit-identical between the dense and sparse paths.
+
+use serde::{Deserialize, Serialize};
+
+use trimcaching_modellib::ModelId;
+
+use crate::entities::UserId;
+
+/// Read-only view of the eligibility indicator `I1(m, k, i)`.
+///
+/// Implementations must report dimensions consistently and yield all
+/// iterator items in ascending index order (servers ascending, users
+/// ascending, models ascending, pairs in `(user, model)` lexicographic
+/// order), so downstream float accumulations are representation
+/// independent.
+pub trait EligibilityView: std::fmt::Debug {
+    /// Number of edge servers `M`.
+    fn num_servers(&self) -> usize;
+
+    /// Number of users `K`.
+    fn num_users(&self) -> usize;
+
+    /// Number of models `I`.
+    fn num_models(&self) -> usize;
+
+    /// Whether server `m` can serve user `k`'s request for model `i`
+    /// within the deadline. Out-of-range indices return `false`.
+    fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool;
+
+    /// The candidate servers able to serve `(user, model)`, ascending.
+    fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_>;
+
+    /// The users server `m` can serve for `model`, ascending.
+    fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_>;
+
+    /// The models server `m` can serve for at least one user, ascending.
+    ///
+    /// Greedy placement loops iterate this instead of `0..I`: a model no
+    /// user can receive from `m` within deadline has zero marginal gain
+    /// forever and never needs a gain evaluation.
+    fn server_models(&self, m: usize) -> ServerModels<'_>;
+
+    /// All `(user, model)` request classes server `m` can serve, in
+    /// `(user, model)` lexicographic order.
+    fn pairs_for_server(&self, m: usize) -> PairsForServer<'_>;
+
+    /// Number of eligible `(m, k, i)` triples.
+    fn num_eligible(&self) -> usize;
+
+    /// Fraction of eligible triples among all `M · K · I` cells.
+    fn density(&self) -> f64 {
+        let cells = self.num_servers() * self.num_users() * self.num_models();
+        if cells == 0 {
+            0.0
+        } else {
+            self.num_eligible() as f64 / cells as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense representation
+// ---------------------------------------------------------------------------
+
+/// Precomputed dense `I1(m, k, i)` indicator for all (server, user, model)
+/// triples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EligibilityTensor {
+    num_servers: usize,
+    num_users: usize,
+    num_models: usize,
+    bits: Vec<bool>,
+    /// `candidates[m * I + i]` — whether any user is eligible at `(m, i)`;
+    /// lets [`EligibilityView::server_models`] answer in `O(1)` per model.
+    candidates: Vec<bool>,
+}
+
+impl EligibilityTensor {
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    /// Whether server `m` can serve user `k`'s request for model `i` within
+    /// the deadline. Out-of-range indices return `false`.
+    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        let (k, i) = (user.index(), model.index());
+        if m >= self.num_servers || k >= self.num_users || i >= self.num_models {
+            return false;
+        }
+        self.bits[(m * self.num_users + k) * self.num_models + i]
+    }
+
+    /// Number of eligible `(m, k, i)` triples — a coarse measure of how
+    /// permissive the latency constraints are.
+    pub fn num_eligible(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Builds a tensor directly from a closure; exposed for tests and for
+    /// synthetic experiments that bypass the radio model.
+    pub fn from_fn<F>(num_servers: usize, num_users: usize, num_models: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize) -> bool,
+    {
+        Self::try_from_fn(num_servers, num_users, num_models, |m, k, i| {
+            Ok::<bool, std::convert::Infallible>(f(m, k, i))
+        })
+        .expect("infallible closure")
+    }
+
+    /// Builds a tensor from a fallible closure, propagating the first
+    /// error. Used by [`crate::latency::LatencyEvaluator`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by `f`.
+    pub fn try_from_fn<F, E>(
+        num_servers: usize,
+        num_users: usize,
+        num_models: usize,
+        mut f: F,
+    ) -> Result<Self, E>
+    where
+        F: FnMut(usize, usize, usize) -> Result<bool, E>,
+    {
+        let mut bits = vec![false; num_servers * num_users * num_models];
+        let mut candidates = vec![false; num_servers * num_models];
+        for m in 0..num_servers {
+            for k in 0..num_users {
+                for i in 0..num_models {
+                    let eligible = f(m, k, i)?;
+                    bits[(m * num_users + k) * num_models + i] = eligible;
+                    if eligible {
+                        candidates[m * num_models + i] = true;
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            num_servers,
+            num_users,
+            num_models,
+            bits,
+            candidates,
+        })
+    }
+}
+
+impl EligibilityView for EligibilityTensor {
+    fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        EligibilityTensor::eligible(self, m, user, model)
+    }
+
+    fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_> {
+        if user.index() >= self.num_users || model.index() >= self.num_models {
+            return ServersFor(ServersForInner::Empty);
+        }
+        ServersFor(ServersForInner::Dense {
+            tensor: self,
+            user,
+            model,
+            next: 0,
+        })
+    }
+
+    fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_> {
+        if m >= self.num_servers || model.index() >= self.num_models {
+            return UsersFor(UsersForInner::Empty);
+        }
+        UsersFor(UsersForInner::Dense {
+            tensor: self,
+            m,
+            model,
+            next: 0,
+        })
+    }
+
+    fn server_models(&self, m: usize) -> ServerModels<'_> {
+        if m >= self.num_servers {
+            return ServerModels(ServerModelsInner::Empty);
+        }
+        ServerModels(ServerModelsInner::Dense {
+            candidates: &self.candidates[m * self.num_models..(m + 1) * self.num_models],
+            next: 0,
+        })
+    }
+
+    fn pairs_for_server(&self, m: usize) -> PairsForServer<'_> {
+        if m >= self.num_servers {
+            return PairsForServer(PairsForServerInner::Empty);
+        }
+        PairsForServer(PairsForServerInner::Dense {
+            row: &self.bits
+                [m * self.num_users * self.num_models..(m + 1) * self.num_users * self.num_models],
+            num_models: self.num_models,
+            next: 0,
+        })
+    }
+
+    fn num_eligible(&self) -> usize {
+        EligibilityTensor::num_eligible(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse representation
+// ---------------------------------------------------------------------------
+
+/// Coverage-pruned CSR representation of the eligibility indicator.
+///
+/// Two index structures are kept, both proportional to the number of
+/// eligible triples rather than to `M · K · I`:
+///
+/// * **forward**: for every request class `(k, i)` (row `k · I + i`) a
+///   sorted list of candidate server indices — the set a request needs to
+///   probe when looking for a cache hit;
+/// * **reverse**: for every server `m` a model-major CSR (row `m · I + i`)
+///   of the users `m` can serve for model `i` — the set a marginal-gain
+///   evaluation needs to walk.
+///
+/// Construction never materialises the dense cube; see
+/// [`crate::latency::LatencyEvaluator::sparse_eligibility`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseEligibility {
+    num_servers: usize,
+    num_users: usize,
+    num_models: usize,
+    /// Forward CSR offsets, length `K · I + 1`; row `k · I + i`.
+    pair_offsets: Vec<usize>,
+    /// Candidate server indices, ascending within each forward row.
+    pair_servers: Vec<u32>,
+    /// Reverse CSR offsets, length `M · I + 1`; row `m · I + i`.
+    server_model_offsets: Vec<usize>,
+    /// Eligible user indices, ascending within each reverse row.
+    server_users: Vec<u32>,
+}
+
+impl SparseEligibility {
+    /// Builds the sparse representation from per-request-class candidate
+    /// lists (the forward CSR); the per-server reverse index is derived by
+    /// a counting sort. `pair_offsets` must have length `K · I + 1` with
+    /// row `k · I + i`, and every row of `pair_servers` must be sorted
+    /// ascending with in-range server indices.
+    pub(crate) fn from_pair_candidates(
+        num_servers: usize,
+        num_users: usize,
+        num_models: usize,
+        pair_offsets: Vec<usize>,
+        pair_servers: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(pair_offsets.len(), num_users * num_models + 1);
+        debug_assert_eq!(*pair_offsets.last().unwrap_or(&0), pair_servers.len());
+        // Count entries per (m, i) reverse row.
+        let mut server_model_offsets = vec![0usize; num_servers * num_models + 1];
+        for k in 0..num_users {
+            for i in 0..num_models {
+                let row = k * num_models + i;
+                for &m in &pair_servers[pair_offsets[row]..pair_offsets[row + 1]] {
+                    server_model_offsets[m as usize * num_models + i + 1] += 1;
+                }
+            }
+        }
+        for idx in 1..server_model_offsets.len() {
+            server_model_offsets[idx] += server_model_offsets[idx - 1];
+        }
+        // Scatter users; iterating k ascending keeps every reverse row
+        // sorted.
+        let mut cursor = server_model_offsets.clone();
+        let mut server_users = vec![0u32; pair_servers.len()];
+        for k in 0..num_users {
+            for i in 0..num_models {
+                let row = k * num_models + i;
+                for &m in &pair_servers[pair_offsets[row]..pair_offsets[row + 1]] {
+                    let slot = &mut cursor[m as usize * num_models + i];
+                    server_users[*slot] = k as u32;
+                    *slot += 1;
+                }
+            }
+        }
+        Self {
+            num_servers,
+            num_users,
+            num_models,
+            pair_offsets,
+            pair_servers,
+            server_model_offsets,
+            server_users,
+        }
+    }
+
+    /// Builds a sparse eligibility directly from a closure; the dense cube
+    /// is enumerated (so this is meant for tests and synthetic
+    /// experiments) but never allocated.
+    pub fn from_fn<F>(num_servers: usize, num_users: usize, num_models: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize) -> bool,
+    {
+        let mut pair_offsets = Vec::with_capacity(num_users * num_models + 1);
+        pair_offsets.push(0usize);
+        let mut pair_servers = Vec::new();
+        for k in 0..num_users {
+            for i in 0..num_models {
+                for m in 0..num_servers {
+                    if f(m, k, i) {
+                        pair_servers.push(m as u32);
+                    }
+                }
+                pair_offsets.push(pair_servers.len());
+            }
+        }
+        Self::from_pair_candidates(
+            num_servers,
+            num_users,
+            num_models,
+            pair_offsets,
+            pair_servers,
+        )
+    }
+
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    /// Number of eligible `(m, k, i)` triples.
+    pub fn num_eligible(&self) -> usize {
+        self.pair_servers.len()
+    }
+
+    /// The sorted candidate-server row for `(user, model)`; empty for
+    /// out-of-range indices.
+    fn pair_row(&self, user: UserId, model: ModelId) -> &[u32] {
+        let (k, i) = (user.index(), model.index());
+        if k >= self.num_users || i >= self.num_models {
+            return &[];
+        }
+        let row = k * self.num_models + i;
+        &self.pair_servers[self.pair_offsets[row]..self.pair_offsets[row + 1]]
+    }
+
+    /// The sorted eligible-user row for `(m, model)`; empty for
+    /// out-of-range indices.
+    fn reverse_row(&self, m: usize, model: ModelId) -> &[u32] {
+        let i = model.index();
+        if m >= self.num_servers || i >= self.num_models {
+            return &[];
+        }
+        let row = m * self.num_models + i;
+        &self.server_users[self.server_model_offsets[row]..self.server_model_offsets[row + 1]]
+    }
+
+    /// Whether server `m` can serve user `k`'s request for model `i`
+    /// within the deadline. Out-of-range indices return `false`.
+    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        self.pair_row(user, model)
+            .binary_search(&(m as u32))
+            .is_ok()
+    }
+}
+
+impl EligibilityView for SparseEligibility {
+    fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_models(&self) -> usize {
+        self.num_models
+    }
+
+    fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        SparseEligibility::eligible(self, m, user, model)
+    }
+
+    fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_> {
+        ServersFor(ServersForInner::Sparse(self.pair_row(user, model).iter()))
+    }
+
+    fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_> {
+        UsersFor(UsersForInner::Sparse(self.reverse_row(m, model).iter()))
+    }
+
+    fn server_models(&self, m: usize) -> ServerModels<'_> {
+        if m >= self.num_servers {
+            return ServerModels(ServerModelsInner::Empty);
+        }
+        ServerModels(ServerModelsInner::Sparse {
+            offsets: &self.server_model_offsets[m * self.num_models..=(m + 1) * self.num_models],
+            next: 0,
+        })
+    }
+
+    fn pairs_for_server(&self, m: usize) -> PairsForServer<'_> {
+        if m >= self.num_servers {
+            return PairsForServer(PairsForServerInner::Empty);
+        }
+        // The reverse index is model-major; yielding pairs in
+        // (user, model) order requires a K-way merge, but callers only
+        // need *some* deterministic order covering each pair once. We
+        // document and yield (user, model) lexicographic order by merging
+        // lazily over the model rows.
+        let base = m * self.num_models;
+        let rows: Vec<std::iter::Peekable<std::slice::Iter<'_, u32>>> = (0..self.num_models)
+            .map(|i| {
+                self.server_users
+                    [self.server_model_offsets[base + i]..self.server_model_offsets[base + i + 1]]
+                    .iter()
+                    .peekable()
+            })
+            .collect();
+        PairsForServer(PairsForServerInner::Sparse { rows })
+    }
+
+    fn num_eligible(&self) -> usize {
+        SparseEligibility::num_eligible(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterators
+// ---------------------------------------------------------------------------
+
+/// Iterator over candidate server indices for one request class.
+#[derive(Debug, Clone)]
+pub struct ServersFor<'a>(ServersForInner<'a>);
+
+#[derive(Debug, Clone)]
+enum ServersForInner<'a> {
+    Dense {
+        tensor: &'a EligibilityTensor,
+        user: UserId,
+        model: ModelId,
+        next: usize,
+    },
+    Sparse(std::slice::Iter<'a, u32>),
+    Empty,
+}
+
+impl Iterator for ServersFor<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.0 {
+            ServersForInner::Dense {
+                tensor,
+                user,
+                model,
+                next,
+            } => {
+                while *next < tensor.num_servers {
+                    let m = *next;
+                    *next += 1;
+                    if tensor.eligible(m, *user, *model) {
+                        return Some(m);
+                    }
+                }
+                None
+            }
+            ServersForInner::Sparse(iter) => iter.next().map(|m| *m as usize),
+            ServersForInner::Empty => None,
+        }
+    }
+}
+
+/// Iterator over users one server can serve for one model.
+#[derive(Debug, Clone)]
+pub struct UsersFor<'a>(UsersForInner<'a>);
+
+#[derive(Debug, Clone)]
+enum UsersForInner<'a> {
+    Dense {
+        tensor: &'a EligibilityTensor,
+        m: usize,
+        model: ModelId,
+        next: usize,
+    },
+    Sparse(std::slice::Iter<'a, u32>),
+    Empty,
+}
+
+impl Iterator for UsersFor<'_> {
+    type Item = UserId;
+
+    fn next(&mut self) -> Option<UserId> {
+        match &mut self.0 {
+            UsersForInner::Dense {
+                tensor,
+                m,
+                model,
+                next,
+            } => {
+                while *next < tensor.num_users {
+                    let k = *next;
+                    *next += 1;
+                    if tensor.eligible(*m, UserId(k), *model) {
+                        return Some(UserId(k));
+                    }
+                }
+                None
+            }
+            UsersForInner::Sparse(iter) => iter.next().map(|k| UserId(*k as usize)),
+            UsersForInner::Empty => None,
+        }
+    }
+}
+
+/// Iterator over the models one server can serve for at least one user.
+#[derive(Debug, Clone)]
+pub struct ServerModels<'a>(ServerModelsInner<'a>);
+
+#[derive(Debug, Clone)]
+enum ServerModelsInner<'a> {
+    Dense {
+        /// The `candidates` slice of one server (length `I`).
+        candidates: &'a [bool],
+        next: usize,
+    },
+    Sparse {
+        /// The reverse-CSR offset slice of one server (length `I + 1`).
+        offsets: &'a [usize],
+        next: usize,
+    },
+    Empty,
+}
+
+impl Iterator for ServerModels<'_> {
+    type Item = ModelId;
+
+    fn next(&mut self) -> Option<ModelId> {
+        match &mut self.0 {
+            ServerModelsInner::Dense { candidates, next } => {
+                while *next < candidates.len() {
+                    let i = *next;
+                    *next += 1;
+                    if candidates[i] {
+                        return Some(ModelId(i));
+                    }
+                }
+                None
+            }
+            ServerModelsInner::Sparse { offsets, next } => {
+                while *next + 1 < offsets.len() {
+                    let i = *next;
+                    *next += 1;
+                    if offsets[i + 1] > offsets[i] {
+                        return Some(ModelId(i));
+                    }
+                }
+                None
+            }
+            ServerModelsInner::Empty => None,
+        }
+    }
+}
+
+/// Iterator over all `(user, model)` request classes one server can serve,
+/// in `(user, model)` lexicographic order.
+#[derive(Debug, Clone)]
+pub struct PairsForServer<'a>(PairsForServerInner<'a>);
+
+#[derive(Debug, Clone)]
+enum PairsForServerInner<'a> {
+    Dense {
+        /// The `K · I` bit row of one server.
+        row: &'a [bool],
+        num_models: usize,
+        next: usize,
+    },
+    Sparse {
+        /// One peekable, user-sorted row per model; merged lazily.
+        rows: Vec<std::iter::Peekable<std::slice::Iter<'a, u32>>>,
+    },
+    Empty,
+}
+
+impl Iterator for PairsForServer<'_> {
+    type Item = (UserId, ModelId);
+
+    fn next(&mut self) -> Option<(UserId, ModelId)> {
+        match &mut self.0 {
+            PairsForServerInner::Dense {
+                row,
+                num_models,
+                next,
+            } => {
+                while *next < row.len() {
+                    let idx = *next;
+                    *next += 1;
+                    if row[idx] {
+                        return Some((UserId(idx / *num_models), ModelId(idx % *num_models)));
+                    }
+                }
+                None
+            }
+            PairsForServerInner::Sparse { rows } => {
+                // K-way merge on (user, model): pick the smallest peeked
+                // user; ties resolve to the smallest model index because
+                // rows are visited in model order.
+                let mut best: Option<(u32, usize)> = None;
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if let Some(&&k) = row.peek() {
+                        if best.is_none_or(|(bk, _)| k < bk) {
+                            best = Some((k, i));
+                        }
+                    }
+                }
+                let (k, i) = best?;
+                rows[i].next();
+                Some((UserId(k as usize), ModelId(i)))
+            }
+            PairsForServerInner::Empty => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum wrapper and representation selection
+// ---------------------------------------------------------------------------
+
+/// The eligibility indicator of one scenario, in whichever representation
+/// the builder selected. Implements (and mirrors, as inherent methods)
+/// [`EligibilityView`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Eligibility {
+    /// Dense `M × K × I` cube.
+    Dense(EligibilityTensor),
+    /// Coverage-pruned CSR.
+    Sparse(SparseEligibility),
+}
+
+macro_rules! delegate {
+    ($self:ident, $view:ident => $body:expr) => {
+        match $self {
+            Eligibility::Dense($view) => $body,
+            Eligibility::Sparse($view) => $body,
+        }
+    };
+}
+
+impl Eligibility {
+    /// The representation actually held (never [`EligibilityRepr::Auto`]).
+    pub fn repr(&self) -> EligibilityRepr {
+        match self {
+            Eligibility::Dense(_) => EligibilityRepr::Dense,
+            Eligibility::Sparse(_) => EligibilityRepr::Sparse,
+        }
+    }
+
+    /// Whether the sparse representation is held.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Eligibility::Sparse(_))
+    }
+
+    /// Number of servers `M`.
+    pub fn num_servers(&self) -> usize {
+        delegate!(self, v => v.num_servers())
+    }
+
+    /// Number of users `K`.
+    pub fn num_users(&self) -> usize {
+        delegate!(self, v => v.num_users())
+    }
+
+    /// Number of models `I`.
+    pub fn num_models(&self) -> usize {
+        delegate!(self, v => v.num_models())
+    }
+
+    /// Whether server `m` can serve user `k`'s request for model `i`
+    /// within the deadline. Out-of-range indices return `false`.
+    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        delegate!(self, v => v.eligible(m, user, model))
+    }
+
+    /// The candidate servers able to serve `(user, model)`, ascending.
+    pub fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_> {
+        delegate!(self, v => EligibilityView::servers_for(v, user, model))
+    }
+
+    /// The users server `m` can serve for `model`, ascending.
+    pub fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_> {
+        delegate!(self, v => EligibilityView::users_for(v, m, model))
+    }
+
+    /// The models server `m` can serve for at least one user, ascending.
+    pub fn server_models(&self, m: usize) -> ServerModels<'_> {
+        delegate!(self, v => EligibilityView::server_models(v, m))
+    }
+
+    /// All `(user, model)` request classes server `m` can serve.
+    pub fn pairs_for_server(&self, m: usize) -> PairsForServer<'_> {
+        delegate!(self, v => EligibilityView::pairs_for_server(v, m))
+    }
+
+    /// Number of eligible `(m, k, i)` triples.
+    pub fn num_eligible(&self) -> usize {
+        delegate!(self, v => v.num_eligible())
+    }
+
+    /// Fraction of eligible triples among all `M · K · I` cells.
+    pub fn density(&self) -> f64 {
+        delegate!(self, v => EligibilityView::density(v))
+    }
+}
+
+impl EligibilityView for Eligibility {
+    fn num_servers(&self) -> usize {
+        Eligibility::num_servers(self)
+    }
+
+    fn num_users(&self) -> usize {
+        Eligibility::num_users(self)
+    }
+
+    fn num_models(&self) -> usize {
+        Eligibility::num_models(self)
+    }
+
+    fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        Eligibility::eligible(self, m, user, model)
+    }
+
+    fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_> {
+        Eligibility::servers_for(self, user, model)
+    }
+
+    fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_> {
+        Eligibility::users_for(self, m, model)
+    }
+
+    fn server_models(&self, m: usize) -> ServerModels<'_> {
+        Eligibility::server_models(self, m)
+    }
+
+    fn pairs_for_server(&self, m: usize) -> PairsForServer<'_> {
+        Eligibility::pairs_for_server(self, m)
+    }
+
+    fn num_eligible(&self) -> usize {
+        Eligibility::num_eligible(self)
+    }
+}
+
+/// Which eligibility representation a [`crate::ScenarioBuilder`] derives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EligibilityRepr {
+    /// Pick automatically from the problem dimensions and the coverage
+    /// density; see [`EligibilityRepr::resolved`].
+    #[default]
+    Auto,
+    /// Always materialise the dense `M × K × I` tensor.
+    Dense,
+    /// Always build the coverage-pruned CSR representation.
+    Sparse,
+}
+
+impl EligibilityRepr {
+    /// `Auto` switches to the sparse representation when the dense cube
+    /// would exceed this many cells (4 Mi cells ≈ 4 MiB of `bool`s) and
+    /// the coverage is not mostly dense.
+    pub const AUTO_CELL_LIMIT: usize = 1 << 22;
+
+    /// `Auto` switches to sparse when at most this fraction of
+    /// `(server, user)` pairs is covered — the city-scale regime where a
+    /// user sees a handful of the deployed servers.
+    pub const AUTO_COVERAGE_THRESHOLD: f64 = 0.10;
+
+    /// Above this coverage density `Auto` never picks sparse: the CSR
+    /// spends ~8 bytes per eligible triple against the cube's 1 byte per
+    /// cell, so a mostly covered topology would make the "compact"
+    /// representation the bigger one.
+    pub const AUTO_COVERAGE_CEILING: f64 = 0.5;
+
+    /// Resolves `Auto` against the scenario dimensions: the result is
+    /// `Sparse` when `coverage_density` (the fraction of covered
+    /// `(server, user)` pairs) is at most
+    /// [`Self::AUTO_COVERAGE_THRESHOLD`], or when
+    /// `num_servers · num_users · num_models` exceeds
+    /// [`Self::AUTO_CELL_LIMIT`] while the coverage stays below
+    /// [`Self::AUTO_COVERAGE_CEILING`]; `Dense` otherwise. Explicit
+    /// choices pass through unchanged.
+    ///
+    /// The heuristic sees only *coverage*: when a permissive backhaul
+    /// makes relayed delivery meet deadlines, eligibility can greatly
+    /// exceed coverage and inflate the CSR regardless of this choice —
+    /// force [`EligibilityRepr::Dense`] in that regime.
+    pub fn resolved(
+        self,
+        num_servers: usize,
+        num_users: usize,
+        num_models: usize,
+        coverage_density: f64,
+    ) -> EligibilityRepr {
+        match self {
+            EligibilityRepr::Dense => EligibilityRepr::Dense,
+            EligibilityRepr::Sparse => EligibilityRepr::Sparse,
+            EligibilityRepr::Auto => {
+                let cells = num_servers
+                    .saturating_mul(num_users)
+                    .saturating_mul(num_models);
+                if coverage_density <= Self::AUTO_COVERAGE_THRESHOLD
+                    || (cells > Self::AUTO_CELL_LIMIT
+                        && coverage_density < Self::AUTO_COVERAGE_CEILING)
+                {
+                    EligibilityRepr::Sparse
+                } else {
+                    EligibilityRepr::Dense
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small asymmetric pattern exercising every iterator.
+    fn pattern(m: usize, k: usize, i: usize) -> bool {
+        matches!((m, k, i), (0, 0, _) | (1, 1, 1) | (2, _, 0)) && !(m == 2 && k == 2)
+    }
+
+    fn both() -> (EligibilityTensor, SparseEligibility) {
+        (
+            EligibilityTensor::from_fn(3, 3, 2, pattern),
+            SparseEligibility::from_fn(3, 3, 2, pattern),
+        )
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_pointwise() {
+        let (dense, sparse) = both();
+        assert_eq!(dense.num_eligible(), sparse.num_eligible());
+        for m in 0..3 {
+            for k in 0..3 {
+                for i in 0..2 {
+                    assert_eq!(
+                        dense.eligible(m, UserId(k), ModelId(i)),
+                        sparse.eligible(m, UserId(k), ModelId(i)),
+                        "disagreement at ({m},{k},{i})"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            EligibilityView::density(&dense),
+            EligibilityView::density(&sparse)
+        );
+    }
+
+    #[test]
+    fn iterators_agree_and_are_sorted() {
+        let (dense, sparse) = both();
+        for k in 0..3 {
+            for i in 0..2 {
+                let d: Vec<usize> = dense.servers_for(UserId(k), ModelId(i)).collect();
+                let s: Vec<usize> = sparse.servers_for(UserId(k), ModelId(i)).collect();
+                assert_eq!(d, s, "servers_for({k},{i})");
+                assert!(d.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        for m in 0..3 {
+            for i in 0..2 {
+                let d: Vec<UserId> = dense.users_for(m, ModelId(i)).collect();
+                let s: Vec<UserId> = sparse.users_for(m, ModelId(i)).collect();
+                assert_eq!(d, s, "users_for({m},{i})");
+            }
+            let d: Vec<ModelId> = dense.server_models(m).collect();
+            let s: Vec<ModelId> = sparse.server_models(m).collect();
+            assert_eq!(d, s, "server_models({m})");
+            let d: Vec<_> = dense.pairs_for_server(m).collect();
+            let s: Vec<_> = sparse.pairs_for_server(m).collect();
+            assert_eq!(d, s, "pairs_for_server({m})");
+            assert!(d.windows(2).all(|w| w[0] < w[1]), "pairs must be sorted");
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_are_empty_or_false() {
+        let (dense, sparse) = both();
+        for view in [&dense as &dyn EligibilityView, &sparse] {
+            assert!(!view.eligible(9, UserId(0), ModelId(0)));
+            assert!(!view.eligible(0, UserId(9), ModelId(0)));
+            assert!(!view.eligible(0, UserId(0), ModelId(9)));
+            assert_eq!(view.servers_for(UserId(9), ModelId(0)).count(), 0);
+            assert_eq!(view.users_for(9, ModelId(0)).count(), 0);
+            assert_eq!(view.server_models(9).count(), 0);
+            assert_eq!(view.pairs_for_server(9).count(), 0);
+        }
+    }
+
+    #[test]
+    fn enum_wrapper_delegates() {
+        let (dense, sparse) = both();
+        let d = Eligibility::Dense(dense);
+        let s = Eligibility::Sparse(sparse);
+        assert_eq!(d.repr(), EligibilityRepr::Dense);
+        assert_eq!(s.repr(), EligibilityRepr::Sparse);
+        assert!(!d.is_sparse());
+        assert!(s.is_sparse());
+        assert_eq!(d.num_eligible(), s.num_eligible());
+        assert_eq!(d.num_servers(), 3);
+        assert_eq!(s.num_users(), 3);
+        assert_eq!(d.num_models(), 2);
+        assert_eq!(d.density(), s.density());
+        for m in 0..3 {
+            assert_eq!(
+                d.pairs_for_server(m).collect::<Vec<_>>(),
+                s.pairs_for_server(m).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                d.server_models(m).collect::<Vec<_>>(),
+                s.server_models(m).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(
+            d.servers_for(UserId(0), ModelId(0)).collect::<Vec<_>>(),
+            s.servers_for(UserId(0), ModelId(0)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            d.users_for(2, ModelId(0)).collect::<Vec<_>>(),
+            s.users_for(2, ModelId(0)).collect::<Vec<_>>()
+        );
+        assert!(d.eligible(0, UserId(0), ModelId(1)));
+        assert!(s.eligible(0, UserId(0), ModelId(1)));
+    }
+
+    #[test]
+    fn auto_resolution_policy() {
+        // Small and well-covered: dense.
+        assert_eq!(
+            EligibilityRepr::Auto.resolved(10, 30, 30, 0.24),
+            EligibilityRepr::Dense
+        );
+        // Huge cube with thin coverage: sparse.
+        assert_eq!(
+            EligibilityRepr::Auto.resolved(1000, 50_000, 24, 0.3),
+            EligibilityRepr::Sparse
+        );
+        // Huge cube but mostly covered: the CSR would outgrow the cube
+        // (~8 bytes/triple vs 1 byte/cell), so dense wins.
+        assert_eq!(
+            EligibilityRepr::Auto.resolved(1000, 50_000, 24, 0.6),
+            EligibilityRepr::Dense
+        );
+        // Thin coverage: sparse even when the cube is small.
+        assert_eq!(
+            EligibilityRepr::Auto.resolved(10, 30, 30, 0.05),
+            EligibilityRepr::Sparse
+        );
+        // Explicit choices pass through.
+        assert_eq!(
+            EligibilityRepr::Dense.resolved(1000, 50_000, 24, 0.0),
+            EligibilityRepr::Dense
+        );
+        assert_eq!(
+            EligibilityRepr::Sparse.resolved(2, 2, 2, 1.0),
+            EligibilityRepr::Sparse
+        );
+        assert_eq!(EligibilityRepr::default(), EligibilityRepr::Auto);
+    }
+
+    #[test]
+    fn empty_dimensions_are_harmless() {
+        let t = EligibilityTensor::from_fn(0, 0, 0, |_, _, _| true);
+        assert_eq!(t.num_eligible(), 0);
+        assert_eq!(EligibilityView::density(&t), 0.0);
+        let s = SparseEligibility::from_fn(0, 0, 0, |_, _, _| true);
+        assert_eq!(s.num_eligible(), 0);
+    }
+}

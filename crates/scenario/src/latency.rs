@@ -1,5 +1,5 @@
-//! End-to-end latency (Eqs. 4–5) and the service-eligibility indicator
-//! `I1(m, k, i)` (Eq. 3).
+//! End-to-end latency (Eqs. 4–5) and construction of the
+//! service-eligibility indicator `I1(m, k, i)` (Eq. 3).
 //!
 //! A request by user `k` for model `i` can be served by edge server `m`
 //! (a *cache hit* if `m` stores the model) when the end-to-end latency
@@ -12,8 +12,11 @@
 //!   then infer.
 //!
 //! Crucially the indicator does **not** depend on the placement, so it can
-//! be precomputed once per scenario (or once per fading realisation) as an
-//! [`EligibilityTensor`] and reused by every placement algorithm.
+//! be precomputed once per scenario (or once per fading realisation) and
+//! reused by every placement algorithm. [`LatencyEvaluator::eligibility`]
+//! materialises the dense [`EligibilityTensor`];
+//! [`LatencyEvaluator::sparse_eligibility`] builds the coverage-pruned
+//! [`SparseEligibility`] without ever allocating the `M × K × I` cube.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,17 +28,30 @@ use trimcaching_wireless::params::RadioParams;
 use trimcaching_wireless::Backhaul;
 
 use crate::demand::Demand;
+use crate::eligibility::{EligibilityTensor, SparseEligibility};
 use crate::entities::UserId;
 use crate::error::ScenarioError;
 
-/// The `M × K` matrix of downlink rates `C_{m,k}` in bits per second.
+/// The `M × K` downlink rates `C_{m,k}` in bits per second, stored
+/// row-compressed: each server row keeps entries only for the users it
+/// covers (the paper never downloads directly from a non-covering server;
+/// relayed delivery uses the covering servers' rates instead).
 ///
-/// Entries for server-user pairs outside coverage are stored as `0.0`
-/// (the paper never downloads directly from a non-covering server; relayed
-/// delivery uses the covering servers' rates instead).
+/// Point lookups for uncovered in-range pairs return `0.0`, preserving
+/// the semantics of the earlier dense matrix, while memory scales with
+/// the number of covered `(server, user)` pairs — the difference between
+/// megabytes and gigabytes at city scale (1000+ servers, 50k+ users).
+/// [`RateMatrix::covered_rates`] iterates a row without paying per-user
+/// lookups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RateMatrix {
-    rates_bps: Vec<Vec<f64>>,
+    num_users: usize,
+    /// CSR row offsets, length `M + 1`.
+    row_offsets: Vec<usize>,
+    /// Covered user indices, ascending within each row.
+    users: Vec<u32>,
+    /// Rates aligned with `users`.
+    rates_bps: Vec<f64>,
 }
 
 impl RateMatrix {
@@ -54,8 +70,8 @@ impl RateMatrix {
     }
 
     /// Computes a rate matrix with an arbitrary per-link fading power gain
-    /// supplied by `fading_gain(m, k)`; used by the Monte-Carlo evaluation
-    /// over Rayleigh realisations.
+    /// supplied by `fading_gain(m, k)` for every covered pair; used by the
+    /// Monte-Carlo evaluation over Rayleigh realisations.
     ///
     /// # Errors
     ///
@@ -71,31 +87,46 @@ impl RateMatrix {
     {
         let m_count = coverage.num_servers();
         let k_count = coverage.num_users();
-        let mut rates = vec![vec![0.0; k_count]; m_count];
-        for (m, row) in rates.iter_mut().enumerate() {
+        let mut row_offsets = Vec::with_capacity(m_count + 1);
+        row_offsets.push(0usize);
+        let mut users: Vec<u32> = Vec::new();
+        let mut rates_bps: Vec<f64> = Vec::new();
+        for m in 0..m_count {
             let share = allocation.share(m)?;
             for &k in coverage.users_of_server(m)? {
                 let d = coverage.distance_m(m, k)?;
-                row[k] = rate_with_fading_bps(
+                users.push(k as u32);
+                rates_bps.push(rate_with_fading_bps(
                     share.bandwidth_hz,
                     share.power_w,
                     d,
                     fading_gain(m, k),
                     params,
-                );
+                ));
             }
+            row_offsets.push(users.len());
         }
-        Ok(Self { rates_bps: rates })
+        Ok(Self {
+            num_users: k_count,
+            row_offsets,
+            users,
+            rates_bps,
+        })
     }
 
     /// Number of servers (rows).
     pub fn num_servers(&self) -> usize {
-        self.rates_bps.len()
+        self.row_offsets.len() - 1
     }
 
     /// Number of users (columns).
     pub fn num_users(&self) -> usize {
-        self.rates_bps.first().map(Vec::len).unwrap_or(0)
+        self.num_users
+    }
+
+    /// Number of stored (covered) `(server, user)` entries.
+    pub fn num_covered_pairs(&self) -> usize {
+        self.users.len()
     }
 
     /// The rate from server `m` to user `k` in bits per second (zero when
@@ -105,19 +136,49 @@ impl RateMatrix {
     ///
     /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
     pub fn rate_bps(&self, m: usize, k: usize) -> Result<f64, ScenarioError> {
-        let row = self
-            .rates_bps
-            .get(m)
-            .ok_or(ScenarioError::IndexOutOfRange {
+        if m >= self.num_servers() {
+            return Err(ScenarioError::IndexOutOfRange {
                 entity: "server",
                 index: m,
-                len: self.rates_bps.len(),
-            })?;
-        row.get(k).copied().ok_or(ScenarioError::IndexOutOfRange {
-            entity: "user",
-            index: k,
-            len: row.len(),
+                len: self.num_servers(),
+            });
+        }
+        if k >= self.num_users {
+            return Err(ScenarioError::IndexOutOfRange {
+                entity: "user",
+                index: k,
+                len: self.num_users,
+            });
+        }
+        let row = &self.users[self.row_offsets[m]..self.row_offsets[m + 1]];
+        Ok(match row.binary_search(&(k as u32)) {
+            Ok(pos) => self.rates_bps[self.row_offsets[m] + pos],
+            Err(_) => 0.0,
         })
+    }
+
+    /// Iterates the covered `(user, rate_bps)` pairs of server `m` in
+    /// ascending user order, without per-user lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for an unknown server.
+    pub fn covered_rates(
+        &self,
+        m: usize,
+    ) -> Result<impl Iterator<Item = (usize, f64)> + '_, ScenarioError> {
+        if m >= self.num_servers() {
+            return Err(ScenarioError::IndexOutOfRange {
+                entity: "server",
+                index: m,
+                len: self.num_servers(),
+            });
+        }
+        let range = self.row_offsets[m]..self.row_offsets[m + 1];
+        Ok(self.users[range.clone()]
+            .iter()
+            .zip(&self.rates_bps[range])
+            .map(|(&k, &r)| (k as usize, r)))
     }
 }
 
@@ -174,6 +235,11 @@ impl<'a> LatencyEvaluator<'a> {
             backhaul,
             rates,
         })
+    }
+
+    /// Number of models `I` in the underlying library.
+    pub fn num_models(&self) -> usize {
+        self.library.num_models()
     }
 
     /// End-to-end latency `T_{m,k,i}` in seconds when edge server `m`
@@ -235,96 +301,132 @@ impl<'a> LatencyEvaluator<'a> {
         Ok(latency <= self.demand.deadline_s(user, model)?)
     }
 
-    /// Precomputes the full `M × K × I` eligibility tensor.
+    /// Precomputes the full dense `M × K × I` eligibility tensor.
     ///
     /// # Errors
     ///
     /// Returns an error for inconsistent components.
     pub fn eligibility(&self) -> Result<EligibilityTensor, ScenarioError> {
+        EligibilityTensor::try_from_fn(
+            self.coverage.num_servers(),
+            self.coverage.num_users(),
+            self.library.num_models(),
+            |m, k, i| self.eligible(m, UserId(k), ModelId(i)),
+        )
+    }
+
+    /// Builds the coverage-pruned [`SparseEligibility`] without ever
+    /// allocating the dense cube.
+    ///
+    /// The construction walks every request class `(k, i)` once:
+    ///
+    /// * each **covering** server of `k` is probed individually (Eq. 4);
+    /// * **non-covering** servers all share the same relayed latency
+    ///   (Eq. 5) when the backhaul mesh is uniform, so a single probe
+    ///   decides all of them at once. Per-link backhaul overrides force
+    ///   the exact per-server fallback.
+    ///
+    /// The result is indistinguishable from the dense tensor — the same
+    /// `latency_s` decides every triple — but memory follows the number
+    /// of eligible triples. When relaying fits the deadline the candidate
+    /// lists do grow towards `M`; the representation shines in the
+    /// city-scale regime where deadlines preclude backhaul relays for
+    /// most request classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent components.
+    pub fn sparse_eligibility(&self) -> Result<SparseEligibility, ScenarioError> {
         let m_count = self.coverage.num_servers();
         let k_count = self.coverage.num_users();
         let i_count = self.library.num_models();
-        let mut bits = vec![false; m_count * k_count * i_count];
-        for m in 0..m_count {
-            for k in 0..k_count {
-                for i in 0..i_count {
-                    let idx = (m * k_count + k) * i_count + i;
-                    bits[idx] = self.eligible(m, UserId(k), ModelId(i))?;
+        let uniform_backhaul = !self.backhaul.has_overrides();
+
+        let mut pair_offsets = Vec::with_capacity(k_count * i_count + 1);
+        pair_offsets.push(0usize);
+        let mut pair_servers: Vec<u32> = Vec::new();
+        // Direct-eligible covering servers of the current request class.
+        let mut direct: Vec<u32> = Vec::new();
+
+        for k in 0..k_count {
+            let user = UserId(k);
+            let covering = self.coverage.servers_of_user(k)?;
+            if covering.is_empty() {
+                for _ in 0..i_count {
+                    pair_offsets.push(pair_servers.len());
                 }
+                continue;
+            }
+            for i in 0..i_count {
+                let model = ModelId(i);
+                direct.clear();
+                for &m in covering {
+                    if self.eligible(m, user, model)? {
+                        direct.push(m as u32);
+                    }
+                }
+                if uniform_backhaul {
+                    // One probe decides every non-covering server.
+                    let probe = (0..m_count).find(|m| !covering.contains(m));
+                    let relay_all = match probe {
+                        Some(m) => self.eligible(m, user, model)?,
+                        None => false,
+                    };
+                    if relay_all {
+                        merge_candidates(m_count, covering, &direct, &mut pair_servers, |_| {
+                            Ok(true)
+                        })?;
+                    } else {
+                        pair_servers.extend_from_slice(&direct);
+                    }
+                } else {
+                    // Exact per-server fallback for heterogeneous meshes.
+                    merge_candidates(m_count, covering, &direct, &mut pair_servers, |m| {
+                        self.eligible(m, user, model)
+                    })?;
+                }
+                pair_offsets.push(pair_servers.len());
             }
         }
-        Ok(EligibilityTensor {
-            num_servers: m_count,
-            num_users: k_count,
-            num_models: i_count,
-            bits,
-        })
+
+        Ok(SparseEligibility::from_pair_candidates(
+            m_count,
+            k_count,
+            i_count,
+            pair_offsets,
+            pair_servers,
+        ))
     }
 }
 
-/// Precomputed `I1(m, k, i)` indicator for all (server, user, model)
-/// triples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EligibilityTensor {
-    num_servers: usize,
-    num_users: usize,
-    num_models: usize,
-    bits: Vec<bool>,
-}
-
-impl EligibilityTensor {
-    /// Number of servers `M`.
-    pub fn num_servers(&self) -> usize {
-        self.num_servers
-    }
-
-    /// Number of users `K`.
-    pub fn num_users(&self) -> usize {
-        self.num_users
-    }
-
-    /// Number of models `I`.
-    pub fn num_models(&self) -> usize {
-        self.num_models
-    }
-
-    /// Whether server `m` can serve user `k`'s request for model `i` within
-    /// the deadline. Out-of-range indices return `false`.
-    pub fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
-        let (k, i) = (user.index(), model.index());
-        if m >= self.num_servers || k >= self.num_users || i >= self.num_models {
-            return false;
-        }
-        self.bits[(m * self.num_users + k) * self.num_models + i]
-    }
-
-    /// Number of eligible `(m, k, i)` triples — a coarse measure of how
-    /// permissive the latency constraints are.
-    pub fn num_eligible(&self) -> usize {
-        self.bits.iter().filter(|b| **b).count()
-    }
-
-    /// Builds a tensor directly from a closure; exposed for tests and for
-    /// synthetic experiments that bypass the radio model.
-    pub fn from_fn<F>(num_servers: usize, num_users: usize, num_models: usize, mut f: F) -> Self
-    where
-        F: FnMut(usize, usize, usize) -> bool,
-    {
-        let mut bits = vec![false; num_servers * num_users * num_models];
-        for m in 0..num_servers {
-            for k in 0..num_users {
-                for i in 0..num_models {
-                    bits[(m * num_users + k) * num_models + i] = f(m, k, i);
-                }
+/// Appends, in ascending server order, the candidate servers of one
+/// request class: covering servers contribute when direct-eligible
+/// (`direct`, sorted ascending), non-covering servers when
+/// `include_non_covering` says so.
+fn merge_candidates<F>(
+    m_count: usize,
+    covering: &[usize],
+    direct: &[u32],
+    pair_servers: &mut Vec<u32>,
+    mut include_non_covering: F,
+) -> Result<(), ScenarioError>
+where
+    F: FnMut(usize) -> Result<bool, ScenarioError>,
+{
+    let mut cover_iter = covering.iter().peekable();
+    let mut direct_iter = direct.iter().peekable();
+    for m in 0..m_count {
+        if cover_iter.peek() == Some(&&m) {
+            cover_iter.next();
+            if direct_iter.peek() == Some(&&(m as u32)) {
+                direct_iter.next();
+                pair_servers.push(m as u32);
             }
-        }
-        Self {
-            num_servers,
-            num_users,
-            num_models,
-            bits,
+        } else if include_non_covering(m)? {
+            pair_servers.push(m as u32);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -384,6 +486,21 @@ mod tests {
         assert_eq!(f.rates.rate_bps(1, 2).unwrap(), 0.0);
         assert!(f.rates.rate_bps(2, 0).is_err());
         assert!(f.rates.rate_bps(0, 9).is_err());
+    }
+
+    #[test]
+    fn rate_matrix_stores_only_covered_pairs() {
+        let f = fixture();
+        // Server 0 covers user 0, server 1 covers user 1; user 2 is
+        // uncovered: two stored entries instead of a dense 2 x 3 = 6.
+        assert_eq!(f.rates.num_covered_pairs(), 2);
+        let row0: Vec<(usize, f64)> = f.rates.covered_rates(0).unwrap().collect();
+        assert_eq!(row0.len(), 1);
+        assert_eq!(row0[0].0, 0);
+        assert_eq!(row0[0].1, f.rates.rate_bps(0, 0).unwrap());
+        let row1: Vec<(usize, f64)> = f.rates.covered_rates(1).unwrap().collect();
+        assert_eq!(row1, vec![(1, f.rates.rate_bps(1, 1).unwrap())]);
+        assert!(f.rates.covered_rates(5).is_err());
     }
 
     #[test]
@@ -464,6 +581,56 @@ mod tests {
         assert!(!tensor.eligible(9, UserId(0), ModelId(0)));
         assert!(!tensor.eligible(0, UserId(9), ModelId(0)));
         assert!(!tensor.eligible(0, UserId(0), ModelId(999)));
+    }
+
+    #[test]
+    fn sparse_eligibility_matches_the_dense_tensor() {
+        let f = fixture();
+        let eval = LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &f.backhaul, &f.rates)
+            .unwrap();
+        let dense = eval.eligibility().unwrap();
+        let sparse = eval.sparse_eligibility().unwrap();
+        assert_eq!(sparse.num_servers(), dense.num_servers());
+        assert_eq!(sparse.num_users(), dense.num_users());
+        assert_eq!(sparse.num_models(), dense.num_models());
+        assert_eq!(sparse.num_eligible(), dense.num_eligible());
+        for m in 0..2 {
+            for k in 0..3 {
+                for i in 0..f.library.num_models() {
+                    assert_eq!(
+                        sparse.eligible(m, UserId(k), ModelId(i)),
+                        dense.eligible(m, UserId(k), ModelId(i)),
+                        "disagreement at ({m},{k},{i})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_eligibility_handles_backhaul_overrides_exactly() {
+        let f = fixture();
+        // Throttle one directed link so non-covering servers are no longer
+        // interchangeable: the exact fallback must still agree with the
+        // dense tensor.
+        let mut backhaul = Backhaul::paper_default(2);
+        backhaul.set_link_rate(1, 0, 1.0e6).unwrap();
+        let eval =
+            LatencyEvaluator::new(&f.library, &f.demand, &f.coverage, &backhaul, &f.rates).unwrap();
+        let dense = eval.eligibility().unwrap();
+        let sparse = eval.sparse_eligibility().unwrap();
+        assert_eq!(sparse.num_eligible(), dense.num_eligible());
+        for m in 0..2 {
+            for k in 0..3 {
+                for i in 0..f.library.num_models() {
+                    assert_eq!(
+                        sparse.eligible(m, UserId(k), ModelId(i)),
+                        dense.eligible(m, UserId(k), ModelId(i)),
+                        "override disagreement at ({m},{k},{i})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

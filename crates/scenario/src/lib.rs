@@ -6,8 +6,11 @@
 //! * [`entities`] — edge servers (with storage capacities `Q_m`) and users;
 //! * [`demand`] — request probabilities `p_{k,i}`, QoS budgets `T̄_{k,i}`
 //!   and on-device inference latencies `t_{k,i}`;
-//! * [`latency`] — the downlink rate matrix, end-to-end latency of
-//!   Eqs. (4)–(5) and the service-eligibility indicator `I1(m,k,i)`;
+//! * [`latency`] — the downlink rate matrix (row-compressed to covered
+//!   pairs), end-to-end latency of Eqs. (4)–(5) and the constructors of
+//!   the service-eligibility indicator `I1(m,k,i)`;
+//! * [`eligibility`] — the [`EligibilityView`] trait and its two
+//!   representations (see below);
 //! * [`placement`] — the decision variables `x_{m,i}` (and their block-level
 //!   view `y_{m,j}`);
 //! * [`storage`] — shared-storage accounting `g_m` of Eq. (7) with
@@ -17,6 +20,34 @@
 //! * [`mobility`] — the pedestrian/bike/vehicle mobility models of the
 //!   Fig. 7 robustness study;
 //! * [`scenario`] — the [`Scenario`] aggregate and its builder.
+//!
+//! # Eligibility representations
+//!
+//! The indicator `I1(m,k,i)` is consumed everywhere through the
+//! [`EligibilityView`] trait, which has two implementations selected by
+//! [`eligibility::EligibilityRepr`] on the builder:
+//!
+//! * **Dense** ([`EligibilityTensor`]) — the full `M × K × I` cube.
+//!   `O(1)` point queries and trivially cache-friendly scans; memory is
+//!   `M · K · I` bytes, fine for paper-scale snapshots (10 servers × 30
+//!   users × 30 models) and exhaustive/small-instance work.
+//! * **Sparse** ([`eligibility::SparseEligibility`]) — coverage-pruned
+//!   CSR: per request class `(k, i)` a sorted candidate-server list, plus
+//!   a per-server model-major reverse index of eligible users. Memory
+//!   follows the number of eligible triples — in city-scale deployments
+//!   (1000+ servers, each user covered by a handful) orders of magnitude
+//!   below the cube, and marginal-gain loops walk only eligible triples.
+//!
+//! `Auto` (the default) resolves to **Sparse** when at most
+//! [`eligibility::EligibilityRepr::AUTO_COVERAGE_THRESHOLD`] (10%) of
+//! `(server, user)` pairs are covered, or when the cube would exceed
+//! [`eligibility::EligibilityRepr::AUTO_CELL_LIMIT`] cells (≈ 4 Mi)
+//! while coverage stays below
+//! [`eligibility::EligibilityRepr::AUTO_COVERAGE_CEILING`] (50% — above
+//! that the CSR's ~8 bytes per eligible triple would outgrow the cube's
+//! 1 byte per cell); **Dense** otherwise. Both paths yield indices in
+//! ascending order, so hit ratios and marginal gains are bit-identical
+//! across representations.
 //!
 //! # Example
 //!
@@ -53,6 +84,7 @@
 
 pub mod block_view;
 pub mod demand;
+pub mod eligibility;
 pub mod entities;
 pub mod error;
 pub mod latency;
@@ -64,9 +96,12 @@ pub mod storage;
 
 pub use block_view::BlockPlacement;
 pub use demand::{Demand, DemandConfig};
+pub use eligibility::{
+    Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
+};
 pub use entities::{gigabytes, EdgeServer, ServerId, User, UserId};
 pub use error::ScenarioError;
-pub use latency::{EligibilityTensor, LatencyEvaluator, RateMatrix};
+pub use latency::{LatencyEvaluator, RateMatrix};
 pub use mobility::{MobilityClass, MobilityModel};
 pub use objective::HitRatioObjective;
 pub use placement::Placement;
@@ -77,9 +112,11 @@ pub use storage::StorageTracker;
 pub mod prelude {
     pub use crate::block_view::BlockPlacement;
     pub use crate::demand::{Demand, DemandConfig};
+    pub use crate::eligibility::{
+        Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
+    };
     pub use crate::entities::{gigabytes, EdgeServer, ServerId, User, UserId};
     pub use crate::error::ScenarioError;
-    pub use crate::latency::EligibilityTensor;
     pub use crate::mobility::{MobilityClass, MobilityModel};
     pub use crate::objective::HitRatioObjective;
     pub use crate::placement::Placement;

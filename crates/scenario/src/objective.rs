@@ -11,35 +11,39 @@
 //!
 //! [`HitRatioObjective`] evaluates `U`, marginal gains (the primitive used
 //! by every greedy algorithm in the paper), and per-request hit
-//! classification.
+//! classification. It consumes the eligibility indicator through the
+//! [`EligibilityView`] trait, so the same evaluator runs unchanged over
+//! the dense tensor and the coverage-pruned sparse representation — and
+//! because every view yields indices in ascending order, the two paths
+//! accumulate floats identically and produce bit-identical hit ratios.
 
 use trimcaching_modellib::ModelId;
 
 use crate::demand::Demand;
+use crate::eligibility::{EligibilityView, ServerModels, UsersFor};
 use crate::entities::{ServerId, UserId};
 use crate::error::ScenarioError;
-use crate::latency::EligibilityTensor;
 use crate::placement::Placement;
 
 /// Evaluator of the expected cache hit ratio for a fixed demand and
-/// eligibility tensor.
-#[derive(Debug, Clone)]
+/// eligibility view.
+#[derive(Debug, Clone, Copy)]
 pub struct HitRatioObjective<'a> {
     demand: &'a Demand,
-    eligibility: &'a EligibilityTensor,
+    eligibility: &'a dyn EligibilityView,
 }
 
 impl<'a> HitRatioObjective<'a> {
-    /// Creates an objective evaluator.
+    /// Creates an objective evaluator over any eligibility representation.
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::DimensionMismatch`] when the demand and the
-    /// eligibility tensor disagree on the number of users or models.
-    pub fn new(
-        demand: &'a Demand,
-        eligibility: &'a EligibilityTensor,
-    ) -> Result<Self, ScenarioError> {
+    /// eligibility view disagree on the number of users or models.
+    pub fn new<E>(demand: &'a Demand, eligibility: &'a E) -> Result<Self, ScenarioError>
+    where
+        E: EligibilityView,
+    {
         if demand.num_users() != eligibility.num_users()
             || demand.num_models() != eligibility.num_models()
         {
@@ -57,6 +61,11 @@ impl<'a> HitRatioObjective<'a> {
             demand,
             eligibility,
         })
+    }
+
+    /// The eligibility view the objective evaluates against.
+    pub fn view(&self) -> &'a dyn EligibilityView {
+        self.eligibility
     }
 
     /// Number of users `K`.
@@ -90,11 +99,24 @@ impl<'a> HitRatioObjective<'a> {
         self.eligibility.eligible(server.index(), user, model)
     }
 
-    /// Whether request `(k, i)` is a hit under `placement`.
+    /// The users `server` can serve for `model` within deadline,
+    /// ascending — the support of the marginal gain of `(server, model)`.
+    pub fn eligible_users(&self, server: ServerId, model: ModelId) -> UsersFor<'a> {
+        self.eligibility.users_for(server.index(), model)
+    }
+
+    /// The models `server` can serve for at least one user, ascending —
+    /// the candidate set a greedy loop needs to consider for `server`.
+    pub fn candidate_models(&self, server: ServerId) -> ServerModels<'a> {
+        self.eligibility.server_models(server.index())
+    }
+
+    /// Whether request `(k, i)` is a hit under `placement`: some candidate
+    /// server caches the model.
     pub fn is_served(&self, placement: &Placement, user: UserId, model: ModelId) -> bool {
-        (0..self.eligibility.num_servers()).any(|m| {
-            placement.contains(ServerId(m), model) && self.eligibility.eligible(m, user, model)
-        })
+        self.eligibility
+            .servers_for(user, model)
+            .any(|m| placement.contains(ServerId(m), model))
     }
 
     /// Expected number of hits `Σ_{k,i} p_{k,i} · hit(k,i)` — the numerator
@@ -126,17 +148,14 @@ impl<'a> HitRatioObjective<'a> {
     /// `server`: `U(X ∪ {x_{m,i}}) − U(X)` multiplied by the total mass
     /// (i.e. expressed in expected-hit units). Only requests for `model`
     /// that are not already served and become eligible through `server`
-    /// contribute.
+    /// contribute; the loop walks exactly the eligible users of
+    /// `(server, model)` instead of scanning all `K`.
     pub fn marginal_hits(&self, placement: &Placement, server: ServerId, model: ModelId) -> f64 {
         if placement.contains(server, model) {
             return 0.0;
         }
         let mut gain = 0.0;
-        for k in 0..self.num_users() {
-            let user = UserId(k);
-            if !self.eligibility.eligible(server.index(), user, model) {
-                continue;
-            }
+        for user in self.eligibility.users_for(server.index(), model) {
             if self.is_served(placement, user, model) {
                 continue;
             }
@@ -181,7 +200,7 @@ impl<'a> HitRatioObjective<'a> {
 mod tests {
     use super::*;
     use crate::demand::Demand;
-    use crate::latency::EligibilityTensor;
+    use crate::eligibility::{EligibilityTensor, SparseEligibility};
 
     /// 2 servers, 2 users, 2 models.
     /// - server 0 can serve user 0 for both models;
@@ -297,5 +316,41 @@ mod tests {
         let obj = HitRatioObjective::new(&demand, &elig).unwrap();
         assert_eq!(obj.weight(UserId(9), ModelId(0)), 0.0);
         assert_eq!(obj.weight(UserId(0), ModelId(9)), 0.0);
+    }
+
+    #[test]
+    fn dense_and_sparse_views_give_bit_identical_objectives() {
+        let (demand, dense) = fixture();
+        let sparse = SparseEligibility::from_fn(2, 2, 2, |m, k, i| {
+            matches!((m, k, i), (0, 0, _) | (1, 1, 1))
+        });
+        let d = HitRatioObjective::new(&demand, &dense).unwrap();
+        let s = HitRatioObjective::new(&demand, &sparse).unwrap();
+        let mut p = Placement::empty(2, 2);
+        for (srv, model) in [(0, 1), (1, 1), (0, 0)] {
+            assert_eq!(
+                d.marginal_hits(&p, ServerId(srv), ModelId(model)),
+                s.marginal_hits(&p, ServerId(srv), ModelId(model))
+            );
+            p.place(ServerId(srv), ModelId(model)).unwrap();
+            assert_eq!(d.hit_ratio(&p), s.hit_ratio(&p));
+            assert_eq!(d.expected_hits(&p), s.expected_hits(&p));
+        }
+        // The candidate sets agree too.
+        for srv in 0..2 {
+            assert_eq!(
+                d.candidate_models(ServerId(srv)).collect::<Vec<_>>(),
+                s.candidate_models(ServerId(srv)).collect::<Vec<_>>()
+            );
+            for i in 0..2 {
+                assert_eq!(
+                    d.eligible_users(ServerId(srv), ModelId(i))
+                        .collect::<Vec<_>>(),
+                    s.eligible_users(ServerId(srv), ModelId(i))
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+        assert_eq!(d.view().num_eligible(), s.view().num_eligible());
     }
 }

@@ -22,9 +22,10 @@ use trimcaching_wireless::params::RadioParams;
 use trimcaching_wireless::Backhaul;
 
 use crate::demand::Demand;
+use crate::eligibility::{Eligibility, EligibilityRepr};
 use crate::entities::{EdgeServer, ServerId, User, UserId};
 use crate::error::ScenarioError;
-use crate::latency::{EligibilityTensor, LatencyEvaluator, RateMatrix};
+use crate::latency::{LatencyEvaluator, RateMatrix};
 use crate::objective::HitRatioObjective;
 use crate::placement::Placement;
 use crate::storage::StorageTracker;
@@ -41,7 +42,11 @@ pub struct Scenario {
     coverage: CoverageMap,
     allocation: PerUserAllocation,
     rates: RateMatrix,
-    eligibility: EligibilityTensor,
+    eligibility: Eligibility,
+    /// The representation the builder was asked for (possibly `Auto`);
+    /// kept so re-derived snapshots (mobility, fading) make the same
+    /// choice.
+    requested_repr: EligibilityRepr,
 }
 
 impl Scenario {
@@ -90,9 +95,17 @@ impl Scenario {
         &self.rates
     }
 
-    /// The precomputed eligibility tensor `I1(m,k,i)` under expected rates.
-    pub fn eligibility(&self) -> &EligibilityTensor {
+    /// The precomputed eligibility indicator `I1(m,k,i)` under expected
+    /// rates, in whichever representation the builder selected (see
+    /// [`ScenarioBuilder::eligibility_repr`]).
+    pub fn eligibility(&self) -> &Eligibility {
         &self.eligibility
+    }
+
+    /// The eligibility representation actually held (never
+    /// [`EligibilityRepr::Auto`]).
+    pub fn eligibility_repr(&self) -> EligibilityRepr {
+        self.eligibility.repr()
     }
 
     /// Number of edge servers `M`.
@@ -211,7 +224,7 @@ impl Scenario {
             &self.backhaul,
             &rates,
         )?;
-        let eligibility = evaluator.eligibility()?;
+        let eligibility = derive_eligibility(&evaluator, self.requested_repr, &self.coverage)?;
         let objective = HitRatioObjective::new(&self.demand, &eligibility)?;
         Ok(objective.hit_ratio(placement))
     }
@@ -291,9 +304,29 @@ impl Scenario {
             demand: Some(self.demand.clone()),
             radio: self.radio,
             backhaul_rate_bps: self.backhaul.default_rate_bps(),
+            eligibility_repr: self.requested_repr,
         }
         .build()
     }
+}
+
+/// Resolves the requested representation against the snapshot's
+/// dimensions and builds the eligibility indicator accordingly.
+fn derive_eligibility(
+    evaluator: &LatencyEvaluator<'_>,
+    requested: EligibilityRepr,
+    coverage: &CoverageMap,
+) -> Result<Eligibility, ScenarioError> {
+    let resolved = requested.resolved(
+        coverage.num_servers(),
+        coverage.num_users(),
+        evaluator.num_models(),
+        coverage.coverage_density(),
+    );
+    Ok(match resolved {
+        EligibilityRepr::Sparse => Eligibility::Sparse(evaluator.sparse_eligibility()?),
+        _ => Eligibility::Dense(evaluator.eligibility()?),
+    })
 }
 
 /// Builder assembling a [`Scenario`] from its inputs and deriving the radio
@@ -306,6 +339,7 @@ pub struct ScenarioBuilder {
     demand: Option<Demand>,
     radio: RadioParams,
     backhaul_rate_bps: f64,
+    eligibility_repr: EligibilityRepr,
 }
 
 impl ScenarioBuilder {
@@ -355,6 +389,15 @@ impl ScenarioBuilder {
     /// paper's 10 Gbps).
     pub fn backhaul_rate_bps(mut self, rate: f64) -> Self {
         self.backhaul_rate_bps = rate;
+        self
+    }
+
+    /// Selects the eligibility representation (defaults to
+    /// [`EligibilityRepr::Auto`], which picks the coverage-pruned sparse
+    /// form for large or thinly covered snapshots and the dense tensor
+    /// otherwise).
+    pub fn eligibility_repr(mut self, repr: EligibilityRepr) -> Self {
+        self.eligibility_repr = repr;
         self
     }
 
@@ -420,7 +463,7 @@ impl ScenarioBuilder {
         let rates = RateMatrix::expected(&coverage, &allocation, &radio)?;
         let backhaul = Backhaul::uniform(servers.len(), backhaul_rate)?;
         let evaluator = LatencyEvaluator::new(&library, &demand, &coverage, &backhaul, &rates)?;
-        let eligibility = evaluator.eligibility()?;
+        let eligibility = derive_eligibility(&evaluator, self.eligibility_repr, &coverage)?;
         Ok(Scenario {
             library,
             servers,
@@ -432,6 +475,7 @@ impl ScenarioBuilder {
             allocation,
             rates,
             eligibility,
+            requested_repr: self.eligibility_repr,
         })
     }
 }
@@ -621,6 +665,40 @@ mod tests {
         assert_eq!(moved.demand(), s.demand());
         // Wrong position count is rejected.
         assert!(s.with_user_positions(&new_positions[..3]).is_err());
+    }
+
+    #[test]
+    fn eligibility_repr_is_selectable_and_equivalent() {
+        let dense = build_scenario(8, 1.0);
+        // Paper-scale snapshots resolve Auto to the dense tensor.
+        assert_eq!(dense.eligibility_repr(), EligibilityRepr::Dense);
+        // Rebuild the same snapshot with the sparse representation forced.
+        let sparse = Scenario::builder()
+            .library(dense.library().clone())
+            .servers(dense.servers().to_vec())
+            .users(dense.users().to_vec())
+            .demand(dense.demand().clone())
+            .eligibility_repr(EligibilityRepr::Sparse)
+            .build()
+            .unwrap();
+        assert_eq!(sparse.eligibility_repr(), EligibilityRepr::Sparse);
+        assert!(sparse.eligibility().is_sparse());
+        assert_eq!(
+            sparse.eligibility().num_eligible(),
+            dense.eligibility().num_eligible()
+        );
+        // Bit-identical hit ratios on a shared placement.
+        let mut placement = dense.empty_placement();
+        for i in 0..3 {
+            placement.place(ServerId(i % 2), ModelId(i)).unwrap();
+        }
+        assert_eq!(dense.hit_ratio(&placement), sparse.hit_ratio(&placement));
+        // The representation choice survives a mobility re-derivation.
+        let moved_positions: Vec<Point> = (0..8)
+            .map(|i| Point::new(120.0 + 60.0 * i as f64, 400.0))
+            .collect();
+        let moved = sparse.with_user_positions(&moved_positions).unwrap();
+        assert!(moved.eligibility().is_sparse());
     }
 
     #[test]

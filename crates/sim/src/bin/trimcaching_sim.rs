@@ -7,6 +7,7 @@
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
 //!              serve serve-trace replacement replacement-trigger
+//!              lora-market city-scale
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -20,7 +21,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
-    ablation, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
+    ablation, city, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
 use trimcaching_sim::SimError;
@@ -38,7 +39,7 @@ fn print_usage() {
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
          [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
-         serve serve-trace replacement replacement-trigger lora-market \
+         serve serve-trace replacement replacement-trigger lora-market city-scale \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
@@ -135,6 +136,7 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
+        "city-scale" => render_table(city::city_scale_study(config)?),
         "ablation-epsilon" => render_table(ablation::epsilon_sweep(config)?),
         "ablation-sharing" => render_table(ablation::sharing_depth_sweep(config)?),
         "ablation-zipf" => render_table(ablation::zipf_sweep(config)?),
@@ -160,6 +162,7 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
                 "replacement",
                 "replacement-trigger",
                 "lora-market",
+                "city-scale",
                 "ablation-epsilon",
                 "ablation-sharing",
                 "ablation-zipf",

@@ -12,8 +12,10 @@
 //! | [`ablation`] | ε sweep, sharing-depth sweep, Zipf sweep, scaling, backhaul, deadline, shadowing |
 //! | [`replacement`] | online re-placement extension of Fig. 7 |
 //! | [`serve`] | online serving via `trimcaching-runtime`: eviction policies and warm starts under live traffic |
+//! | [`city`] | city-scale Poisson deployments on the sparse eligibility representation |
 
 pub mod ablation;
+pub mod city;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

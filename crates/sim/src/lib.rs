@@ -37,4 +37,4 @@ pub use error::SimError;
 pub use montecarlo::{evaluate_algorithms, AlgorithmSamples, MonteCarloConfig};
 pub use replacement::{replay_with_policy, ReplacementPolicy, ReplacementTrace, ReplayConfig};
 pub use report::{ComparisonTable, ExperimentTable, Measurement};
-pub use topology::TopologyConfig;
+pub use topology::{CityScaleConfig, TopologyConfig};

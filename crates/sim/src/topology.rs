@@ -157,6 +157,199 @@ impl Default for TopologyConfig {
     }
 }
 
+/// City-scale random topologies: edge servers dropped by a homogeneous
+/// **Poisson point process** over a large square region (the server count
+/// is `Poisson(λ · area)` and positions are uniform given the count),
+/// users dropped uniformly. At these scales each user is covered by a
+/// handful of servers, which is exactly the regime the coverage-pruned
+/// [`trimcaching_scenario::SparseEligibility`] representation targets —
+/// the default `repr` is therefore [`EligibilityRepr::Sparse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityScaleConfig {
+    /// Side length of the square deployment region in metres.
+    pub area_side_m: f64,
+    /// Server intensity λ of the Poisson point process, in servers per
+    /// square kilometre.
+    pub servers_per_km2: f64,
+    /// Number of users dropped uniformly over the region.
+    pub num_users: usize,
+    /// Identical per-server storage capacity `Q`, in gigabytes.
+    pub capacity_gb: f64,
+    /// Demand generation parameters.
+    pub demand: DemandConfig,
+    /// Radio parameters.
+    pub radio: RadioParams,
+    /// Effective per-transfer edge-to-edge throughput in bits per second
+    /// (see [`TopologyConfig::backhaul_rate_bps`]).
+    pub backhaul_rate_bps: f64,
+    /// Eligibility representation forwarded to the scenario builder.
+    pub repr: EligibilityRepr,
+}
+
+impl CityScaleConfig {
+    /// A 5 km × 5 km district with 8 servers/km² (≈ 200 servers) and
+    /// 5 000 users — large enough that the dense `M × K × I` cube is
+    /// wasteful, small enough to iterate on quickly.
+    ///
+    /// City cells cover an order of magnitude more users than the
+    /// paper's 1 km² snapshots (tens instead of ~7), so the presets
+    /// lower the activity probability `p_A` to `0.05` — a mostly idle
+    /// population — keeping the *active*-user bandwidth share, and hence
+    /// the deadline feasibility, at paper levels.
+    ///
+    /// The effective per-transfer backhaul throughput is likewise scaled
+    /// down to 200 Mbps: a metro aggregation network is shared by orders
+    /// of magnitude more concurrent migrations than the paper's 10-server
+    /// mesh, and at 200 Mbps a ≥ 50 MB model cannot be relayed within the
+    /// 0.5–1 s deadlines — requests are served by *covering* servers
+    /// only, which is precisely the coverage-pruned regime the sparse
+    /// representation exploits (with 1 Gbps relays, distant servers
+    /// become eligible for ~¼ of the request classes and the candidate
+    /// lists balloon towards `M`).
+    pub fn district() -> Self {
+        let mut radio = RadioParams::paper_defaults();
+        radio.activity_probability = 0.05;
+        Self {
+            area_side_m: 5_000.0,
+            servers_per_km2: 8.0,
+            num_users: 5_000,
+            capacity_gb: 1.0,
+            demand: DemandConfig::paper_defaults(),
+            radio,
+            backhaul_rate_bps: 2.0e8,
+            repr: EligibilityRepr::Sparse,
+        }
+    }
+
+    /// A 15 km × 15 km city with ≈ 4.4 servers/km² (≈ 1 000 servers) and
+    /// 50 000 users — the headline scale the sparse representation
+    /// exists for; the dense cube would hold 1.2 G cells.
+    pub fn city() -> Self {
+        Self {
+            area_side_m: 15_000.0,
+            servers_per_km2: 4.4,
+            num_users: 50_000,
+            ..Self::district()
+        }
+    }
+
+    /// Sets the server intensity in servers per square kilometre.
+    pub fn with_servers_per_km2(mut self, lambda: f64) -> Self {
+        self.servers_per_km2 = lambda;
+        self
+    }
+
+    /// Sets the number of users.
+    pub fn with_users(mut self, k: usize) -> Self {
+        self.num_users = k;
+        self
+    }
+
+    /// Sets the eligibility representation.
+    pub fn with_repr(mut self, repr: EligibilityRepr) -> Self {
+        self.repr = repr;
+        self
+    }
+
+    /// Expected number of servers `λ · area`.
+    pub fn expected_servers(&self) -> f64 {
+        let area_km2 = (self.area_side_m / 1_000.0).powi(2);
+        self.servers_per_km2 * area_km2
+    }
+
+    /// Generates the `index`-th city topology for this configuration.
+    /// The same `(config, library, seed, index)` always produces the same
+    /// scenario. At least one server is always placed so the scenario
+    /// assembles even when the Poisson draw is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the configuration is invalid or the
+    /// scenario cannot be assembled.
+    pub fn generate(
+        &self,
+        library: &ModelLibrary,
+        seed: u64,
+        index: u64,
+    ) -> Result<Scenario, SimError> {
+        if self.num_users == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "a city topology needs at least one user".into(),
+            });
+        }
+        if !(self.servers_per_km2.is_finite() && self.servers_per_km2 > 0.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("invalid server intensity {} /km²", self.servers_per_km2),
+            });
+        }
+        if !(self.capacity_gb.is_finite() && self.capacity_gb > 0.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("invalid capacity {} GB", self.capacity_gb),
+            });
+        }
+        if !(self.backhaul_rate_bps.is_finite() && self.backhaul_rate_bps > 0.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("invalid backhaul rate {} bps", self.backhaul_rate_bps),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        );
+        let area = DeploymentArea::new(self.area_side_m).map_err(ScenarioError::from)?;
+        let num_servers = sample_poisson(self.expected_servers(), &mut rng).max(1);
+        let servers: Vec<EdgeServer> = (0..num_servers)
+            .map(|m| {
+                EdgeServer::new(
+                    ServerId(m),
+                    area.sample_uniform(&mut rng),
+                    gigabytes(self.capacity_gb),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let users = area.sample_uniform_n(self.num_users, &mut rng);
+        let demand = self
+            .demand
+            .generate(self.num_users, library.num_models(), &mut rng)?;
+        let scenario = Scenario::builder()
+            .library(library.clone())
+            .servers(servers)
+            .users_at(&users)
+            .demand(demand)
+            .radio(self.radio)
+            .backhaul_rate_bps(self.backhaul_rate_bps)
+            .eligibility_repr(self.repr)
+            .build()?;
+        Ok(scenario)
+    }
+}
+
+impl Default for CityScaleConfig {
+    fn default() -> Self {
+        Self::district()
+    }
+}
+
+/// Draws `Poisson(lambda)` with Knuth's product method, chunked so the
+/// running product `e^{-λ'}` never underflows for large intensities
+/// (`Poisson(λ) = Σ Poisson(λ / n)` over `n` independent chunks).
+fn sample_poisson<R: rand::Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    const CHUNK: f64 = 32.0;
+    let mut remaining = lambda.max(0.0);
+    let mut count = 0usize;
+    while remaining > 0.0 {
+        let step = remaining.min(CHUNK);
+        remaining -= step;
+        let threshold = (-step).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        while product > threshold {
+            count += 1;
+            product *= rng.gen_range(0.0..1.0);
+        }
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +393,72 @@ mod tests {
         assert_ne!(a, c);
         let d = cfg.generate(&lib, 43, 0).unwrap();
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn city_scale_generation_is_deterministic_and_sparse() {
+        let lib = library();
+        // A small "city" so the test stays fast: 2 km², ~24 servers.
+        let cfg = CityScaleConfig::district()
+            .with_servers_per_km2(6.0)
+            .with_users(300);
+        let cfg = CityScaleConfig {
+            area_side_m: 2_000.0,
+            ..cfg
+        };
+        assert!((cfg.expected_servers() - 24.0).abs() < 1e-9);
+        let a = cfg.generate(&lib, 7, 0).unwrap();
+        let b = cfg.generate(&lib, 7, 0).unwrap();
+        assert_eq!(a, b);
+        assert!(a.num_servers() >= 1);
+        assert_eq!(a.num_users(), 300);
+        assert!(a.eligibility().is_sparse());
+        // Coverage is thin: each user sees a handful of servers, not all.
+        assert!(a.coverage().coverage_density() < 0.5);
+        // Different indices give different layouts.
+        let c = cfg.generate(&lib, 7, 1).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_sampler_matches_the_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 400;
+            let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            // Std error is sqrt(lambda / n); allow five sigmas.
+            let tolerance = 5.0 * (lambda / n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < tolerance,
+                "lambda {lambda}: empirical mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn invalid_city_configurations_are_rejected() {
+        let lib = library();
+        assert!(CityScaleConfig::district()
+            .with_users(0)
+            .generate(&lib, 1, 0)
+            .is_err());
+        assert!(CityScaleConfig::district()
+            .with_servers_per_km2(0.0)
+            .generate(&lib, 1, 0)
+            .is_err());
+        let mut cfg = CityScaleConfig::district();
+        cfg.capacity_gb = f64::NAN;
+        assert!(cfg.generate(&lib, 1, 0).is_err());
+        let mut cfg = CityScaleConfig::district();
+        cfg.backhaul_rate_bps = -1.0;
+        assert!(cfg.generate(&lib, 1, 0).is_err());
+        // The city preset is the documented headline scale.
+        let city = CityScaleConfig::city();
+        assert_eq!(city.num_users, 50_000);
+        assert!(city.expected_servers() > 900.0);
+        assert_eq!(CityScaleConfig::default(), CityScaleConfig::district());
     }
 
     #[test]

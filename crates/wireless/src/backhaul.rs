@@ -58,6 +58,14 @@ impl Backhaul {
         self.default_rate_bps
     }
 
+    /// Whether any per-link rate override is installed. A mesh without
+    /// overrides is *uniform*: every inter-server link runs at
+    /// [`Self::default_rate_bps`], which lets eligibility builders decide
+    /// all non-covering servers of a request with a single probe.
+    pub fn has_overrides(&self) -> bool {
+        !self.overrides.is_empty()
+    }
+
     /// Overrides the rate of the ordered link `from -> to`.
     ///
     /// # Errors

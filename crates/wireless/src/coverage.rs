@@ -22,9 +22,12 @@ pub struct CoverageMap {
     /// `users_of_server[m]` = sorted indices of users covered by server `m`
     /// (the paper's `K_m`).
     users_of_server: Vec<Vec<usize>>,
-    /// `distance[m][k]` = Euclidean distance between server `m` and user `k`
-    /// in metres (stored for all pairs, covered or not).
-    distances_m: Vec<Vec<f64>>,
+    /// User positions, kept so pairwise distances can be computed on
+    /// demand instead of storing a dense `M × K` matrix (prohibitive at
+    /// city scale: 1000 servers × 50k users would be 400 MB of `f64`s).
+    user_points: Vec<Point>,
+    /// Server positions (see `user_points`).
+    server_points: Vec<Point>,
     coverage_radius_m: f64,
 }
 
@@ -48,11 +51,9 @@ impl CoverageMap {
         }
         let mut servers_of_user = vec![Vec::new(); users.len()];
         let mut users_of_server = vec![Vec::new(); servers.len()];
-        let mut distances_m = vec![vec![0.0; users.len()]; servers.len()];
         for (m, sp) in servers.iter().enumerate() {
             for (k, up) in users.iter().enumerate() {
                 let d = sp.distance(*up);
-                distances_m[m][k] = d;
                 if d <= coverage_radius_m {
                     servers_of_user[k].push(m);
                     users_of_server[m].push(k);
@@ -62,7 +63,8 @@ impl CoverageMap {
         Ok(Self {
             servers_of_user,
             users_of_server,
-            distances_m,
+            user_points: users.to_vec(),
+            server_points: servers.to_vec(),
             coverage_radius_m,
         })
     }
@@ -115,26 +117,43 @@ impl CoverageMap {
             })
     }
 
-    /// Distance between server `m` and user `k` in metres.
+    /// Distance between server `m` and user `k` in metres, computed on
+    /// demand from the stored positions.
     ///
     /// # Errors
     ///
     /// Returns [`WirelessError::IndexOutOfRange`] if either index is out of
     /// range.
     pub fn distance_m(&self, m: usize, k: usize) -> Result<f64, WirelessError> {
-        let row = self
-            .distances_m
+        let sp = self
+            .server_points
             .get(m)
             .ok_or(WirelessError::IndexOutOfRange {
                 entity: "server",
                 index: m,
-                len: self.distances_m.len(),
+                len: self.server_points.len(),
             })?;
-        row.get(k).copied().ok_or(WirelessError::IndexOutOfRange {
-            entity: "user",
-            index: k,
-            len: row.len(),
-        })
+        let up = self
+            .user_points
+            .get(k)
+            .ok_or(WirelessError::IndexOutOfRange {
+                entity: "user",
+                index: k,
+                len: self.user_points.len(),
+            })?;
+        Ok(sp.distance(*up))
+    }
+
+    /// Fraction of covered `(server, user)` pairs among all `M · K`
+    /// pairs — the coverage density driving the eligibility
+    /// representation choice. Empty topologies report `0.0`.
+    pub fn coverage_density(&self) -> f64 {
+        let pairs = self.num_servers() * self.num_users();
+        if pairs == 0 {
+            return 0.0;
+        }
+        let covered: usize = self.servers_of_user.iter().map(Vec::len).sum();
+        covered as f64 / pairs as f64
     }
 
     /// Whether server `m` covers user `k`.
@@ -200,6 +219,8 @@ mod tests {
         assert!(!map.covers(1, 0));
         assert!(!map.covers(0, 2));
         assert_eq!(map.coverage_radius_m(), 275.0);
+        // Three covered pairs out of 2 x 3.
+        assert!((map.coverage_density() - 0.5).abs() < 1e-12);
     }
 
     #[test]

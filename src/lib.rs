@@ -15,7 +15,8 @@
 //!   fading, backhaul, coverage);
 //! * [`modellib`] — parameter-sharing model libraries and their builders;
 //! * [`scenario`] — the system model (demand, latency, storage, objective,
-//!   mobility, scenarios);
+//!   mobility, scenarios) with dense and coverage-pruned sparse
+//!   eligibility representations behind one `EligibilityView` trait;
 //! * [`placement`] — the TrimCaching Spec / Gen algorithms, the
 //!   Independent Caching baseline and the exhaustive-search reference;
 //! * [`runtime`] — the event-driven online serving engine: Poisson
@@ -86,8 +87,8 @@ pub mod prelude {
     };
     pub use trimcaching_scenario::prelude::*;
     pub use trimcaching_sim::{
-        ComparisonTable, ExperimentTable, MonteCarloConfig, ReplacementPolicy, ReplacementTrace,
-        ReplayConfig, TopologyConfig,
+        CityScaleConfig, ComparisonTable, ExperimentTable, MonteCarloConfig, ReplacementPolicy,
+        ReplacementTrace, ReplayConfig, TopologyConfig,
     };
     pub use trimcaching_wireless::{
         DeploymentArea, LogNormalShadowing, Point, RadioParams, ShadowedRayleigh,
