@@ -1,0 +1,205 @@
+//! Per-slot mobility snapshot refresh: full `with_user_positions`
+//! rebuild vs. the incremental `update_user_positions` delta path.
+//!
+//! For `M ∈ {100, 500, 1000}` Poisson-deployed servers (the largest is
+//! the 1 000-server / 50 000-user city preset) a fraction of the users
+//! takes one mobility-sized step, and the time to bring the snapshot up
+//! to date is measured both ways. The two paths are asserted to produce
+//! bit-identical snapshots (and hit ratios) before any timing starts.
+//!
+//! The incremental path is timed by flip-flopping one snapshot between
+//! the two position sets, so every iteration performs exactly one slot
+//! update of the same size; the full path rebuilds from scratch each
+//! iteration. The acceptance criterion for the city scale — delta at a
+//! ≤ 5% moved fraction at least 10× faster than the ~full-rebuild
+//! baseline — is asserted at the end.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trimcaching_modellib::builders::SpecialCaseBuilder;
+use trimcaching_modellib::ModelLibrary;
+use trimcaching_placement::{PlacementAlgorithm, TopPopularity};
+use trimcaching_scenario::mobility::MobilityClass;
+use trimcaching_scenario::{EligibilityRepr, Scenario};
+use trimcaching_sim::CityScaleConfig;
+use trimcaching_wireless::Point;
+
+fn library() -> ModelLibrary {
+    SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(3)
+        .build(2024)
+}
+
+/// A Poisson district sized for roughly `target_servers` servers with a
+/// fixed ~25 users per server (the `sparse_eligibility` scaling ladder),
+/// or the full 1 000-server / 50 000-user city preset.
+fn district(target_servers: usize) -> Scenario {
+    if target_servers >= 1000 {
+        return CityScaleConfig::city()
+            .generate(&library(), 2024, 0)
+            .expect("city generates");
+    }
+    let lambda = 8.0;
+    let area_km2 = target_servers as f64 / lambda;
+    let mut config = CityScaleConfig::district()
+        .with_users(target_servers * 25)
+        .with_repr(EligibilityRepr::Sparse);
+    config.area_side_m = (area_km2.sqrt() * 1_000.0).max(500.0);
+    config.capacity_gb = 0.4;
+    config
+        .generate(&library(), 2024, 0)
+        .expect("district generates")
+}
+
+/// Positions after moving `fraction` of the users by one 5-second slot
+/// at the speed of their paper mobility class (users are assigned to
+/// pedestrian/bike/vehicle round robin, exactly as
+/// `MobilityModel::paper_mix` does), clamped to the deployment square
+/// implied by the scenario's servers.
+fn moved_positions(scenario: &Scenario, fraction: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = scenario
+        .servers()
+        .iter()
+        .map(|s| s.position().x.max(s.position().y))
+        .fold(0.0f64, f64::max)
+        .max(1_000.0);
+    let classes = MobilityClass::all();
+    let mut positions: Vec<Point> = scenario.users().iter().map(|u| u.position()).collect();
+    let movers = ((positions.len() as f64) * fraction).round().max(1.0) as usize;
+    for _ in 0..movers {
+        let k = rng.gen_range(0..positions.len());
+        let (lo, hi) = classes[k % classes.len()].initial_speed_range();
+        let step: f64 = rng.gen_range(lo..=hi) * 5.0;
+        let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let p = positions[k];
+        positions[k] = Point::new(
+            (p.x + step * angle.cos()).clamp(0.0, side),
+            (p.y + step * angle.sin()).clamp(0.0, side),
+        );
+    }
+    positions
+}
+
+/// Minimum per-iteration wall-clock of `runs` incremental slot updates
+/// flip-flopping one snapshot between position sets `a` and `b` (one
+/// update per iteration, first flip used as warm-up). The minimum is
+/// the noise-robust statistic: scheduler interference only ever adds
+/// time, so the smallest observation is the closest to the true cost.
+fn time_delta(scenario: &Scenario, a: &[Point], b: &[Point], runs: usize) -> f64 {
+    let mut current = scenario.clone();
+    current.update_user_positions(b).expect("delta applies");
+    let mut best = f64::INFINITY;
+    for run in 0..runs {
+        let target = if run % 2 == 0 { a } else { b };
+        let start = Instant::now();
+        current
+            .update_user_positions(target)
+            .expect("delta applies");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Minimum per-iteration wall-clock of `runs` full rebuilds onto the
+/// moved positions (plus one untimed warm-up; see [`time_delta`] for
+/// why the minimum).
+fn time_full(scenario: &Scenario, b: &[Point], runs: usize) -> f64 {
+    criterion::black_box(scenario.with_user_positions(b).expect("rebuild"));
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        criterion::black_box(scenario.with_user_positions(b).expect("rebuild"));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility_slot");
+    group.sample_size(10);
+
+    let mut city_speedup_at_5pct = f64::INFINITY;
+    for target in [100usize, 500, 1000] {
+        let scenario = district(target);
+        let m = scenario.num_servers();
+        let k = scenario.num_users();
+        let original: Vec<Point> = scenario.users().iter().map(|u| u.position()).collect();
+
+        for fraction in [0.01f64, 0.05] {
+            let moved = moved_positions(&scenario, fraction, 7 + target as u64);
+
+            // Equivalence gate: the delta path must be bit-identical to
+            // the full rebuild — snapshot and hit ratio alike.
+            let rebuilt = scenario.with_user_positions(&moved).expect("rebuild");
+            let mut incremental = scenario.clone();
+            let delta = incremental.update_user_positions(&moved).expect("delta");
+            assert_eq!(incremental, rebuilt, "delta must equal full rebuild");
+            let placement = TopPopularity::new()
+                .place(&scenario)
+                .expect("placement")
+                .placement;
+            assert_eq!(
+                incremental.hit_ratio(&placement).to_bits(),
+                rebuilt.hit_ratio(&placement).to_bits()
+            );
+
+            let runs = if m >= 500 { 8 } else { 16 };
+            let full_s = time_full(&scenario, &moved, runs.min(5));
+            let delta_s = time_delta(&scenario, &original, &moved, runs);
+            let speedup = full_s / delta_s;
+            eprintln!(
+                "[mobility_slot] M = {m}, K = {k}, moved {:.0}% ({} users, \
+                 {} refreshed): full {:.2?} vs delta {:.2?} ({speedup:.1}x)",
+                fraction * 100.0,
+                delta.moved_users().len(),
+                delta.refreshed_users().len(),
+                std::time::Duration::from_secs_f64(full_s),
+                std::time::Duration::from_secs_f64(delta_s),
+            );
+            if target >= 1000 && fraction >= 0.05 {
+                city_speedup_at_5pct = speedup;
+            }
+
+            let pct = (fraction * 100.0) as usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("full/{pct}pct"), m),
+                &scenario,
+                |b, s| b.iter(|| s.with_user_positions(&moved).expect("rebuild")),
+            );
+            let mut flip = scenario.clone();
+            let mut toggle = false;
+            group.bench_with_input(
+                BenchmarkId::new(format!("delta/{pct}pct"), m),
+                &scenario,
+                |b, _| {
+                    b.iter(|| {
+                        let target = if toggle { &original } else { &moved };
+                        toggle = !toggle;
+                        flip.update_user_positions(target).expect("delta applies")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Acceptance: at the city scale (1000 servers / 50k users) a ≤ 5%
+    // moved fraction must refresh at least 10x faster than rebuilding.
+    assert!(
+        city_speedup_at_5pct >= 10.0,
+        "city-scale delta speedup {city_speedup_at_5pct:.1}x is below the 10x acceptance bar"
+    );
+    eprintln!(
+        "[mobility_slot] city acceptance: delta at 5% moved is \
+         {city_speedup_at_5pct:.1}x faster than full rebuild (>= 10x required)"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -138,10 +138,15 @@ impl PlacementAlgorithm for TrimCachingSpec {
             let capacity = scenario.capacity_bytes(server)?;
 
             // u(m, i) of Eq. (14), masked by I2 via the running placement.
-            let weights: Vec<f64> = (0..num_models)
-                .map(|i| objective.per_server_weight(&placement, server, ModelId(i)))
-                .collect();
-            evaluations += num_models as u64;
+            // Only the server's candidate models (those it can serve for
+            // at least one user, via `EligibilityView::server_models`)
+            // need a gain evaluation — every other model's weight is
+            // structurally zero and stays at the default.
+            let mut weights = vec![0.0f64; num_models];
+            for model in objective.candidate_models(server) {
+                weights[model.index()] = objective.per_server_weight(&placement, server, model);
+                evaluations += 1;
+            }
 
             // Algorithm 2: traverse shared-block combinations, solve the
             // rounding DP for each, keep the best server-local decision.

@@ -132,8 +132,13 @@ pub struct ServeMetrics {
     pub insertions: u64,
     /// Cache evictions performed.
     pub evictions: u64,
-    /// Radio-snapshot rebuilds triggered by mobility slots.
+    /// Radio-snapshot updates triggered by mobility slots (each slot
+    /// evolves the snapshot in place via the incremental delta path).
     pub snapshot_rebuilds: u64,
+    /// Users whose radio/eligibility rows were actually re-derived
+    /// across all mobility slots — the work the incremental snapshot
+    /// path performed, versus `snapshot_rebuilds × K` for full rebuilds.
+    pub users_refreshed: u64,
     /// Users whose primary (highest-rate covering) server changed across
     /// a mobility slot — the handovers the engine carried out.
     pub handovers: u64,
@@ -169,6 +174,7 @@ impl ServeMetrics {
             insertions: 0,
             evictions: 0,
             snapshot_rebuilds: 0,
+            users_refreshed: 0,
             handovers: 0,
             latency: LatencyHistogram::new(),
             windows: Vec::new(),

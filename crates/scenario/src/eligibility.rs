@@ -184,6 +184,60 @@ impl EligibilityTensor {
             candidates,
         })
     }
+
+    /// Recomputes the `(m, ·, i)` bits of the given users in place from a
+    /// fallible predicate, keeping the per-server candidate summary
+    /// exact. `users` must be ascending and deduplicated. All predicate
+    /// evaluations happen before any mutation, so the tensor is left
+    /// unchanged when `f` errors. The result is indistinguishable from a
+    /// full [`EligibilityTensor::try_from_fn`] rebuild in which `f`
+    /// answers the unnamed users exactly as before.
+    pub(crate) fn replace_user_rows<F, E>(&mut self, users: &[usize], mut f: F) -> Result<(), E>
+    where
+        F: FnMut(usize, usize, usize) -> Result<bool, E>,
+    {
+        if users.is_empty() {
+            return Ok(());
+        }
+        // Stage: fresh[(u * M + m) * I + i] for users[u].
+        let mut fresh = vec![false; users.len() * self.num_servers * self.num_models];
+        for (u, &k) in users.iter().enumerate() {
+            for m in 0..self.num_servers {
+                for i in 0..self.num_models {
+                    fresh[(u * self.num_servers + m) * self.num_models + i] = f(m, k, i)?;
+                }
+            }
+        }
+        // Commit, tracking (m, i) cells that lost a set bit: those may
+        // have lost their last eligible user and need a column rescan.
+        let mut cleared: Vec<usize> = Vec::new();
+        for (u, &k) in users.iter().enumerate() {
+            for m in 0..self.num_servers {
+                for i in 0..self.num_models {
+                    let value = fresh[(u * self.num_servers + m) * self.num_models + i];
+                    let bit = &mut self.bits[(m * self.num_users + k) * self.num_models + i];
+                    if *bit == value {
+                        continue;
+                    }
+                    *bit = value;
+                    let cell = m * self.num_models + i;
+                    if value {
+                        self.candidates[cell] = true;
+                    } else {
+                        cleared.push(cell);
+                    }
+                }
+            }
+        }
+        cleared.sort_unstable();
+        cleared.dedup();
+        for cell in cleared {
+            let (m, i) = (cell / self.num_models, cell % self.num_models);
+            self.candidates[cell] = (0..self.num_users)
+                .any(|k| self.bits[(m * self.num_users + k) * self.num_models + i]);
+        }
+        Ok(())
+    }
 }
 
 impl EligibilityView for EligibilityTensor {
@@ -417,6 +471,188 @@ impl SparseEligibility {
         self.pair_row(user, model)
             .binary_search(&(m as u32))
             .is_ok()
+    }
+
+    /// Replaces the forward candidate rows of the given users (the
+    /// closure appends the new ascending candidate-server list of each
+    /// `(k, i)` class to its output buffer) and patches the per-server
+    /// reverse index incrementally: only reverse rows whose membership
+    /// changed are merge-rebuilt, and every row keeps its ascending user
+    /// order, so the result is indistinguishable from a batch rebuild
+    /// via `from_pair_candidates`. `users` must be ascending and
+    /// deduplicated. All closure calls happen before any mutation, so
+    /// the structure is left unchanged when `f` errors.
+    pub(crate) fn replace_user_rows<F, E>(&mut self, users: &[usize], mut f: F) -> Result<(), E>
+    where
+        F: FnMut(usize, usize, &mut Vec<u32>) -> Result<(), E>,
+    {
+        if users.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(
+            users.windows(2).all(|w| w[0] < w[1]) && *users.last().unwrap() < self.num_users,
+            "users must be ascending, deduplicated and in range"
+        );
+        let i_count = self.num_models;
+        // 1. Fresh forward rows of the affected users, in a scratch CSR.
+        let mut fresh_offsets = Vec::with_capacity(users.len() * i_count + 1);
+        fresh_offsets.push(0usize);
+        let mut fresh_servers: Vec<u32> = Vec::new();
+        for &k in users {
+            for i in 0..i_count {
+                f(k, i, &mut fresh_servers)?;
+                fresh_offsets.push(fresh_servers.len());
+            }
+        }
+        // 2. Reverse-index deltas: `(reverse_row, user, added)` for every
+        // membership change, produced sorted by user within a row and
+        // sorted globally below.
+        let mut deltas: Vec<(usize, u32, bool)> = Vec::new();
+        for (u, &k) in users.iter().enumerate() {
+            for i in 0..i_count {
+                let old = &self.pair_servers
+                    [self.pair_offsets[k * i_count + i]..self.pair_offsets[k * i_count + i + 1]];
+                let new = &fresh_servers
+                    [fresh_offsets[u * i_count + i]..fresh_offsets[u * i_count + i + 1]];
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < old.len() || b < new.len() {
+                    match (old.get(a), new.get(b)) {
+                        (Some(&mo), Some(&mn)) if mo == mn => {
+                            a += 1;
+                            b += 1;
+                        }
+                        (Some(&mo), Some(&mn)) if mo < mn => {
+                            deltas.push((mo as usize * i_count + i, k as u32, false));
+                            a += 1;
+                        }
+                        (Some(_), Some(&mn)) => {
+                            deltas.push((mn as usize * i_count + i, k as u32, true));
+                            b += 1;
+                        }
+                        (Some(&mo), None) => {
+                            deltas.push((mo as usize * i_count + i, k as u32, false));
+                            a += 1;
+                        }
+                        (None, Some(&mn)) => {
+                            deltas.push((mn as usize * i_count + i, k as u32, true));
+                            b += 1;
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    }
+                }
+            }
+        }
+        // 3. Splice the forward CSR. Forward rows are user-major, so the
+        // untouched users between two affected ones form one contiguous
+        // row span: its data is copied in bulk and its offsets are the
+        // old ones plus the running length shift — no per-row work.
+        let mut pair_offsets: Vec<usize> = Vec::with_capacity(self.pair_offsets.len());
+        pair_offsets.push(0usize);
+        let mut pair_servers: Vec<u32> =
+            Vec::with_capacity(self.pair_servers.len() + fresh_servers.len());
+        let copy_span = |offsets: &mut Vec<usize>,
+                         data: &mut Vec<u32>,
+                         src_offsets: &[usize],
+                         src_data: &[u32],
+                         row_a: usize,
+                         row_b: usize| {
+            if row_a >= row_b {
+                return;
+            }
+            let (start, end) = (src_offsets[row_a], src_offsets[row_b]);
+            let shift = data.len() as isize - start as isize;
+            data.extend_from_slice(&src_data[start..end]);
+            offsets.extend(
+                src_offsets[row_a + 1..=row_b]
+                    .iter()
+                    .map(|&o| (o as isize + shift) as usize),
+            );
+        };
+        let mut prev_row = 0usize;
+        for (u, &k) in users.iter().enumerate() {
+            copy_span(
+                &mut pair_offsets,
+                &mut pair_servers,
+                &self.pair_offsets,
+                &self.pair_servers,
+                prev_row,
+                k * i_count,
+            );
+            copy_span(
+                &mut pair_offsets,
+                &mut pair_servers,
+                &fresh_offsets,
+                &fresh_servers,
+                u * i_count,
+                (u + 1) * i_count,
+            );
+            prev_row = (k + 1) * i_count;
+        }
+        copy_span(
+            &mut pair_offsets,
+            &mut pair_servers,
+            &self.pair_offsets,
+            &self.pair_servers,
+            prev_row,
+            self.num_users * i_count,
+        );
+        // 4. Patch the reverse CSR: the spans between delta rows are
+        // copied in bulk like above; rows with deltas are merge-rebuilt
+        // (old users minus removals plus additions, sorted ascending).
+        deltas.sort_unstable();
+        let mut server_model_offsets: Vec<usize> =
+            Vec::with_capacity(self.server_model_offsets.len());
+        server_model_offsets.push(0usize);
+        let mut server_users: Vec<u32> = Vec::with_capacity(pair_servers.len());
+        let mut d = 0usize;
+        let mut prev_row = 0usize;
+        while d < deltas.len() {
+            let row = deltas[d].0;
+            copy_span(
+                &mut server_model_offsets,
+                &mut server_users,
+                &self.server_model_offsets,
+                &self.server_users,
+                prev_row,
+                row,
+            );
+            let old = &self.server_users
+                [self.server_model_offsets[row]..self.server_model_offsets[row + 1]];
+            let start = d;
+            while d < deltas.len() && deltas[d].0 == row {
+                d += 1;
+            }
+            let mut oi = 0usize;
+            for &(_, user, added) in &deltas[start..d] {
+                while oi < old.len() && old[oi] < user {
+                    server_users.push(old[oi]);
+                    oi += 1;
+                }
+                if added {
+                    debug_assert!(oi >= old.len() || old[oi] != user, "double insert");
+                    server_users.push(user);
+                } else {
+                    debug_assert!(oi < old.len() && old[oi] == user, "removing absent user");
+                    oi += 1;
+                }
+            }
+            server_users.extend_from_slice(&old[oi..]);
+            server_model_offsets.push(server_users.len());
+            prev_row = row + 1;
+        }
+        copy_span(
+            &mut server_model_offsets,
+            &mut server_users,
+            &self.server_model_offsets,
+            &self.server_users,
+            prev_row,
+            self.num_servers * i_count,
+        );
+        self.pair_offsets = pair_offsets;
+        self.pair_servers = pair_servers;
+        self.server_model_offsets = server_model_offsets;
+        self.server_users = server_users;
+        Ok(())
     }
 }
 
@@ -1023,6 +1259,64 @@ mod tests {
             EligibilityRepr::Sparse
         );
         assert_eq!(EligibilityRepr::default(), EligibilityRepr::Auto);
+    }
+
+    /// A second pattern the replace tests mutate towards: user 1 swaps
+    /// its eligibility profile and user 2 gains one at server 0.
+    fn moved_pattern(m: usize, k: usize, i: usize) -> bool {
+        match k {
+            1 => matches!((m, i), (0, 0) | (2, 0)),
+            2 => m == 0 && i == 1,
+            _ => pattern(m, k, i),
+        }
+    }
+
+    #[test]
+    fn dense_replace_user_rows_matches_full_rebuild() {
+        let mut tensor = EligibilityTensor::from_fn(3, 3, 2, pattern);
+        tensor
+            .replace_user_rows(&[1, 2], |m, k, i| {
+                Ok::<bool, std::convert::Infallible>(moved_pattern(m, k, i))
+            })
+            .unwrap();
+        let rebuilt = EligibilityTensor::from_fn(3, 3, 2, moved_pattern);
+        assert_eq!(tensor, rebuilt);
+        // The candidate summary was maintained exactly (server_models
+        // reads it): rebuilt from scratch it must agree.
+        for m in 0..3 {
+            assert_eq!(
+                tensor.server_models(m).collect::<Vec<_>>(),
+                rebuilt.server_models(m).collect::<Vec<_>>()
+            );
+        }
+        // No-op batches change nothing.
+        let before = tensor.clone();
+        tensor
+            .replace_user_rows(&[], |_, _, _| Ok::<bool, std::convert::Infallible>(true))
+            .unwrap();
+        assert_eq!(tensor, before);
+    }
+
+    #[test]
+    fn sparse_replace_user_rows_matches_full_rebuild() {
+        let mut sparse = SparseEligibility::from_fn(3, 3, 2, pattern);
+        sparse
+            .replace_user_rows(&[1, 2], |k, i, out| {
+                for m in 0..3 {
+                    if moved_pattern(m, k, i) {
+                        out.push(m as u32);
+                    }
+                }
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+        let rebuilt = SparseEligibility::from_fn(3, 3, 2, moved_pattern);
+        assert_eq!(sparse, rebuilt);
+        // An erroring closure leaves the structure untouched.
+        let before = sparse.clone();
+        let err: Result<(), &str> = sparse.replace_user_rows(&[0], |_, _, _| Err("boom"));
+        assert!(err.is_err());
+        assert_eq!(sparse, before);
     }
 
     #[test]

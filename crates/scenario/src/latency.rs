@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use trimcaching_modellib::{ModelId, ModelLibrary};
 use trimcaching_wireless::allocation::PerUserAllocation;
-use trimcaching_wireless::channel::rate_with_fading_bps;
+use trimcaching_wireless::channel::RateContext;
 use trimcaching_wireless::coverage::CoverageMap;
 use trimcaching_wireless::params::RadioParams;
 use trimcaching_wireless::Backhaul;
@@ -93,16 +93,11 @@ impl RateMatrix {
         let mut rates_bps: Vec<f64> = Vec::new();
         for m in 0..m_count {
             let share = allocation.share(m)?;
+            let ctx = RateContext::new(share.bandwidth_hz, share.power_w, params);
             for &k in coverage.users_of_server(m)? {
                 let d = coverage.distance_m(m, k)?;
                 users.push(k as u32);
-                rates_bps.push(rate_with_fading_bps(
-                    share.bandwidth_hz,
-                    share.power_w,
-                    d,
-                    fading_gain(m, k),
-                    params,
-                ));
+                rates_bps.push(ctx.rate_bps(d, fading_gain(m, k)));
             }
             row_offsets.push(users.len());
         }
@@ -155,6 +150,82 @@ impl RateMatrix {
             Ok(pos) => self.rates_bps[self.row_offsets[m] + pos],
             Err(_) => 0.0,
         })
+    }
+
+    /// Recomputes the rows of the given servers in place against an
+    /// updated coverage/allocation state (unit fading gain, i.e. the
+    /// *expected* rates used for placement decisions), leaving every
+    /// other row's entries bit-identical. Row lengths may change, so the
+    /// CSR arrays are re-spliced; the cost is one pass over the stored
+    /// pairs plus the recomputation of the named rows. `rows` need not
+    /// be sorted or deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for an unknown row and
+    /// [`ScenarioError::DimensionMismatch`] when `coverage` disagrees
+    /// with this matrix on the topology dimensions; the matrix is left
+    /// unchanged on error.
+    pub fn update_rows(
+        &mut self,
+        coverage: &CoverageMap,
+        allocation: &PerUserAllocation,
+        params: &RadioParams,
+        rows: &[usize],
+    ) -> Result<(), ScenarioError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let m_count = self.num_servers();
+        if coverage.num_servers() != m_count || coverage.num_users() != self.num_users {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "rate matrix is {}x{} but coverage is {}x{}",
+                    m_count,
+                    self.num_users,
+                    coverage.num_servers(),
+                    coverage.num_users()
+                ),
+            });
+        }
+        for &m in rows {
+            if m >= m_count {
+                return Err(ScenarioError::IndexOutOfRange {
+                    entity: "server",
+                    index: m,
+                    len: m_count,
+                });
+            }
+        }
+        let mut sorted = rows.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_offsets = Vec::with_capacity(m_count + 1);
+        row_offsets.push(0usize);
+        let mut users: Vec<u32> = Vec::with_capacity(self.users.len());
+        let mut rates_bps: Vec<f64> = Vec::with_capacity(self.rates_bps.len());
+        let mut pending = sorted.iter().copied().peekable();
+        for m in 0..m_count {
+            if pending.peek() == Some(&m) {
+                pending.next();
+                let share = allocation.share(m)?;
+                let ctx = RateContext::new(share.bandwidth_hz, share.power_w, params);
+                for &k in coverage.users_of_server(m)? {
+                    let d = coverage.distance_m(m, k)?;
+                    users.push(k as u32);
+                    rates_bps.push(ctx.rate_bps(d, 1.0));
+                }
+            } else {
+                let range = self.row_offsets[m]..self.row_offsets[m + 1];
+                users.extend_from_slice(&self.users[range.clone()]);
+                rates_bps.extend_from_slice(&self.rates_bps[range]);
+            }
+            row_offsets.push(users.len());
+        }
+        self.row_offsets = row_offsets;
+        self.users = users;
+        self.rates_bps = rates_bps;
+        Ok(())
     }
 
     /// Iterates the covered `(user, rate_bps)` pairs of server `m` in
@@ -341,12 +412,14 @@ impl<'a> LatencyEvaluator<'a> {
         let k_count = self.coverage.num_users();
         let i_count = self.library.num_models();
         let uniform_backhaul = !self.backhaul.has_overrides();
+        let size_bits = self.model_size_bits()?;
 
         let mut pair_offsets = Vec::with_capacity(k_count * i_count + 1);
         pair_offsets.push(0usize);
         let mut pair_servers: Vec<u32> = Vec::new();
         // Direct-eligible covering servers of the current request class.
         let mut direct: Vec<u32> = Vec::new();
+        let mut ctx = UniformUserCtx::default();
 
         for k in 0..k_count {
             let user = UserId(k);
@@ -357,33 +430,27 @@ impl<'a> LatencyEvaluator<'a> {
                 }
                 continue;
             }
-            for i in 0..i_count {
-                let model = ModelId(i);
-                direct.clear();
-                for &m in covering {
-                    if self.eligible(m, user, model)? {
-                        direct.push(m as u32);
-                    }
-                }
+            if uniform_backhaul {
+                self.fill_uniform_ctx(k, covering, &mut ctx)?;
+            }
+            for (i, &bits) in size_bits.iter().enumerate() {
                 if uniform_backhaul {
-                    // One probe decides every non-covering server.
-                    let probe = (0..m_count).find(|m| !covering.contains(m));
-                    let relay_all = match probe {
-                        Some(m) => self.eligible(m, user, model)?,
-                        None => false,
-                    };
-                    if relay_all {
-                        merge_candidates(m_count, covering, &direct, &mut pair_servers, |_| {
-                            Ok(true)
-                        })?;
-                    } else {
-                        pair_servers.extend_from_slice(&direct);
-                    }
+                    self.class_candidates_uniform(
+                        user,
+                        ModelId(i),
+                        covering,
+                        &ctx,
+                        bits,
+                        &mut pair_servers,
+                    )?;
                 } else {
-                    // Exact per-server fallback for heterogeneous meshes.
-                    merge_candidates(m_count, covering, &direct, &mut pair_servers, |m| {
-                        self.eligible(m, user, model)
-                    })?;
+                    self.class_candidates_exact(
+                        user,
+                        ModelId(i),
+                        covering,
+                        &mut direct,
+                        &mut pair_servers,
+                    )?;
                 }
                 pair_offsets.push(pair_servers.len());
             }
@@ -397,6 +464,236 @@ impl<'a> LatencyEvaluator<'a> {
             pair_servers,
         ))
     }
+
+    /// Precomputed per-model download sizes in bits, exactly as
+    /// [`LatencyEvaluator::latency_s`] derives them.
+    fn model_size_bits(&self) -> Result<Vec<f64>, ScenarioError> {
+        (0..self.library.num_models())
+            .map(|i| Ok(self.library.model_size_bytes(ModelId(i))? as f64 * 8.0))
+            .collect()
+    }
+
+    /// Loads the per-user radio context of the uniform-backhaul fast
+    /// path: the covering servers' direct rates and the best of them.
+    fn fill_uniform_ctx(
+        &self,
+        k: usize,
+        covering: &[usize],
+        ctx: &mut UniformUserCtx,
+    ) -> Result<(), ScenarioError> {
+        ctx.rates.clear();
+        ctx.best_rate = 0.0;
+        for &m in covering {
+            let rate = self.rates.rate_bps(m, k)?;
+            ctx.rates.push(rate);
+            if rate > ctx.best_rate {
+                ctx.best_rate = rate;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends, in ascending server order, the candidate servers of one
+    /// request class under a **uniform** backhaul mesh — the fast path
+    /// shared by [`LatencyEvaluator::sparse_eligibility`] and the
+    /// incremental [`LatencyEvaluator::refresh_sparse_users`].
+    ///
+    /// Bit-identical to probing every server through
+    /// [`LatencyEvaluator::eligible`]: the direct test evaluates the same
+    /// `size_bits / rate + inference` expression as Eq. (4), and because
+    /// the relay transfer term of Eq. (5) is constant on a uniform mesh
+    /// while float rounding is monotone, the minimum relayed latency is
+    /// exactly the one through the best-rate covering server, evaluated
+    /// with the same operation order as `latency_s`.
+    fn class_candidates_uniform(
+        &self,
+        user: UserId,
+        model: ModelId,
+        covering: &[usize],
+        ctx: &UniformUserCtx,
+        size_bits: f64,
+        out: &mut Vec<u32>,
+    ) -> Result<(), ScenarioError> {
+        let m_count = self.coverage.num_servers();
+        let inference = self.demand.inference_s(user, model)?;
+        let deadline = self.demand.deadline_s(user, model)?;
+        let direct_eligible = |rate: f64| rate > 0.0 && size_bits / rate + inference <= deadline;
+        // Non-covering servers all share Eq. (5)'s latency: constant
+        // backhaul transfer plus the best direct leg.
+        let relay_all = covering.len() < m_count && ctx.best_rate > 0.0 && {
+            let backhaul_rate = self.backhaul.default_rate_bps();
+            let transfer = if backhaul_rate.is_infinite() {
+                0.0
+            } else {
+                size_bits / backhaul_rate
+            };
+            (transfer + size_bits / ctx.best_rate) + inference <= deadline
+        };
+        if relay_all {
+            // Every non-covering server qualifies; covering servers
+            // qualify when direct-eligible.
+            let mut cover = covering.iter().zip(&ctx.rates).peekable();
+            for m in 0..m_count {
+                if let Some(&(&cm, &rate)) = cover.peek() {
+                    if cm == m {
+                        cover.next();
+                        if direct_eligible(rate) {
+                            out.push(m as u32);
+                        }
+                        continue;
+                    }
+                }
+                out.push(m as u32);
+            }
+        } else {
+            for (&m, &rate) in covering.iter().zip(&ctx.rates) {
+                if direct_eligible(rate) {
+                    out.push(m as u32);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends, in ascending server order, the candidate servers of one
+    /// request class by probing every server individually — the exact
+    /// fallback for heterogeneous (per-link override) backhaul meshes.
+    fn class_candidates_exact(
+        &self,
+        user: UserId,
+        model: ModelId,
+        covering: &[usize],
+        direct: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) -> Result<(), ScenarioError> {
+        direct.clear();
+        for &m in covering {
+            if self.eligible(m, user, model)? {
+                direct.push(m as u32);
+            }
+        }
+        merge_candidates(self.coverage.num_servers(), covering, direct, out, |m| {
+            self.eligible(m, user, model)
+        })
+    }
+
+    /// Recomputes, in place, the eligibility rows of the given users in a
+    /// dense tensor (every `(m, ·, i)` bit of those users, plus the
+    /// per-server candidate summary). `users` must be ascending and
+    /// deduplicated. The result is bit-identical to rebuilding the whole
+    /// tensor with [`LatencyEvaluator::eligibility`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when the tensor does
+    /// not match this evaluator's dimensions and propagates point-query
+    /// errors; the tensor is left unchanged on error.
+    pub fn refresh_dense_users(
+        &self,
+        tensor: &mut EligibilityTensor,
+        users: &[usize],
+    ) -> Result<(), ScenarioError> {
+        self.check_refresh_dims(
+            tensor.num_servers(),
+            tensor.num_users(),
+            tensor.num_models(),
+            users,
+        )?;
+        tensor.replace_user_rows(users, |m, k, i| self.eligible(m, UserId(k), ModelId(i)))
+    }
+
+    /// Recomputes, in place, the forward candidate rows of the given
+    /// users in a sparse eligibility and patches the per-server reverse
+    /// index accordingly. `users` must be ascending and deduplicated.
+    /// The result is bit-identical to rebuilding the structure with
+    /// [`LatencyEvaluator::sparse_eligibility`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when the structure
+    /// does not match this evaluator's dimensions and propagates
+    /// point-query errors; the structure is left unchanged on error.
+    pub fn refresh_sparse_users(
+        &self,
+        sparse: &mut SparseEligibility,
+        users: &[usize],
+    ) -> Result<(), ScenarioError> {
+        self.check_refresh_dims(
+            sparse.num_servers(),
+            sparse.num_users(),
+            sparse.num_models(),
+            users,
+        )?;
+        let uniform_backhaul = !self.backhaul.has_overrides();
+        let size_bits = self.model_size_bits()?;
+        let mut direct: Vec<u32> = Vec::new();
+        let mut ctx = UniformUserCtx::default();
+        let mut ctx_user = usize::MAX;
+        sparse.replace_user_rows(users, |k, i, out| {
+            let user = UserId(k);
+            let covering = self.coverage.servers_of_user(k)?;
+            if covering.is_empty() {
+                return Ok(());
+            }
+            if uniform_backhaul {
+                if ctx_user != k {
+                    self.fill_uniform_ctx(k, covering, &mut ctx)?;
+                    ctx_user = k;
+                }
+                self.class_candidates_uniform(user, ModelId(i), covering, &ctx, size_bits[i], out)
+            } else {
+                self.class_candidates_exact(user, ModelId(i), covering, &mut direct, out)
+            }
+        })
+    }
+
+    /// Shared dimension validation of the refresh entry points.
+    fn check_refresh_dims(
+        &self,
+        num_servers: usize,
+        num_users: usize,
+        num_models: usize,
+        users: &[usize],
+    ) -> Result<(), ScenarioError> {
+        if num_servers != self.coverage.num_servers()
+            || num_users != self.coverage.num_users()
+            || num_models != self.library.num_models()
+        {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "eligibility is {num_servers}x{num_users}x{num_models} but the evaluator \
+                     covers {}x{}x{}",
+                    self.coverage.num_servers(),
+                    self.coverage.num_users(),
+                    self.library.num_models()
+                ),
+            });
+        }
+        for &k in users {
+            if k >= num_users {
+                return Err(ScenarioError::IndexOutOfRange {
+                    entity: "user",
+                    index: k,
+                    len: num_users,
+                });
+            }
+        }
+        debug_assert!(
+            users.windows(2).all(|w| w[0] < w[1]),
+            "refresh users must be ascending and deduplicated"
+        );
+        Ok(())
+    }
+}
+
+/// Per-user scratch of the uniform-backhaul candidate fast path: the
+/// covering servers' direct downlink rates (aligned with the covering
+/// list) and the best of them, which realises the minimum relayed
+/// latency of Eq. (5) when every backhaul link has the same rate.
+#[derive(Debug, Default)]
+struct UniformUserCtx {
+    rates: Vec<f64>,
+    best_rate: f64,
 }
 
 /// Appends, in ascending server order, the candidate servers of one

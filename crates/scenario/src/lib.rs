@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 
 pub mod block_view;
+pub mod delta;
 pub mod demand;
 pub mod eligibility;
 pub mod entities;
@@ -95,6 +96,7 @@ pub mod scenario;
 pub mod storage;
 
 pub use block_view::BlockPlacement;
+pub use delta::SnapshotDelta;
 pub use demand::{Demand, DemandConfig};
 pub use eligibility::{
     Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
@@ -111,6 +113,7 @@ pub use storage::StorageTracker;
 /// Convenient glob-import of the most common scenario types.
 pub mod prelude {
     pub use crate::block_view::BlockPlacement;
+    pub use crate::delta::SnapshotDelta;
     pub use crate::demand::{Demand, DemandConfig};
     pub use crate::eligibility::{
         Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,

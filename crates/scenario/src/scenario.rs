@@ -21,6 +21,7 @@ use trimcaching_wireless::geometry::Point;
 use trimcaching_wireless::params::RadioParams;
 use trimcaching_wireless::Backhaul;
 
+use crate::delta::SnapshotDelta;
 use crate::demand::Demand;
 use crate::eligibility::{Eligibility, EligibilityRepr};
 use crate::entities::{EdgeServer, ServerId, User, UserId};
@@ -274,8 +275,15 @@ impl Scenario {
 
     /// Rebuilds the scenario with users moved to `positions` (same library,
     /// servers, demand and radio parameters), recomputing coverage,
-    /// allocation, rates and eligibility. Used by the mobility study to
-    /// evaluate a stale placement on a fresh snapshot.
+    /// allocation, rates and eligibility from scratch. The eligibility
+    /// representation actually *resolved* on the previous snapshot is
+    /// carried forward (an [`EligibilityRepr::Auto`] request is only
+    /// re-resolved on the first build), so a long mobile run can never
+    /// silently flip dense↔sparse as coverage density drifts.
+    ///
+    /// Prefer [`Scenario::update_user_positions`] when evolving one
+    /// snapshot along a trajectory: it produces a bit-identical result
+    /// in `O(moved users)` instead of `O(M · K)`.
     ///
     /// # Errors
     ///
@@ -304,9 +312,116 @@ impl Scenario {
             demand: Some(self.demand.clone()),
             radio: self.radio,
             backhaul_rate_bps: self.backhaul.default_rate_bps(),
-            eligibility_repr: self.requested_repr,
+            eligibility_repr: self.pinned_repr(),
         }
         .build()
+    }
+
+    /// The representation re-derived snapshots must use: the original
+    /// request if it was explicit, the previously *resolved* choice when
+    /// the request was [`EligibilityRepr::Auto`].
+    fn pinned_repr(&self) -> EligibilityRepr {
+        match self.requested_repr {
+            EligibilityRepr::Auto => self.eligibility.repr(),
+            explicit => explicit,
+        }
+    }
+
+    /// Moves every user to `positions` **in place**, recomputing only the
+    /// state that can differ: the coverage rows of moved users, the rate
+    /// rows of servers whose coverage changed, the per-user resource
+    /// shares of servers whose covered-user *count* changed, and the
+    /// eligibility rows of the refreshed users (see
+    /// [`SnapshotDelta`]). The resulting scenario is bit-identical to a
+    /// full [`Scenario::with_user_positions`] rebuild — same coverage,
+    /// rates, eligibility and hit ratios — at a cost proportional to the
+    /// moved fraction instead of the whole `M × K` plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] if the number of
+    /// positions differs from the number of users; the scenario is left
+    /// unchanged in that case.
+    pub fn update_user_positions(
+        &mut self,
+        positions: &[Point],
+    ) -> Result<SnapshotDelta, ScenarioError> {
+        if positions.len() != self.users.len() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!(
+                    "got {} positions for {} users",
+                    positions.len(),
+                    self.users.len()
+                ),
+            });
+        }
+        let moves: Vec<(usize, Point)> = positions
+            .iter()
+            .enumerate()
+            .filter(|(k, p)| self.users[*k].position() != **p)
+            .map(|(k, p)| (k, *p))
+            .collect();
+        self.apply_user_moves(&moves)
+    }
+
+    /// Applies a sparse batch of user moves **in place** — the primitive
+    /// behind [`Scenario::update_user_positions`]; see there for the
+    /// exact-equivalence guarantee. Moves to a user's current position
+    /// are ignored; when the batch names a user twice the last move
+    /// wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] if a move names an
+    /// unknown user (the scenario is left unchanged) and propagates
+    /// substrate errors (which indicate an internally inconsistent
+    /// scenario).
+    pub fn apply_user_moves(
+        &mut self,
+        moves: &[(usize, Point)],
+    ) -> Result<SnapshotDelta, ScenarioError> {
+        let coverage_delta = self.coverage.apply_user_moves(moves)?;
+        if coverage_delta.is_empty() {
+            return Ok(SnapshotDelta::empty());
+        }
+        for &(k, p) in moves {
+            self.users[k] = self.users[k].at(p);
+        }
+        let touched: Vec<usize> = coverage_delta.touched_servers().to_vec();
+        let reallocated =
+            self.allocation
+                .update_servers(&self.coverage, &self.radio, touched.iter().copied())?;
+        self.rates
+            .update_rows(&self.coverage, &self.allocation, &self.radio, &touched)?;
+        // Users whose rate rows — and hence possibly eligibility — can
+        // have changed: the moved users themselves plus every user of a
+        // server whose per-user share changed.
+        let mut refreshed: Vec<usize> = coverage_delta.moved_users().to_vec();
+        for &m in &reallocated {
+            refreshed.extend_from_slice(self.coverage.users_of_server(m)?);
+        }
+        refreshed.sort_unstable();
+        refreshed.dedup();
+        let evaluator = LatencyEvaluator::new(
+            &self.library,
+            &self.demand,
+            &self.coverage,
+            &self.backhaul,
+            &self.rates,
+        )?;
+        match &mut self.eligibility {
+            Eligibility::Dense(tensor) => evaluator.refresh_dense_users(tensor, &refreshed)?,
+            Eligibility::Sparse(sparse) => evaluator.refresh_sparse_users(sparse, &refreshed)?,
+        }
+        // In-place evolution pins the resolved representation exactly
+        // like `with_user_positions` does for rebuilds.
+        self.requested_repr = self.pinned_repr();
+        Ok(SnapshotDelta::new(
+            coverage_delta.moved_users().to_vec(),
+            touched,
+            reallocated,
+            refreshed,
+        ))
     }
 }
 
@@ -699,6 +814,93 @@ mod tests {
             .collect();
         let moved = sparse.with_user_positions(&moved_positions).unwrap();
         assert!(moved.eligibility().is_sparse());
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        for repr in [EligibilityRepr::Dense, EligibilityRepr::Sparse] {
+            let base = build_scenario(8, 1.0);
+            let mut incremental = Scenario::builder()
+                .library(base.library().clone())
+                .servers(base.servers().to_vec())
+                .users(base.users().to_vec())
+                .demand(base.demand().clone())
+                .eligibility_repr(repr)
+                .build()
+                .unwrap();
+            // Several slots of scattered moves, including cell crossings.
+            let mut positions: Vec<Point> =
+                incremental.users().iter().map(User::position).collect();
+            for slot in 0..3 {
+                for k in (slot % 2..8).step_by(2) {
+                    positions[k] = Point::new(
+                        120.0 + 90.0 * ((k + slot) % 7) as f64,
+                        180.0 + 140.0 * ((k * slot) % 5) as f64,
+                    );
+                }
+                let delta = incremental.update_user_positions(&positions).unwrap();
+                assert!(!delta.is_empty());
+                assert!(delta.refreshed_users().len() >= delta.moved_users().len());
+                let rebuilt = incremental.with_user_positions(&positions).unwrap();
+                // Bit-identical snapshot: every derived component agrees.
+                assert_eq!(incremental, rebuilt);
+            }
+            // A no-op update reports an empty delta and changes nothing.
+            let before = incremental.clone();
+            let delta = incremental.update_user_positions(&positions).unwrap();
+            assert!(delta.is_empty());
+            assert_eq!(incremental, before);
+        }
+    }
+
+    #[test]
+    fn apply_user_moves_validates_and_is_sparse_in_cost() {
+        let mut s = build_scenario(6, 1.0);
+        let before = s.clone();
+        // Unknown users are rejected without mutating anything.
+        assert!(s.apply_user_moves(&[(9, Point::new(0.0, 0.0))]).is_err());
+        assert_eq!(s, before);
+        // Wrong position count is rejected.
+        assert!(s.update_user_positions(&[Point::new(0.0, 0.0)]).is_err());
+        assert_eq!(s, before);
+        // A single short move refreshes only the mover unless a share
+        // changed (the delta never exceeds the blast radius).
+        let target = Point::new(s.users()[3].position().x + 1.0, s.users()[3].position().y);
+        let delta = s.apply_user_moves(&[(3, target)]).unwrap();
+        assert_eq!(delta.moved_users(), &[3]);
+        for &k in delta.refreshed_users() {
+            assert!(
+                k == 3
+                    || delta
+                        .reallocated_servers()
+                        .iter()
+                        .any(|&m| { s.coverage().users_of_server(m).unwrap().contains(&k) })
+            );
+        }
+        assert_eq!(
+            s,
+            before
+                .with_user_positions(&s.users().iter().map(User::position).collect::<Vec<_>>(),)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_repr_is_pinned_across_rederivations() {
+        let s = build_scenario(8, 1.0);
+        assert_eq!(s.requested_repr, EligibilityRepr::Auto);
+        let positions: Vec<Point> = (0..8)
+            .map(|i| Point::new(150.0 + 70.0 * i as f64, 300.0))
+            .collect();
+        // A rebuild resolves Auto once and pins the concrete choice.
+        let rebuilt = s.with_user_positions(&positions).unwrap();
+        assert_eq!(rebuilt.requested_repr, EligibilityRepr::Dense);
+        assert_eq!(rebuilt.eligibility_repr(), EligibilityRepr::Dense);
+        // The in-place path pins identically.
+        let mut incremental = s.clone();
+        incremental.update_user_positions(&positions).unwrap();
+        assert_eq!(incremental.requested_repr, EligibilityRepr::Dense);
+        assert_eq!(incremental, rebuilt);
     }
 
     #[test]

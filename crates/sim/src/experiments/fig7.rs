@@ -86,9 +86,13 @@ pub fn mobility_robustness(config: &RunConfig) -> Result<ExperimentTable, SimErr
                 .wrapping_add(topo_index as u64),
         );
         let mut mobility = MobilityModel::paper_mix(&initial_positions, area, &mut mobility_rng);
+        // The snapshot evolves in place along the trajectory: each sample
+        // applies the accumulated moves through the incremental delta
+        // path (bit-identical to a full `with_user_positions` rebuild).
+        let mut moved = scenario.clone();
         for per_sample in per_time.iter_mut().skip(1).take(num_samples) {
             let positions = mobility.run_slots(slots_per_sample, &mut mobility_rng);
-            let moved = scenario.with_user_positions(&positions)?;
+            moved.update_user_positions(&positions)?;
             for (a, placement) in placements.iter().enumerate() {
                 let hit = moved.average_hit_ratio_under_fading(
                     placement,

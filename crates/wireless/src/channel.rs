@@ -51,14 +51,43 @@ pub fn rate_with_fading_bps(
     fading_gain: f64,
     params: &RadioParams,
 ) -> f64 {
-    if bandwidth_hz <= 0.0 || power_w <= 0.0 {
-        return 0.0;
+    RateContext::new(bandwidth_hz, power_w, params).rate_bps(distance_m, fading_gain)
+}
+
+/// Per-allocation rate computation context: hoists the params-derived
+/// constants (path-loss model, noise power for the given bandwidth) out
+/// of per-user rate loops, where recomputing `10^{N₀/10}` per link would
+/// dominate. [`RateContext::rate_bps`] evaluates the exact expression of
+/// [`rate_with_fading_bps`], so batched and point computations are
+/// bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct RateContext {
+    bandwidth_hz: f64,
+    power_w: f64,
+    noise_w: f64,
+    pathloss: PowerLawPathLoss,
+}
+
+impl RateContext {
+    /// Precomputes the constants of one `(bandwidth, power)` share.
+    pub fn new(bandwidth_hz: f64, power_w: f64, params: &RadioParams) -> Self {
+        Self {
+            bandwidth_hz,
+            power_w,
+            noise_w: params.noise_w_per_hz() * bandwidth_hz,
+            pathloss: PowerLawPathLoss::from_params(params),
+        }
     }
-    let pl = PowerLawPathLoss::from_params(params);
-    let gain = pl.gain(distance_m) * fading_gain.max(0.0);
-    let noise_w = params.noise_w_per_hz() * bandwidth_hz;
-    let snr = power_w * gain / noise_w;
-    bandwidth_hz * (1.0 + snr).log2()
+
+    /// The achievable rate at `distance_m` under `fading_gain`.
+    pub fn rate_bps(&self, distance_m: f64, fading_gain: f64) -> f64 {
+        if self.bandwidth_hz <= 0.0 || self.power_w <= 0.0 {
+            return 0.0;
+        }
+        let gain = self.pathloss.gain(distance_m) * fading_gain.max(0.0);
+        let snr = self.power_w * gain / self.noise_w;
+        self.bandwidth_hz * (1.0 + snr).log2()
+    }
 }
 
 /// Signal-to-noise ratio (linear) for the given allocation and distance.

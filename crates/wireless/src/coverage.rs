@@ -10,6 +10,38 @@ use serde::{Deserialize, Serialize};
 use crate::error::WirelessError;
 use crate::geometry::Point;
 
+/// Summary of one incremental [`CoverageMap::apply_user_moves`] update.
+///
+/// The delta names the users whose position changed and the servers whose
+/// coverage relation was *touched* — every server that covered a moved
+/// user before or after the move (its member set, its members' distances,
+/// or both may have changed). Downstream layers use it to re-derive only
+/// the affected rows of the allocation, rate and eligibility state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageDelta {
+    /// Users whose position changed, ascending and deduplicated.
+    moved_users: Vec<usize>,
+    /// Touched server indices, ascending and deduplicated.
+    touched_servers: Vec<usize>,
+}
+
+impl CoverageDelta {
+    /// Users whose position changed, ascending.
+    pub fn moved_users(&self) -> &[usize] {
+        &self.moved_users
+    }
+
+    /// Touched server indices, ascending.
+    pub fn touched_servers(&self) -> &[usize] {
+        &self.touched_servers
+    }
+
+    /// Whether the update changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moved_users.is_empty()
+    }
+}
+
 /// Precomputed coverage relation between users and edge servers.
 ///
 /// Indices are positional: user `k` refers to `users[k]` and server `m` to
@@ -66,6 +98,100 @@ impl CoverageMap {
             user_points: users.to_vec(),
             server_points: servers.to_vec(),
             coverage_radius_m,
+        })
+    }
+
+    /// Applies a batch of user moves in place, recomputing the coverage
+    /// rows of exactly the moved users and patching the per-server member
+    /// lists (which stay sorted ascending, as [`CoverageMap::build`]
+    /// produces them). The result is indistinguishable from rebuilding
+    /// the map from scratch with the updated positions, at a cost of
+    /// `O(moves × M)` distance checks instead of `O(K × M)`.
+    ///
+    /// Moves to the current position are ignored (they touch nothing).
+    /// When `moves` lists the same user more than once the last entry
+    /// wins, matching sequential application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::IndexOutOfRange`] if a move names an
+    /// unknown user; the map is left unchanged in that case.
+    pub fn apply_user_moves(
+        &mut self,
+        moves: &[(usize, Point)],
+    ) -> Result<CoverageDelta, WirelessError> {
+        for &(k, _) in moves {
+            if k >= self.user_points.len() {
+                return Err(WirelessError::IndexOutOfRange {
+                    entity: "user",
+                    index: k,
+                    len: self.user_points.len(),
+                });
+            }
+        }
+        // Large batches over many servers amortise a one-off spatial
+        // bucketing of the server points: each mover then probes only the
+        // servers within one coverage radius of its 3 × 3 neighbourhood
+        // instead of all M (the distance predicate itself is unchanged,
+        // so the resulting rows are identical to a linear rescan).
+        let grid = if moves.len().saturating_mul(self.server_points.len()) > 1 << 14 {
+            Some(ServerGrid::build(
+                &self.server_points,
+                self.coverage_radius_m,
+            ))
+        } else {
+            None
+        };
+        let mut moved: Vec<usize> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for &(k, position) in moves {
+            if self.user_points[k] == position {
+                continue;
+            }
+            self.user_points[k] = position;
+            moved.push(k);
+            let old_servers = std::mem::take(&mut self.servers_of_user[k]);
+            let new_servers: Vec<usize> = match &grid {
+                Some(grid) => {
+                    grid.covering_servers(position, &self.server_points, self.coverage_radius_m)
+                }
+                None => self
+                    .server_points
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, sp)| sp.distance(position) <= self.coverage_radius_m)
+                    .map(|(m, _)| m)
+                    .collect(),
+            };
+            // Every server covering the user before or after is touched
+            // (member set or member distance changed).
+            touched.extend(old_servers.iter().chain(&new_servers));
+            // Patch the sorted member lists where membership changed.
+            for &m in &old_servers {
+                if new_servers.binary_search(&m).is_err() {
+                    let row = &mut self.users_of_server[m];
+                    if let Ok(pos) = row.binary_search(&k) {
+                        row.remove(pos);
+                    }
+                }
+            }
+            for &m in &new_servers {
+                if old_servers.binary_search(&m).is_err() {
+                    let row = &mut self.users_of_server[m];
+                    if let Err(pos) = row.binary_search(&k) {
+                        row.insert(pos, k);
+                    }
+                }
+            }
+            self.servers_of_user[k] = new_servers;
+        }
+        moved.sort_unstable();
+        moved.dedup();
+        touched.sort_unstable();
+        touched.dedup();
+        Ok(CoverageDelta {
+            moved_users: moved,
+            touched_servers: touched,
         })
     }
 
@@ -188,6 +314,55 @@ impl CoverageMap {
     }
 }
 
+/// Uniform hash grid over server points with cell side equal to the
+/// coverage radius: every server within one radius of a query point lies
+/// in the 3 × 3 cell neighbourhood of the query's cell.
+struct ServerGrid {
+    cell_m: f64,
+    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl ServerGrid {
+    fn cell_of(point: Point, cell_m: f64) -> (i64, i64) {
+        (
+            (point.x / cell_m).floor() as i64,
+            (point.y / cell_m).floor() as i64,
+        )
+    }
+
+    fn build(servers: &[Point], cell_m: f64) -> Self {
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (m, sp) in servers.iter().enumerate() {
+            buckets
+                .entry(Self::cell_of(*sp, cell_m))
+                .or_default()
+                .push(m as u32);
+        }
+        Self { cell_m, buckets }
+    }
+
+    /// Ascending indices of the servers within `radius_m` of `point`,
+    /// using the exact distance predicate of the linear scan.
+    fn covering_servers(&self, point: Point, servers: &[Point], radius_m: f64) -> Vec<usize> {
+        let (cx, cy) = Self::cell_of(point, self.cell_m);
+        let mut found: Vec<usize> = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.buckets.get(&(cx + dx, cy + dy)) {
+                    for &m in bucket {
+                        if servers[m as usize].distance(point) <= radius_m {
+                            found.push(m as usize);
+                        }
+                    }
+                }
+            }
+        }
+        found.sort_unstable();
+        found
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +437,81 @@ mod tests {
         assert_eq!(map.expected_active_users(0, 1.0), 2.0);
         // Unknown server index degrades gracefully to the floor.
         assert_eq!(map.expected_active_users(99, 0.5), 1.0);
+    }
+
+    #[test]
+    fn apply_user_moves_matches_full_rebuild() {
+        let (mut users, servers) = square_layout();
+        let mut map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        // Move user 0 out of all coverage, user 2 into server 1's cell,
+        // and user 1 within its current cells (distance-only change).
+        let moves = vec![
+            (0usize, Point::new(950.0, 950.0)),
+            (2usize, Point::new(520.0, 0.0)),
+            (1usize, Point::new(260.0, 0.0)),
+        ];
+        let delta = map.apply_user_moves(&moves).unwrap();
+        for &(k, p) in &moves {
+            users[k] = p;
+        }
+        let rebuilt = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        assert_eq!(map, rebuilt);
+        assert_eq!(delta.moved_users(), &[0, 1, 2]);
+        // Server 0 lost user 0 (and user 1 moved within it); server 1
+        // gained user 2.
+        assert_eq!(delta.touched_servers(), &[0, 1]);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn apply_user_moves_ignores_no_ops_and_rejects_bad_indices() {
+        let (users, servers) = square_layout();
+        let mut map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        let original = map.clone();
+        // Moving a user to its current position changes nothing.
+        let delta = map.apply_user_moves(&[(1, users[1])]).unwrap();
+        assert!(delta.is_empty());
+        assert!(delta.touched_servers().is_empty());
+        assert_eq!(map, original);
+        // Unknown users are rejected and leave the map untouched.
+        assert!(map.apply_user_moves(&[(9, Point::new(0.0, 0.0))]).is_err());
+        assert_eq!(map, original);
+        // Duplicate entries: the last move wins.
+        let mut a = map.clone();
+        a.apply_user_moves(&[(0, Point::new(900.0, 900.0)), (0, Point::new(120.0, 0.0))])
+            .unwrap();
+        let mut b = map.clone();
+        b.apply_user_moves(&[(0, Point::new(120.0, 0.0))]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_accelerated_rescan_matches_full_rebuild() {
+        // A batch large enough to trip the spatial-grid threshold
+        // (moves × servers > 2^14): 200 servers, 120 movers.
+        let servers: Vec<Point> = (0..200)
+            .map(|i| Point::new((i * 137 % 2000) as f64, (i * 353 % 2000) as f64))
+            .collect();
+        let mut users: Vec<Point> = (0..150)
+            .map(|k| Point::new((k * 211 % 2000) as f64, (k * 97 % 2000) as f64))
+            .collect();
+        let mut map = CoverageMap::build(&users, &servers, 275.0).unwrap();
+        let moves: Vec<(usize, Point)> = (0..120)
+            .map(|j| {
+                (
+                    j,
+                    Point::new(
+                        ((j * 449 + 31) % 2000) as f64,
+                        ((j * 283 + 7) % 2000) as f64,
+                    ),
+                )
+            })
+            .collect();
+        map.apply_user_moves(&moves).unwrap();
+        for &(k, p) in &moves {
+            users[k] = p;
+        }
+        assert_eq!(map, CoverageMap::build(&users, &servers, 275.0).unwrap());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Property-based equivalence of the incremental mobility path and the
+//! full snapshot rebuild: random move batches applied in place through
+//! `Scenario::apply_user_moves` / `update_user_positions` must produce a
+//! snapshot **bit-identical** to `with_user_positions` — same coverage,
+//! allocation, rates, eligibility (dense and sparse) and hit ratios —
+//! after every slot of a random trajectory.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trimcaching::modellib::builders::SpecialCaseBuilder;
+use trimcaching::modellib::ModelId;
+use trimcaching::prelude::*;
+use trimcaching::wireless::geometry::{DeploymentArea, Point};
+
+/// Deterministically builds one random snapshot with the given forced
+/// eligibility representation.
+fn build_scenario(
+    seed: u64,
+    num_servers: usize,
+    num_users: usize,
+    repr: EligibilityRepr,
+) -> Scenario {
+    let library = SpecialCaseBuilder::paper_setup()
+        .models_per_backbone(3)
+        .build(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let area = DeploymentArea::paper_default();
+    let servers: Vec<EdgeServer> = (0..num_servers)
+        .map(|m| {
+            EdgeServer::new(ServerId(m), area.sample_uniform(&mut rng), gigabytes(0.6)).unwrap()
+        })
+        .collect();
+    // A mix of anchored (covered) and random (sometimes uncovered) users
+    // keeps boundary crossings, uncovered rows and multi-coverage all
+    // exercised as they move.
+    let users: Vec<Point> = (0..num_users)
+        .map(|k| {
+            if k % 3 == 0 {
+                area.sample_uniform(&mut rng)
+            } else {
+                let anchor = servers[rng.gen_range(0..servers.len())].position();
+                let r: f64 = rng.gen_range(5.0..260.0);
+                let a: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                area.clamp(anchor.translated(r * a.cos(), r * a.sin()))
+            }
+        })
+        .collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(num_users, library.num_models(), &mut rng)
+        .unwrap();
+    Scenario::builder()
+        .library(library)
+        .servers(servers)
+        .users_at(&users)
+        .demand(demand)
+        .eligibility_repr(repr)
+        .build()
+        .unwrap()
+}
+
+/// Draws a random move batch: a subset of users jumps by a random step
+/// (from a small nudge within a cell to a leap across the whole area).
+fn random_moves(
+    scenario: &Scenario,
+    area: &DeploymentArea,
+    rng: &mut StdRng,
+) -> Vec<(usize, Point)> {
+    let num_users = scenario.num_users();
+    let batch = rng.gen_range(1..=num_users);
+    (0..batch)
+        .map(|_| {
+            let k = rng.gen_range(0..num_users);
+            let from = scenario.users()[k].position();
+            let step: f64 = rng.gen_range(1.0..600.0);
+            let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            (
+                k,
+                area.clamp(from.translated(step * angle.cos(), step * angle.sin())),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Incremental move batches produce snapshots bit-identical to full
+    /// rebuilds, for both eligibility representations, slot after slot.
+    #[test]
+    fn incremental_moves_match_full_rebuild(
+        seed in 0u64..5000,
+        num_servers in 2usize..5,
+        num_users in 4usize..12,
+        slots in 1usize..5,
+    ) {
+        let area = DeploymentArea::paper_default();
+        for repr in [EligibilityRepr::Dense, EligibilityRepr::Sparse] {
+            let base = build_scenario(seed, num_servers, num_users, repr);
+            let mut incremental = base.clone();
+            let mut move_rng = StdRng::seed_from_u64(seed ^ 0x0B11);
+            let mut placement_rng = StdRng::seed_from_u64(seed ^ 0x51A7);
+            for _ in 0..slots {
+                let moves = random_moves(&incremental, &area, &mut move_rng);
+                let delta = incremental.apply_user_moves(&moves).unwrap();
+                // The delta's refreshed set contains every mover.
+                for &k in delta.moved_users() {
+                    prop_assert!(delta.refreshed_users().contains(&k));
+                }
+                // Full rebuild from the evolved positions.
+                let positions: Vec<Point> =
+                    incremental.users().iter().map(|u| u.position()).collect();
+                let rebuilt = base.with_user_positions(&positions).unwrap();
+                prop_assert_eq!(&incremental, &rebuilt);
+                // Hit ratios are bit-identical for random placements.
+                let mut placement = incremental.empty_placement();
+                for _ in 0..6 {
+                    let m = ServerId(placement_rng.gen_range(0..num_servers));
+                    let i = ModelId(placement_rng.gen_range(0..incremental.num_models()));
+                    placement.place(m, i).unwrap();
+                    prop_assert_eq!(
+                        incremental.hit_ratio(&placement).to_bits(),
+                        rebuilt.hit_ratio(&placement).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The full-position entry point diffs internally: feeding back the
+    /// current positions is a no-op, and a full new position slice is
+    /// equivalent to the corresponding sparse move batch.
+    #[test]
+    fn update_user_positions_diffs_internally(
+        seed in 0u64..5000,
+        num_servers in 2usize..4,
+        num_users in 4usize..10,
+    ) {
+        for repr in [EligibilityRepr::Dense, EligibilityRepr::Sparse] {
+            let base = build_scenario(seed, num_servers, num_users, repr);
+            let mut scenario = base.clone();
+            let current: Vec<Point> = scenario.users().iter().map(|u| u.position()).collect();
+            let delta = scenario.update_user_positions(&current).unwrap();
+            prop_assert!(delta.is_empty());
+            prop_assert_eq!(&scenario, &base);
+            // Move half the users via the full-slice entry point...
+            let area = DeploymentArea::paper_default();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+            let mut positions = current.clone();
+            let mut moves = Vec::new();
+            for (k, p) in positions.iter_mut().enumerate().filter(|(k, _)| k % 2 == 0) {
+                let fresh = area.sample_uniform(&mut rng);
+                *p = fresh;
+                moves.push((k, fresh));
+            }
+            let mut via_slice = base.clone();
+            via_slice.update_user_positions(&positions).unwrap();
+            // ...and the same users via the sparse batch: same snapshot.
+            let mut via_batch = base.clone();
+            via_batch.apply_user_moves(&moves).unwrap();
+            prop_assert_eq!(&via_slice, &via_batch);
+        }
+    }
+}
