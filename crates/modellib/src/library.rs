@@ -249,6 +249,25 @@ impl ModelLibrary {
         total
     }
 
+    /// Size in bytes of the blocks two models have in common — the bytes
+    /// a block-granular transfer of `b` skips when `a` is already
+    /// resident (and vice versa). Zero for fully disjoint models;
+    /// `overlap_size_bytes(i, i)` is the full size of model `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelLibError::IndexOutOfRange`] for unknown models.
+    pub fn overlap_size_bytes(&self, a: ModelId, b: ModelId) -> Result<u64, ModelLibError> {
+        let blocks_a: HashSet<BlockId> = self.model(a)?.blocks().iter().copied().collect();
+        let mut total = 0u64;
+        for &j in self.model(b)?.blocks() {
+            if blocks_a.contains(&j) {
+                total += self.blocks[j.index()].size_bytes();
+            }
+        }
+        Ok(total)
+    }
+
     /// Total size of every block in the library exactly once — the storage
     /// needed to cache *everything* with perfect sharing.
     pub fn total_unique_bytes(&self) -> u64 {
@@ -511,6 +530,25 @@ mod tests {
         for b in &specific {
             assert_eq!(lib.models_of_block(*b).unwrap().len(), 1);
         }
+    }
+
+    #[test]
+    fn overlap_size_is_the_common_block_bytes() {
+        let lib = fig3_like_library();
+        // Models 1 and 2 share the backbone A prefix (5 × 10 bytes).
+        assert_eq!(lib.overlap_size_bytes(ModelId(0), ModelId(1)).unwrap(), 50);
+        assert_eq!(lib.overlap_size_bytes(ModelId(1), ModelId(0)).unwrap(), 50);
+        // Models 2 and 3 share only common15 (7 bytes).
+        assert_eq!(lib.overlap_size_bytes(ModelId(1), ModelId(2)).unwrap(), 7);
+        // Models 1 and 3 are fully disjoint.
+        assert_eq!(lib.overlap_size_bytes(ModelId(0), ModelId(2)).unwrap(), 0);
+        // A model overlaps itself completely.
+        assert_eq!(
+            lib.overlap_size_bytes(ModelId(2), ModelId(2)).unwrap(),
+            lib.model_size_bytes(ModelId(2)).unwrap()
+        );
+        assert!(lib.overlap_size_bytes(ModelId(0), ModelId(9)).is_err());
+        assert!(lib.overlap_size_bytes(ModelId(9), ModelId(0)).is_err());
     }
 
     #[test]

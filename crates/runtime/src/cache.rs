@@ -1,10 +1,22 @@
-//! Per-server online model caches.
+//! Per-server online model caches with block-granular residency.
 //!
 //! A [`ServerCache`] wraps the scenario layer's [`StorageTracker`] —
-//! which already performs the paper's shared-storage accounting `g_m`
-//! (Eq. 7) incrementally — and adds the online bookkeeping eviction
-//! policies rank victims by: last-access recency, access frequency and
-//! the observed per-model request mass at this server.
+//! which performs the paper's shared-storage accounting `g_m` (Eq. 7)
+//! incrementally over refcounted parameter blocks — and adds two layers
+//! of online bookkeeping on top:
+//!
+//! * **access statistics** (recency, frequency) that eviction policies
+//!   rank victims by, and
+//! * **block-granular transfer state**: which blocks have physically
+//!   *arrived* versus being merely *referenced* by an in-flight fill.
+//!
+//! A fill reserves capacity up front through the tracker (so eviction
+//! can never strand bytes an admitted fill still needs — the refcount
+//! pins shared blocks) and the model stays *pending* until its
+//! transfer-complete event fires; pending models are not servable and
+//! never eviction victims. Fills for models whose missing blocks are
+//! already on the wire for another fill join those transfers instead of
+//! re-downloading the bytes.
 
 use trimcaching_modellib::{ModelId, ModelLibrary};
 use trimcaching_scenario::StorageTracker;
@@ -21,14 +33,44 @@ pub struct CacheView<'c, 'lib> {
     pub last_access_s: &'c [f64],
     /// Requests served from this cache per model.
     pub access_count: &'c [u64],
+    /// Whether a model's fill is still in flight. Pending models hold
+    /// reserved capacity but are not servable and never victims.
+    pub pending: &'c [bool],
 }
 
-/// One edge server's cache with online access statistics.
+/// What a fill of one model must move and wait for, computed *before*
+/// the fill is started (and before any eviction may change it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FillPlan {
+    /// Bytes of blocks referenced by nothing on this server — the bytes
+    /// a block-granular fill (or transient fetch) puts on the wire.
+    pub missing_bytes: u64,
+    /// Latest arrival time of needed blocks already in flight for other
+    /// fills (`f64::NEG_INFINITY` when none) — a block-granular fill
+    /// completes no earlier than this even if it moves nothing itself.
+    /// Whole-model fills ignore it: their full artifact carries every
+    /// byte.
+    pub join_eta_s: f64,
+}
+
+/// One edge server's cache with online access statistics and
+/// block-granular transfer state.
 #[derive(Debug, Clone)]
 pub struct ServerCache<'lib> {
+    library: &'lib ModelLibrary,
     tracker: StorageTracker<'lib>,
     last_access_s: Vec<f64>,
     access_count: Vec<u64>,
+    /// Fill in flight per model (reserved in the tracker, not servable).
+    pending: Vec<bool>,
+    /// Completion time of a pending model's fill.
+    pending_eta_s: Vec<f64>,
+    /// Whether a block has physically arrived (as opposed to being
+    /// referenced by an in-flight fill).
+    block_arrived: Vec<bool>,
+    /// Arrival time of an in-flight block (valid while referenced and
+    /// not yet arrived).
+    block_eta_s: Vec<f64>,
     insertions: u64,
     evictions: u64,
 }
@@ -37,10 +79,16 @@ impl<'lib> ServerCache<'lib> {
     /// Creates an empty cache of `capacity_bytes` over `library`.
     pub fn new(library: &'lib ModelLibrary, capacity_bytes: u64) -> Self {
         let n = library.num_models();
+        let j = library.num_blocks();
         Self {
+            library,
             tracker: StorageTracker::new(library, capacity_bytes),
             last_access_s: vec![f64::NEG_INFINITY; n],
             access_count: vec![0; n],
+            pending: vec![false; n],
+            pending_eta_s: vec![f64::NEG_INFINITY; n],
+            block_arrived: vec![false; j],
+            block_eta_s: vec![f64::NEG_INFINITY; j],
             insertions: 0,
             evictions: 0,
         }
@@ -52,12 +100,28 @@ impl<'lib> ServerCache<'lib> {
             tracker: &self.tracker,
             last_access_s: &self.last_access_s,
             access_count: &self.access_count,
+            pending: &self.pending,
         }
     }
 
-    /// Whether `model` is cached.
+    /// Whether `model` is servable from this cache: all of its blocks
+    /// have arrived and its fill (if any) has completed.
     pub fn contains(&self, model: ModelId) -> bool {
-        self.tracker.contains(model)
+        self.tracker.contains(model) && !self.pending.get(model.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether a fill of `model` is currently in flight.
+    pub fn is_pending(&self, model: ModelId) -> bool {
+        self.pending.get(model.index()).copied().unwrap_or(false)
+    }
+
+    /// Completion time of a pending model's fill
+    /// (`f64::NEG_INFINITY` when no fill is in flight).
+    pub fn pending_eta_s(&self, model: ModelId) -> f64 {
+        self.pending_eta_s
+            .get(model.index())
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Whether `model` would fit right now (no evictions).
@@ -69,7 +133,7 @@ impl<'lib> ServerCache<'lib> {
         Ok(self.tracker.fits(model)?)
     }
 
-    /// Deduplicated bytes currently used.
+    /// Deduplicated bytes currently used (including pending reservations).
     pub fn used_bytes(&self) -> u64 {
         self.tracker.used_bytes()
     }
@@ -79,12 +143,17 @@ impl<'lib> ServerCache<'lib> {
         self.tracker.capacity_bytes()
     }
 
-    /// The cached models in ascending id order.
+    /// The servable cached models in ascending id order (pending fills
+    /// are excluded — their bytes are reserved but not yet arrived).
     pub fn cached_models(&self) -> Vec<ModelId> {
-        self.tracker.cached_models()
+        self.tracker
+            .cached_models()
+            .into_iter()
+            .filter(|m| !self.pending[m.index()])
+            .collect()
     }
 
-    /// Cache insertions performed so far.
+    /// Cache insertions performed so far (instant inserts and fills).
     pub fn insertions(&self) -> u64 {
         self.insertions
     }
@@ -92,6 +161,25 @@ impl<'lib> ServerCache<'lib> {
     /// Evictions performed so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// `(arrived, total)` block counts of `model` on this server — the
+    /// per-request numerator and denominator of the block hit ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn arrived_blocks(&self, model: ModelId) -> Result<(usize, usize), RuntimeError> {
+        let blocks = self.library().model(model).map_err(to_runtime)?.blocks();
+        let arrived = blocks
+            .iter()
+            .filter(|b| self.block_arrived[b.index()])
+            .count();
+        Ok((arrived, blocks.len()))
+    }
+
+    fn library(&self) -> &'lib ModelLibrary {
+        self.library
     }
 
     /// Records a request for `model` routed to this server at `now_s` —
@@ -104,16 +192,107 @@ impl<'lib> ServerCache<'lib> {
         }
     }
 
-    /// Inserts `model` (capacity is the caller's responsibility — the
-    /// engine evicts via the policy first). Returns the deduplicated
-    /// bytes actually downloaded. Access statistics are *not* touched;
-    /// the engine records the triggering request separately.
+    /// Computes what a fill of `model` would move and wait for under the
+    /// current block state. The plan is a pure read; eviction performed
+    /// afterwards can only *grow* `missing_bytes` (freed shared blocks
+    /// must be re-downloaded), so callers re-plan after making room.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn fill_plan(&self, model: ModelId) -> Result<FillPlan, RuntimeError> {
+        let mut missing = 0u64;
+        let mut join_eta = f64::NEG_INFINITY;
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            if self.block_arrived[b.index()] {
+                continue;
+            }
+            if self.tracker.block_refcount(b) == 0 {
+                missing += self.library().block_size_bytes(b).map_err(to_runtime)?;
+            } else {
+                // Referenced but not arrived: on the wire for another
+                // fill; a block-granular fill waits for it instead of
+                // re-sending.
+                join_eta = join_eta.max(self.block_eta_s[b.index()]);
+            }
+        }
+        Ok(FillPlan {
+            missing_bytes: missing,
+            join_eta_s: join_eta,
+        })
+    }
+
+    /// Starts a fill of `model` whose own transfer finishes at
+    /// `transfer_finish_s`: reserves the model in the tracker (pinning
+    /// shared blocks against eviction), marks its fresh blocks in
+    /// flight, and returns `(completion_eta_s, reserved_bytes)`.
+    ///
+    /// With `join_inflight` (block granularity) the completion time is
+    /// the latest arrival over the fill's own transfer and any needed
+    /// blocks already in flight for other fills. Without it (whole-model
+    /// granularity) the fill's full artifact carries every byte itself,
+    /// so it completes exactly when its own transfer does — a
+    /// sharing-blind baseline must never wait on transfers it does not
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn start_fill(
+        &mut self,
+        model: ModelId,
+        transfer_finish_s: f64,
+        join_inflight: bool,
+    ) -> Result<(f64, u64), RuntimeError> {
+        let mut eta = transfer_finish_s;
+        let mut fresh: Vec<usize> = Vec::new();
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            if self.block_arrived[b.index()] {
+                continue;
+            }
+            if self.tracker.block_refcount(b) == 0 {
+                fresh.push(b.index());
+            } else if join_inflight {
+                eta = eta.max(self.block_eta_s[b.index()]);
+            }
+        }
+        let reserved = self.tracker.add(model)?;
+        for j in fresh {
+            self.block_eta_s[j] = transfer_finish_s;
+        }
+        self.pending[model.index()] = true;
+        self.pending_eta_s[model.index()] = eta;
+        self.insertions += 1;
+        Ok((eta, reserved))
+    }
+
+    /// Completes a pending fill: all of the model's blocks have arrived
+    /// and the model becomes servable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown model.
+    pub fn complete_fill(&mut self, model: ModelId) -> Result<(), RuntimeError> {
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            self.block_arrived[b.index()] = true;
+            self.block_eta_s[b.index()] = f64::NEG_INFINITY;
+        }
+        self.pending[model.index()] = false;
+        self.pending_eta_s[model.index()] = f64::NEG_INFINITY;
+        Ok(())
+    }
+
+    /// Inserts `model` instantly (capacity is the caller's
+    /// responsibility — the engine evicts via the policy first). All of
+    /// its blocks are marked arrived. Returns the deduplicated bytes
+    /// provisioned. Access statistics are *not* touched.
     ///
     /// # Errors
     ///
     /// Returns an error for an unknown model.
     pub fn insert(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
         let added = self.tracker.add(model)?;
+        self.mark_arrived(model)?;
         self.insertions += 1;
         Ok(added)
     }
@@ -126,20 +305,45 @@ impl<'lib> ServerCache<'lib> {
     ///
     /// Returns an error for an unknown model.
     pub fn preload(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
-        Ok(self.tracker.add(model)?)
+        let added = self.tracker.add(model)?;
+        self.mark_arrived(model)?;
+        Ok(added)
+    }
+
+    fn mark_arrived(&mut self, model: ModelId) -> Result<(), RuntimeError> {
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            self.block_arrived[b.index()] = true;
+        }
+        Ok(())
     }
 
     /// Evicts `model`, returning the bytes freed (possibly zero when all
-    /// its blocks are shared with other cached models).
+    /// its blocks are shared with other cached models). Blocks whose
+    /// refcount drops to zero are physically dropped; blocks still
+    /// referenced — including by pending fills — stay resident, so an
+    /// eviction can never strand bytes another cached model needs.
+    /// Pending models must not be evicted (they are excluded from every
+    /// policy's candidate set).
     ///
     /// # Errors
     ///
     /// Returns an error for an unknown model.
     pub fn evict(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
+        debug_assert!(!self.is_pending(model), "pending fills must not be evicted");
         let freed = self.tracker.remove(model)?;
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            if self.tracker.block_refcount(b) == 0 {
+                self.block_arrived[b.index()] = false;
+                self.block_eta_s[b.index()] = f64::NEG_INFINITY;
+            }
+        }
         self.evictions += 1;
         Ok(freed)
     }
+}
+
+fn to_runtime(e: trimcaching_modellib::ModelLibError) -> RuntimeError {
+    RuntimeError::from(e)
 }
 
 #[cfg(test)]
@@ -200,5 +404,92 @@ mod tests {
         let mut cache = ServerCache::new(&lib, 100);
         cache.record_access(ModelId(99), 1.0);
         assert!(cache.view().access_count.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn fill_plan_accounts_resident_and_inflight_blocks() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 1_000);
+        // Nothing resident: everything is missing.
+        let plan = cache.fill_plan(ModelId(0)).unwrap();
+        assert_eq!(plan.missing_bytes, 110);
+        assert_eq!(plan.join_eta_s, f64::NEG_INFINITY);
+
+        // Start m0's fill; m1 now only moves its private block and must
+        // wait for the shared block already on the wire.
+        let (eta, reserved) = cache.start_fill(ModelId(0), 4.0, true).unwrap();
+        assert_eq!(eta, 4.0);
+        assert_eq!(reserved, 110);
+        assert!(cache.is_pending(ModelId(0)));
+        assert!(!cache.contains(ModelId(0)));
+        let plan = cache.fill_plan(ModelId(1)).unwrap();
+        assert_eq!(plan.missing_bytes, 20);
+        assert_eq!(plan.join_eta_s, 4.0);
+
+        // m1's fill (own transfer done at 2.0) completes only when the
+        // shared block lands at 4.0.
+        let (eta, reserved) = cache.start_fill(ModelId(1), 2.0, true).unwrap();
+        assert_eq!(eta, 4.0);
+        assert_eq!(reserved, 20);
+
+        cache.complete_fill(ModelId(0)).unwrap();
+        assert!(cache.contains(ModelId(0)));
+        assert!(!cache.contains(ModelId(1)));
+        cache.complete_fill(ModelId(1)).unwrap();
+        assert!(cache.contains(ModelId(1)));
+        // Once everything arrived, a fill of m0 would move nothing.
+        assert_eq!(cache.arrived_blocks(ModelId(0)).unwrap(), (2, 2));
+    }
+
+    #[test]
+    fn whole_model_fills_never_wait_on_other_transfers() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 1_000);
+        // m0's fill has the shared block in flight until 4.0; a
+        // whole-model fill of m1 carries the shared bytes in its own
+        // artifact (done at 2.0), so it completes at 2.0, not 4.0.
+        cache.start_fill(ModelId(0), 4.0, false).unwrap();
+        let (eta, _) = cache.start_fill(ModelId(1), 2.0, false).unwrap();
+        assert_eq!(eta, 2.0);
+        cache.complete_fill(ModelId(1)).unwrap();
+        assert!(cache.contains(ModelId(1)));
+        // m1's artifact delivered the shared block: m0 is only waiting
+        // for its own transfer now, and completes as scheduled.
+        assert_eq!(cache.arrived_blocks(ModelId(0)).unwrap(), (1, 2));
+        cache.complete_fill(ModelId(0)).unwrap();
+        assert!(cache.contains(ModelId(0)));
+    }
+
+    #[test]
+    fn pending_models_are_invisible_to_serving_and_reports() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 1_000);
+        cache.insert(ModelId(2)).unwrap();
+        cache.start_fill(ModelId(0), 9.0, true).unwrap();
+        assert_eq!(cache.cached_models(), vec![ModelId(2)]);
+        assert_eq!(cache.pending_eta_s(ModelId(0)), 9.0);
+        assert!(cache.view().pending[0]);
+        assert!(!cache.view().pending[2]);
+        assert_eq!(cache.arrived_blocks(ModelId(0)).unwrap(), (0, 2));
+        cache.complete_fill(ModelId(0)).unwrap();
+        assert_eq!(cache.cached_models(), vec![ModelId(0), ModelId(2)]);
+        assert_eq!(cache.pending_eta_s(ModelId(0)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn evicting_a_sharer_keeps_blocks_pinned_by_a_pending_fill() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 1_000);
+        cache.insert(ModelId(0)).unwrap();
+        // m1's fill joins: the shared block is arrived, only 20 bytes move.
+        let plan = cache.fill_plan(ModelId(1)).unwrap();
+        assert_eq!(plan.missing_bytes, 20);
+        cache.start_fill(ModelId(1), 5.0, true).unwrap();
+        // Evicting m0 while m1 is pending frees only m0's private block:
+        // the shared block's refcount is held by the pending fill.
+        assert_eq!(cache.evict(ModelId(0)).unwrap(), 10);
+        cache.complete_fill(ModelId(1)).unwrap();
+        assert!(cache.contains(ModelId(1)));
+        assert_eq!(cache.arrived_blocks(ModelId(1)).unwrap(), (2, 2));
     }
 }

@@ -13,14 +13,27 @@
 //! server caches `i` the request is a **hit** and is served by the
 //! eligible cache with the lowest end-to-end latency. Otherwise, if some
 //! eligible server exists, the model is fetched from the cloud through
-//! that server (**miss**, charged [`ServeConfig::cloud_fetch_penalty_s`]
-//! extra) and offered to its cache under the eviction policy. If no
-//! server is eligible the request is **rejected**.
+//! that server (**miss**) and offered to its cache under the eviction
+//! policy. If no server is eligible the request is **rejected**.
 //!
-//! Determinism: a single seeded RNG, a tie-broken event queue and
-//! policies that are pure functions of cache state make every run a pure
-//! function of `(scenario, policy, config)` — identical seeds produce
-//! identical metric traces, which the integration tests assert.
+//! Misses are *block-granular pipelines*, not instantaneous fills: the
+//! engine computes which parameter blocks are absent at the chosen
+//! server, puts only those bytes on the server's congestion-aware
+//! [`BackhaulLink`] (in-flight transfers degrade the effective rate),
+//! and schedules a [`EventKind::TransferComplete`] event at which the
+//! model becomes servable. Blocks already resident — or already on the
+//! wire for another fill — are never re-downloaded, so parameter
+//! sharing is rewarded on the backhaul path exactly as it is in storage
+//! (the fine-grained downloading direction of arXiv:2509.19341).
+//! [`FillGranularity::WholeModel`] is the compatibility mode in which
+//! every fill moves the full model artifact, making sharing invisible
+//! on the wire — the baseline the `block_transfer` bench pins against.
+//!
+//! Determinism: a single seeded RNG, a tie-broken event queue, transfer
+//! rates frozen at transfer start and policies that are pure functions
+//! of cache state make every run a pure function of
+//! `(scenario, policy, config)` — identical seeds produce identical
+//! metric traces, which the integration tests assert.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +49,22 @@ use crate::error::RuntimeError;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{RequestOutcome, ServeMetrics};
 use crate::policy::EvictionPolicy;
+use crate::transfer::BackhaulLink;
 use crate::workload::Workload;
+
+/// What a cache fill puts on the cloud→edge wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FillGranularity {
+    /// Every fill downloads the full model artifact, even when shared
+    /// blocks are already resident — parameter sharing is rewarded in
+    /// storage but invisible on the backhaul. This is the compatibility
+    /// baseline the determinism and `block_transfer` comparisons pin
+    /// against.
+    WholeModel,
+    /// A fill downloads only the blocks absent at the server; blocks
+    /// already on the wire for another fill are joined, not re-sent.
+    Block,
+}
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,15 +75,26 @@ pub struct ServeConfig {
     pub request_rate_hz: f64,
     /// Length of one hit-ratio metrics window in seconds.
     pub window_s: f64,
-    /// Extra latency charged when a model must be fetched from the cloud
-    /// before edge delivery (the cloud is outside the paper's latency
-    /// model, so this is a single knob rather than a modelled path).
+    /// Extra latency charged when a model must be fetched from the
+    /// cloud before edge delivery, *on top of* the modelled backhaul
+    /// transfer — the cloud-origin overhead (lookup, auth, first-byte
+    /// RTT) that no link model captures.
     pub cloud_fetch_penalty_s: f64,
     /// Mobility slot length in seconds; `0` keeps users static.
     pub mobility_slot_s: f64,
     /// Side of the square deployment area users move within (only used
     /// when mobility is enabled).
     pub area_side_m: f64,
+    /// What a cache fill moves over the backhaul: missing blocks only
+    /// (the TrimCaching-native default) or the whole model artifact.
+    pub granularity: FillGranularity,
+    /// Nominal rate of each edge server's cloud-ingest backhaul link in
+    /// bits per second (the paper's evaluation uses a 10 Gbps mesh).
+    pub cloud_ingest_bps: f64,
+    /// Whether in-flight transfers degrade a link's effective rate
+    /// (processor sharing frozen at transfer start). When off, every
+    /// transfer runs at the nominal rate regardless of load.
+    pub congestion_aware: bool,
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
 }
@@ -71,6 +110,9 @@ impl ServeConfig {
             cloud_fetch_penalty_s: 0.25,
             mobility_slot_s: 0.0,
             area_side_m: 1000.0,
+            granularity: FillGranularity::Block,
+            cloud_ingest_bps: 10.0e9,
+            congestion_aware: true,
             seed: 2024,
         }
     }
@@ -103,6 +145,25 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the fill granularity (block-level pipelines versus the
+    /// whole-model compatibility baseline).
+    pub fn with_granularity(mut self, granularity: FillGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Sets the nominal cloud-ingest backhaul rate per server.
+    pub fn with_cloud_ingest_bps(mut self, rate_bps: f64) -> Self {
+        self.cloud_ingest_bps = rate_bps;
+        self
+    }
+
+    /// Enables or disables congestion feedback on the backhaul links.
+    pub fn with_congestion_aware(mut self, congestion_aware: bool) -> Self {
+        self.congestion_aware = congestion_aware;
+        self
+    }
+
     /// Enables mobility with the given slot length (users re-derive the
     /// radio snapshot every slot, as the paper's Fig. 7 study does every
     /// 5 s).
@@ -123,6 +184,7 @@ impl ServeConfig {
             ("request_rate_hz", self.request_rate_hz),
             ("window_s", self.window_s),
             ("area_side_m", self.area_side_m),
+            ("cloud_ingest_bps", self.cloud_ingest_bps),
         ];
         for (name, value) in positive {
             if !(value.is_finite() && value > 0.0) {
@@ -158,9 +220,12 @@ pub struct ServeReport {
     pub policy: String,
     /// The seed the run used.
     pub seed: u64,
+    /// The fill granularity the run used.
+    pub granularity: FillGranularity,
     /// All streaming metrics.
     pub metrics: ServeMetrics,
-    /// Models cached per server when the run ended (ascending ids).
+    /// Servable models cached per server when the run ended (ascending
+    /// ids; fills still in flight at the horizon are excluded).
     pub final_caches: Vec<Vec<ModelId>>,
 }
 
@@ -172,6 +237,8 @@ pub struct ServeEngine<'a> {
     config: ServeConfig,
     current: Scenario,
     caches: Vec<ServerCache<'a>>,
+    /// Per-server congestion-aware cloud-ingest links.
+    links: Vec<BackhaulLink>,
     workload: Workload,
     metrics: ServeMetrics,
     /// Per-user primary server (highest-rate covering server) under the
@@ -198,6 +265,11 @@ impl<'a> ServeEngine<'a> {
             .iter()
             .map(|s| ServerCache::new(scenario.library(), s.capacity_bytes()))
             .collect();
+        let links = scenario
+            .servers()
+            .iter()
+            .map(|_| BackhaulLink::new(config.cloud_ingest_bps, config.congestion_aware))
+            .collect::<Result<Vec<_>, _>>()?;
         let primary = primary_servers(scenario)?;
         Ok(Self {
             scenario,
@@ -205,6 +277,7 @@ impl<'a> ServeEngine<'a> {
             config,
             current: scenario.clone(),
             caches,
+            links,
             workload,
             metrics: ServeMetrics::new(config.window_s),
             primary,
@@ -260,9 +333,13 @@ impl<'a> ServeEngine<'a> {
             match event.kind {
                 EventKind::Request { user } => {
                     let model = self.workload.draw_model(user, &mut rng);
-                    self.serve_request(user, model, event.time_s)?;
+                    self.serve_request(user, model, event.time_s, &mut queue)?;
                     let gap = self.workload.next_interarrival_s(&mut rng);
                     queue.push(event.time_s + gap, EventKind::Request { user });
+                }
+                EventKind::TransferComplete { server, model } => {
+                    self.caches[server].complete_fill(model)?;
+                    self.metrics.fills_completed += 1;
                 }
                 EventKind::MobilitySlot => {
                     let mobility = mobility
@@ -300,6 +377,7 @@ impl<'a> ServeEngine<'a> {
         Ok(ServeReport {
             policy: self.policy.name().to_string(),
             seed: self.config.seed,
+            granularity: self.config.granularity,
             metrics: self.metrics,
             final_caches: self.caches.iter().map(|c| c.cached_models()).collect(),
         })
@@ -311,6 +389,7 @@ impl<'a> ServeEngine<'a> {
         user: UserId,
         model: ModelId,
         now_s: f64,
+        queue: &mut EventQueue,
     ) -> Result<(), RuntimeError> {
         let current = &self.current;
         let evaluator = LatencyEvaluator::new(
@@ -340,46 +419,134 @@ impl<'a> ServeEngine<'a> {
         match (best_hit, best_any) {
             (Some((latency, m)), _) => {
                 self.caches[m].record_access(model, now_s);
+                self.count_block_residency(m, model)?;
                 self.metrics
                     .record(now_s, RequestOutcome::Hit, Some(latency));
             }
             (None, Some((latency, m))) => {
-                let total = latency + self.config.cloud_fetch_penalty_s;
+                self.caches[m].record_access(model, now_s);
+                self.count_block_residency(m, model)?;
+                // The model must travel from the cloud to server `m`
+                // before edge delivery: the extra wait is the fill (or
+                // transient fetch) pipeline through the congestion-aware
+                // backhaul link, not a closed-form constant.
+                let wait_s = self.fill_or_fetch(m, model, now_s, queue)?;
+                let total = latency + wait_s + self.config.cloud_fetch_penalty_s;
                 self.metrics
                     .record(now_s, RequestOutcome::MissServed, Some(total));
-                let cache = &mut self.caches[m];
-                cache.record_access(model, now_s);
-                // A model larger than the whole cache can never fit, no
-                // matter how much is evicted — bail out before the
-                // eviction loop would drain the cache for nothing.
-                let standalone_bytes = self
-                    .scenario
-                    .library()
-                    .model_size_bytes(model)
-                    .map_err(trimcaching_scenario::ScenarioError::from)?;
-                if standalone_bytes <= cache.capacity_bytes()
-                    && self.policy.admits(cache.view(), model)
-                {
-                    while !cache.fits(model)? {
-                        match self.policy.victim(cache.view(), model) {
-                            Some(victim) => {
-                                cache.evict(victim)?;
-                                self.metrics.evictions += 1;
-                            }
-                            None => break,
-                        }
-                    }
-                    if cache.fits(model)? {
-                        self.metrics.bytes_downloaded += cache.insert(model)?;
-                        self.metrics.insertions += 1;
-                    }
-                }
             }
             (None, None) => {
                 self.metrics.record(now_s, RequestOutcome::Rejected, None);
             }
         }
         Ok(())
+    }
+
+    /// Adds one served request's block residency at server `m` to the
+    /// block hit-ratio counters.
+    fn count_block_residency(&mut self, m: usize, model: ModelId) -> Result<(), RuntimeError> {
+        let (arrived, total) = self.caches[m].arrived_blocks(model)?;
+        self.metrics.block_hits += arrived as u64;
+        self.metrics.block_requests += total as u64;
+        Ok(())
+    }
+
+    /// Brings `model` to server `m` on a miss and returns the extra wait
+    /// in seconds until the model is available there.
+    ///
+    /// All storage decisions — the oversize bail-out, policy admission,
+    /// policy-driven eviction and the capacity reservation of the fill —
+    /// go through the one [`StorageTracker`]-backed path in
+    /// [`ServerCache`], for both fill granularities:
+    ///
+    /// 1. a fill already in flight is *joined* (no new bytes move);
+    /// 2. an admitted fill evicts victims until the (re-planned)
+    ///    marginal bytes fit, reserves them, transfers the wire bytes of
+    ///    the configured granularity and schedules its
+    ///    transfer-complete event;
+    /// 3. otherwise a transient fetch moves the bytes to the server for
+    ///    this request only, caching nothing.
+    ///
+    /// [`StorageTracker`]: trimcaching_scenario::StorageTracker
+    fn fill_or_fetch(
+        &mut self,
+        m: usize,
+        model: ModelId,
+        now_s: f64,
+        queue: &mut EventQueue,
+    ) -> Result<f64, RuntimeError> {
+        let cache = &self.caches[m];
+        if cache.is_pending(model) {
+            // Join the in-flight fill: every byte is already on the wire.
+            return Ok((cache.pending_eta_s(model) - now_s).max(0.0));
+        }
+        // A model larger than the whole cache can never fit, no matter
+        // how much is evicted — bail out before the eviction loop would
+        // drain the cache for nothing.
+        let standalone_bytes = self
+            .scenario
+            .library()
+            .model_size_bytes(model)
+            .map_err(trimcaching_scenario::ScenarioError::from)?;
+        if standalone_bytes <= cache.capacity_bytes() && self.policy.admits(cache.view(), model) {
+            let cache = &mut self.caches[m];
+            while !cache.fits(model)? {
+                match self.policy.victim(cache.view(), model) {
+                    Some(victim) => {
+                        cache.evict(victim)?;
+                        self.metrics.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+            if cache.fits(model)? {
+                // Plan after eviction: freed shared blocks must be
+                // re-downloaded, so the plan can only have grown.
+                let plan = cache.fill_plan(model)?;
+                let join_inflight = self.config.granularity == FillGranularity::Block;
+                let wire_bytes = match self.config.granularity {
+                    FillGranularity::WholeModel => standalone_bytes,
+                    FillGranularity::Block => plan.missing_bytes,
+                };
+                let finish_s = self.begin_transfer(m, now_s, wire_bytes);
+                let (eta_s, reserved) =
+                    self.caches[m].start_fill(model, finish_s, join_inflight)?;
+                self.metrics.bytes_downloaded += reserved;
+                self.metrics.insertions += 1;
+                queue.push(eta_s, EventKind::TransferComplete { server: m, model });
+                return Ok((eta_s - now_s).max(0.0));
+            }
+        }
+        // Transient fetch: the bytes still cross the backhaul for this
+        // request, but nothing is reserved or cached. In block mode,
+        // blocks already on the wire for a pending fill are waited for,
+        // not re-sent; a whole-model fetch carries everything itself.
+        let plan = self.caches[m].fill_plan(model)?;
+        let (wire_bytes, join_eta_s) = match self.config.granularity {
+            FillGranularity::WholeModel => (standalone_bytes, f64::NEG_INFINITY),
+            FillGranularity::Block => (plan.missing_bytes, plan.join_eta_s),
+        };
+        let finish_s = self.begin_transfer(m, now_s, wire_bytes);
+        Ok((finish_s.max(join_eta_s) - now_s).max(0.0))
+    }
+
+    /// Starts a backhaul transfer of `bytes` to server `m` (a no-op
+    /// returning `now_s` for zero bytes) and folds the link statistics
+    /// into the run metrics.
+    fn begin_transfer(&mut self, m: usize, now_s: f64, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return now_s;
+        }
+        let ticket = self.links[m].begin_transfer(now_s, bytes);
+        self.metrics.backhaul_bytes_moved += bytes;
+        self.metrics.transfers_started += 1;
+        self.metrics.transfer_seconds += ticket.duration_s;
+        self.metrics.transfer_queue_depth_sum += ticket.depth_at_start as u64;
+        self.metrics.peak_transfer_queue_depth = self
+            .metrics
+            .peak_transfer_queue_depth
+            .max(ticket.depth_at_start as u64 + 1);
+        ticket.finish_s
     }
 }
 
@@ -554,10 +721,18 @@ mod tests {
     fn identical_seeds_give_identical_reports() {
         let s = scenario(10, 0.3);
         let config = ServeConfig::smoke().with_seed(99);
-        for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
-            let a = serve(&s, policy, None, &config).unwrap();
-            let b = serve(&s, policy, None, &config).unwrap();
-            assert_eq!(a, b, "policy {} must be deterministic", policy.name());
+        for granularity in [FillGranularity::Block, FillGranularity::WholeModel] {
+            let config = config.with_granularity(granularity);
+            for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
+                let a = serve(&s, policy, None, &config).unwrap();
+                let b = serve(&s, policy, None, &config).unwrap();
+                assert_eq!(
+                    a,
+                    b,
+                    "policy {} must be deterministic under {granularity:?}",
+                    policy.name()
+                );
+            }
         }
         let c = serve(&s, &Lru, None, &config.with_seed(100)).unwrap();
         assert_ne!(
@@ -642,13 +817,68 @@ mod tests {
     fn oversized_models_never_drain_the_cache() {
         // ~1 MB capacity cannot hold any ~50-100 MB paper model: every
         // miss must leave the caches untouched instead of evicting
-        // whatever happens to be resident.
+        // whatever happens to be resident. The oversize bail-out lives
+        // in the single StorageTracker-backed fill path, so it covers
+        // both granularities.
         let s = scenario(12, 0.001);
-        let report = serve(&s, &Lru, None, &ServeConfig::smoke()).unwrap();
-        assert!(report.metrics.requests > 0);
-        assert_eq!(report.metrics.evictions, 0);
-        assert_eq!(report.metrics.insertions, 0);
-        assert_eq!(report.metrics.hits, 0);
+        for granularity in [FillGranularity::Block, FillGranularity::WholeModel] {
+            let config = ServeConfig::smoke().with_granularity(granularity);
+            let report = serve(&s, &Lru, None, &config).unwrap();
+            assert!(report.metrics.requests > 0);
+            assert_eq!(report.metrics.evictions, 0, "{granularity:?}");
+            assert_eq!(report.metrics.insertions, 0, "{granularity:?}");
+            assert_eq!(report.metrics.fills_completed, 0, "{granularity:?}");
+            assert_eq!(report.metrics.hits, 0, "{granularity:?}");
+            // The bytes still crossed the wire as transient fetches.
+            assert!(report.metrics.backhaul_bytes_moved > 0, "{granularity:?}");
+            assert_eq!(report.metrics.bytes_downloaded, 0, "{granularity:?}");
+        }
+    }
+
+    #[test]
+    fn block_fills_move_at_most_whole_model_bytes() {
+        let s = scenario(12, 0.4);
+        let config = ServeConfig::smoke().with_seed(5);
+        let block = serve(&s, &Lru, None, &config).unwrap();
+        let whole = serve(
+            &s,
+            &Lru,
+            None,
+            &config.with_granularity(FillGranularity::WholeModel),
+        )
+        .unwrap();
+        assert_eq!(block.granularity, FillGranularity::Block);
+        assert_eq!(whole.granularity, FillGranularity::WholeModel);
+        assert!(block.metrics.backhaul_bytes_moved <= whole.metrics.backhaul_bytes_moved);
+        // Storage-side provisioning is deduplicated in both modes, and
+        // in block mode the wire carries exactly what storage grew by
+        // plus the transient fetches — never more than whole models.
+        assert!(block.metrics.bytes_downloaded <= block.metrics.backhaul_bytes_moved);
+        // Block residency credits partial hits, so the block hit ratio
+        // dominates the model-level one.
+        assert!(block.metrics.block_hit_ratio() >= block.metrics.hit_ratio());
+    }
+
+    #[test]
+    fn fills_take_transfer_time_before_becoming_hits() {
+        // One user hammering one server: the first request starts a
+        // fill; requests landing before the transfer-complete event are
+        // misses that join the fill (no new wire bytes), and once the
+        // fill lands the model serves as a hit.
+        let s = scenario(6, 0.5);
+        // A slow 10 Mbps ingest makes every fill take seconds.
+        let config = ServeConfig::smoke()
+            .with_seed(3)
+            .with_cloud_ingest_bps(10.0e6);
+        let report = serve(&s, &CostAwareLfu, None, &config).unwrap();
+        let m = &report.metrics;
+        assert!(m.requests > 0);
+        assert!(m.transfers_started > 0);
+        assert!(m.transfer_seconds > 0.0);
+        assert!(m.mean_transfer_s() > 0.0);
+        // Fills scheduled within the horizon completed within it or
+        // were cut off by it — never more completions than insertions.
+        assert!(m.fills_completed <= m.insertions);
     }
 
     #[test]
@@ -665,6 +895,8 @@ mod tests {
                 cloud_fetch_penalty_s: -0.5,
                 ..ServeConfig::smoke()
             },
+            ServeConfig::smoke().with_cloud_ingest_bps(0.0),
+            ServeConfig::smoke().with_cloud_ingest_bps(f64::NAN),
         ] {
             assert!(serve(&s, &Lru, None, &bad).is_err(), "{bad:?}");
         }

@@ -10,6 +10,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use trimcaching_modellib::ModelId;
 use trimcaching_scenario::UserId;
 
 /// What happens when an event fires.
@@ -24,6 +25,14 @@ pub enum EventKind {
     /// Users move for one mobility slot and the radio snapshot (coverage,
     /// rates, eligibility) is re-derived — server handover happens here.
     MobilitySlot,
+    /// The last missing block of a cache fill arrives at an edge server:
+    /// the pending model becomes servable.
+    TransferComplete {
+        /// The server whose fill completed.
+        server: usize,
+        /// The model that became servable.
+        model: ModelId,
+    },
 }
 
 /// One scheduled event.
@@ -125,7 +134,7 @@ mod tests {
         let users: Vec<usize> = std::iter::from_fn(|| {
             q.pop().map(|e| match e.kind {
                 EventKind::Request { user } => user.index(),
-                EventKind::MobilitySlot => unreachable!(),
+                _ => unreachable!(),
             })
         })
         .collect();

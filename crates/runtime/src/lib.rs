@@ -11,18 +11,30 @@
 //! * [`workload`] — per-user Poisson request streams whose model choices
 //!   follow the scenario's demand matrix `p_{k,i}`;
 //! * [`cache`] — per-server caches over the scenario layer's
-//!   shared-storage accounting (Eq. 7), with online access statistics;
+//!   shared-storage accounting (Eq. 7), with online access statistics
+//!   and **block-granular transfer state**: blocks are refcounted
+//!   across models, fills reserve capacity up front and stay *pending*
+//!   until their transfer completes, and evicting a model never strands
+//!   bytes another cached model (or in-flight fill) still needs;
+//! * [`transfer`] — per-server congestion-aware cloud-ingest links:
+//!   in-flight transfers degrade the effective rate (deterministic
+//!   processor sharing frozen at transfer start), replacing the
+//!   closed-form cloud-fetch constant;
 //! * [`policy`] — pluggable eviction/admission policies: classical LRU
 //!   and LFU baselines plus the shared-block-aware [`CostAwareLfu`],
 //!   which ranks victims by observed demand per *reclaimable* byte
 //!   (evicting a model only frees its unshared blocks);
 //! * [`engine`] — the serving loop: requests served through the
 //!   eligibility indicator `I1(m, k, i)` and end-to-end latencies of
-//!   Eqs. (3)–(5), user mobility advanced in event time with server
+//!   Eqs. (3)–(5), misses turned into block-granular fill pipelines
+//!   ([`FillGranularity::Block`] moves only missing blocks over the
+//!   backhaul; [`FillGranularity::WholeModel`] is the sharing-blind
+//!   baseline), user mobility advanced in event time with server
 //!   handover, caches maintained online, and independent runs fanned out
 //!   across worker threads;
 //! * [`metrics`] — streaming metrics: windowed hit-ratio trace,
-//!   hit/miss/rejected counts, and a latency histogram with p50/p95/p99.
+//!   hit/miss/rejected counts, backhaul bytes moved, block hit ratio,
+//!   transfer-queue depth, and a latency histogram with p50/p95/p99.
 //!
 //! # Example
 //!
@@ -61,12 +73,14 @@ pub mod error;
 pub mod event;
 pub mod metrics;
 pub mod policy;
+pub mod transfer;
 pub mod workload;
 
-pub use cache::{CacheView, ServerCache};
-pub use engine::{serve, serve_ensemble, ServeConfig, ServeEngine, ServeReport};
+pub use cache::{CacheView, FillPlan, ServerCache};
+pub use engine::{serve, serve_ensemble, FillGranularity, ServeConfig, ServeEngine, ServeReport};
 pub use error::RuntimeError;
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::{LatencyHistogram, RequestOutcome, ServeMetrics, WindowPoint};
 pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
+pub use transfer::{BackhaulLink, TransferTicket};
 pub use workload::Workload;

@@ -126,8 +126,36 @@ pub struct ServeMetrics {
     pub misses_served: u64,
     /// Requests no eligible server could serve within the deadline.
     pub rejected: u64,
-    /// Deduplicated bytes pulled from the cloud into edge caches.
+    /// Deduplicated bytes provisioned into edge caches (storage-side
+    /// accounting: what the caches grew by, after block sharing).
     pub bytes_downloaded: u64,
+    /// Bytes that actually crossed the cloud→edge backhaul links
+    /// (wire-side accounting). Block-granular fills move only missing
+    /// blocks, so on shared-block libraries this is strictly less than
+    /// the whole-model figure; transient fetches for non-admitted
+    /// misses count too.
+    pub backhaul_bytes_moved: u64,
+    /// Backhaul transfers started (fills and transient fetches).
+    pub transfers_started: u64,
+    /// Cache fills whose transfer-complete event fired within the run.
+    pub fills_completed: u64,
+    /// Total seconds of backhaul transfer time scheduled (sum of
+    /// per-transfer durations under the congestion-degraded rates);
+    /// mean transfer time = this over [`ServeMetrics::transfers_started`].
+    pub transfer_seconds: f64,
+    /// Highest number of simultaneous in-flight transfers observed on
+    /// any single server's backhaul link.
+    pub peak_transfer_queue_depth: u64,
+    /// Sum over started transfers of the queue depth found at start;
+    /// mean contention = this over [`ServeMetrics::transfers_started`].
+    pub transfer_queue_depth_sum: u64,
+    /// Parameter blocks needed across all served requests (each request
+    /// counts every block of its model at the serving server).
+    pub block_requests: u64,
+    /// Needed blocks that were already resident at the serving server —
+    /// the numerator of the block hit ratio, which credits partial
+    /// residency (shared blocks) that the model-level hit ratio cannot.
+    pub block_hits: u64,
     /// Cache insertions performed.
     pub insertions: u64,
     /// Cache evictions performed.
@@ -171,6 +199,14 @@ impl ServeMetrics {
             misses_served: 0,
             rejected: 0,
             bytes_downloaded: 0,
+            backhaul_bytes_moved: 0,
+            transfers_started: 0,
+            fills_completed: 0,
+            transfer_seconds: 0.0,
+            peak_transfer_queue_depth: 0,
+            transfer_queue_depth_sum: 0,
+            block_requests: 0,
+            block_hits: 0,
             insertions: 0,
             evictions: 0,
             snapshot_rebuilds: 0,
@@ -246,6 +282,39 @@ impl ServeMetrics {
         }
     }
 
+    /// Block-granular hit ratio: the fraction of needed parameter
+    /// blocks already resident at the serving server, over all served
+    /// requests. Always at least the model-level hit ratio on the same
+    /// stream — a missed model with a resident shared backbone still
+    /// scores its resident blocks.
+    pub fn block_hit_ratio(&self) -> f64 {
+        if self.block_requests == 0 {
+            0.0
+        } else {
+            self.block_hits as f64 / self.block_requests as f64
+        }
+    }
+
+    /// Mean backhaul transfer duration in seconds (zero when no
+    /// transfer started).
+    pub fn mean_transfer_s(&self) -> f64 {
+        if self.transfers_started == 0 {
+            0.0
+        } else {
+            self.transfer_seconds / self.transfers_started as f64
+        }
+    }
+
+    /// Mean backhaul queue depth found by starting transfers (zero when
+    /// no transfer started).
+    pub fn mean_transfer_queue_depth(&self) -> f64 {
+        if self.transfers_started == 0 {
+            0.0
+        } else {
+            self.transfer_queue_depth_sum as f64 / self.transfers_started as f64
+        }
+    }
+
     /// Fraction of requests that were served at all (hit or cloud fetch).
     pub fn served_ratio(&self) -> f64 {
         if self.requests == 0 {
@@ -300,6 +369,22 @@ mod tests {
         assert_eq!(m.hit_ratio(), 0.5);
         assert_eq!(m.served_ratio(), 0.75);
         assert_eq!(m.latency.count(), 3);
+    }
+
+    #[test]
+    fn transfer_and_block_ratios_handle_empty_and_loaded_runs() {
+        let mut m = ServeMetrics::new(10.0);
+        assert_eq!(m.block_hit_ratio(), 0.0);
+        assert_eq!(m.mean_transfer_s(), 0.0);
+        assert_eq!(m.mean_transfer_queue_depth(), 0.0);
+        m.block_requests = 8;
+        m.block_hits = 6;
+        m.transfers_started = 4;
+        m.transfer_seconds = 2.0;
+        m.transfer_queue_depth_sum = 6;
+        assert_eq!(m.block_hit_ratio(), 0.75);
+        assert_eq!(m.mean_transfer_s(), 0.5);
+        assert_eq!(m.mean_transfer_queue_depth(), 1.5);
     }
 
     #[test]

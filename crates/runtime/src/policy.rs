@@ -40,6 +40,9 @@ pub trait EvictionPolicy: Send + Sync {
 }
 
 /// Candidate victims: cached models other than the incoming one.
+/// Models with an in-flight fill are excluded — their capacity is
+/// reserved and their blocks are (partially) on the wire; evicting them
+/// would tear down a transfer the engine has already scheduled.
 fn candidates<'a>(
     cache: &'a CacheView<'_, '_>,
     incoming: ModelId,
@@ -48,7 +51,7 @@ fn candidates<'a>(
         .tracker
         .cached_models()
         .into_iter()
-        .filter(move |m| *m != incoming)
+        .filter(move |m| *m != incoming && !cache.pending[m.index()])
 }
 
 /// Least-recently-used eviction.
@@ -234,6 +237,25 @@ mod tests {
         let victim = CostAwareLfu.victim(cache.view(), ModelId(9));
         assert!(victim.is_some());
         assert_ne!(victim, Some(ModelId(3)));
+    }
+
+    #[test]
+    fn pending_fills_are_never_victims() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 1_000);
+        cache.insert(ModelId(2)).unwrap();
+        cache.record_access(ModelId(2), 5.0);
+        // m0's fill is in flight: despite being the stalest (never
+        // accessed) and the densest reclaim, it must not be evicted.
+        cache.start_fill(ModelId(0), 9.0, true).unwrap();
+        for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
+            assert_eq!(
+                policy.victim(cache.view(), ModelId(1)),
+                Some(ModelId(2)),
+                "policy {} must skip the pending fill",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Per-server congestion-aware backhaul (cloud-ingest) link model.
+//!
+//! Every edge server owns one [`BackhaulLink`] to the model repository.
+//! A cache fill (or a transient miss fetch) occupies the link for the
+//! duration of its transfer; the *effective* rate of a transfer started
+//! while `n` earlier transfers are still in flight is the nominal link
+//! rate divided by `n + 1` — a deterministic processor-sharing
+//! approximation frozen at transfer start, so identical event sequences
+//! produce identical transfer times. This replaces the closed-form
+//! constant the engine previously charged for every cloud fetch: under
+//! load, fills now queue up and download latency degrades visibly.
+//!
+//! The link itself only tracks what it must (the in-flight finish
+//! times); each transfer's [`TransferTicket`] reports the finish time,
+//! duration and queue depth, from which the engine folds the run's wire
+//! accounting into [`ServeMetrics`] — one source of truth, no parallel
+//! counters to keep in sync.
+//!
+//! [`ServeMetrics`]: crate::metrics::ServeMetrics
+
+use std::collections::VecDeque;
+
+use crate::error::RuntimeError;
+
+/// Outcome of starting one transfer on a [`BackhaulLink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferTicket {
+    /// Simulated time at which the last byte arrives.
+    pub finish_s: f64,
+    /// Transfers already in flight when this one started (the queue
+    /// depth that degraded its effective rate).
+    pub depth_at_start: usize,
+    /// The transfer's duration in seconds under the effective rate.
+    pub duration_s: f64,
+}
+
+/// One edge server's link to the cloud model repository.
+#[derive(Debug, Clone)]
+pub struct BackhaulLink {
+    nominal_bps: f64,
+    congestion_aware: bool,
+    /// Finish times of in-flight transfers, ascending.
+    inflight: VecDeque<f64>,
+}
+
+impl BackhaulLink {
+    /// Creates an idle link with the given nominal rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if the rate is not
+    /// strictly positive and finite.
+    pub fn new(nominal_bps: f64, congestion_aware: bool) -> Result<Self, RuntimeError> {
+        if !(nominal_bps.is_finite() && nominal_bps > 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("backhaul rate must be positive and finite, got {nominal_bps}"),
+            });
+        }
+        Ok(Self {
+            nominal_bps,
+            congestion_aware,
+            inflight: VecDeque::new(),
+        })
+    }
+
+    /// The nominal (uncontended) link rate in bits per second.
+    pub fn nominal_bps(&self) -> f64 {
+        self.nominal_bps
+    }
+
+    /// Drops transfers that have already finished by `now_s`.
+    fn prune(&mut self, now_s: f64) {
+        while self.inflight.front().is_some_and(|&t| t <= now_s) {
+            self.inflight.pop_front();
+        }
+    }
+
+    /// Transfers still in flight at `now_s`.
+    pub fn depth(&mut self, now_s: f64) -> usize {
+        self.prune(now_s);
+        self.inflight.len()
+    }
+
+    /// Starts a transfer of `bytes` at `now_s` and returns its ticket.
+    /// The effective rate is the nominal rate divided by one plus the
+    /// number of transfers already in flight (when congestion awareness
+    /// is on); the resulting finish time is fixed at start and never
+    /// rescheduled, keeping runs a pure function of the event sequence.
+    pub fn begin_transfer(&mut self, now_s: f64, bytes: u64) -> TransferTicket {
+        self.prune(now_s);
+        let depth = self.inflight.len();
+        let rate = if self.congestion_aware {
+            self.nominal_bps / (depth + 1) as f64
+        } else {
+            self.nominal_bps
+        };
+        let duration_s = bytes as f64 * 8.0 / rate;
+        let finish_s = now_s + duration_s;
+        let pos = self.inflight.partition_point(|&t| t <= finish_s);
+        self.inflight.insert(pos, finish_s);
+        TransferTicket {
+            finish_s,
+            depth_at_start: depth,
+            duration_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_runs_at_nominal_rate() {
+        let mut link = BackhaulLink::new(8.0e9, true).unwrap();
+        // 1 GB over 8 Gbps = 1 s.
+        let t = link.begin_transfer(0.0, 1_000_000_000);
+        assert_eq!(t.depth_at_start, 0);
+        assert!((t.finish_s - 1.0).abs() < 1e-12);
+        assert!((t.duration_s - 1.0).abs() < 1e-12);
+        assert_eq!(link.nominal_bps(), 8.0e9);
+    }
+
+    #[test]
+    fn concurrent_transfers_degrade_the_effective_rate() {
+        let mut link = BackhaulLink::new(8.0e9, true).unwrap();
+        let a = link.begin_transfer(0.0, 1_000_000_000); // 1 s at full rate
+        let b = link.begin_transfer(0.5, 1_000_000_000); // 2 s at half rate
+        assert_eq!(b.depth_at_start, 1);
+        assert!((b.finish_s - 2.5).abs() < 1e-9);
+        // A third transfer after both finished is uncontended again.
+        let c = link.begin_transfer(3.0, 1_000_000_000);
+        assert_eq!(c.depth_at_start, 0);
+        assert!((c.finish_s - 4.0).abs() < 1e-9);
+        let _ = a;
+    }
+
+    #[test]
+    fn congestion_can_be_disabled() {
+        let mut link = BackhaulLink::new(8.0e9, false).unwrap();
+        link.begin_transfer(0.0, 1_000_000_000);
+        let b = link.begin_transfer(0.0, 1_000_000_000);
+        assert_eq!(b.depth_at_start, 1, "depth is still tracked");
+        assert!(
+            (b.finish_s - 1.0).abs() < 1e-12,
+            "but the rate is not degraded"
+        );
+    }
+
+    #[test]
+    fn finish_times_stay_sorted_for_out_of_order_completions() {
+        let mut link = BackhaulLink::new(8.0e9, false).unwrap();
+        // A large transfer, then a small one that finishes earlier.
+        link.begin_transfer(0.0, 4_000_000_000); // finishes at 4 s
+        let small = link.begin_transfer(0.0, 1_000_000_000); // finishes at 1 s
+        assert!((small.finish_s - 1.0).abs() < 1e-12);
+        // At 2 s only the large transfer remains in flight.
+        assert_eq!(link.depth(2.0), 1);
+        assert_eq!(link.depth(5.0), 0);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(BackhaulLink::new(0.0, true).is_err());
+        assert!(BackhaulLink::new(-1.0, true).is_err());
+        assert!(BackhaulLink::new(f64::NAN, true).is_err());
+        assert!(BackhaulLink::new(f64::INFINITY, true).is_err());
+    }
+}

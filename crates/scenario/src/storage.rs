@@ -14,7 +14,7 @@
 //! [`StorageTracker::naive_used_bytes`], which charges every model its full
 //! size regardless of sharing.
 
-use trimcaching_modellib::{ModelId, ModelLibrary};
+use trimcaching_modellib::{BlockId, ModelId, ModelLibrary};
 
 use crate::error::ScenarioError;
 
@@ -69,6 +69,15 @@ impl<'a> StorageTracker<'a> {
     /// Whether the model is currently cached.
     pub fn contains(&self, model: ModelId) -> bool {
         self.cached.get(model.index()).copied().unwrap_or(false)
+    }
+
+    /// How many cached models reference block `j` (zero for unknown
+    /// blocks). Block-granular caches use this to tell which of a
+    /// model's blocks are marginal (refcount zero — their bytes must
+    /// move over the backhaul) versus already provisioned by another
+    /// cached model.
+    pub fn block_refcount(&self, block: BlockId) -> u32 {
+        self.block_refcount.get(block.index()).copied().unwrap_or(0)
     }
 
     /// The models currently cached, in ascending order.
@@ -302,6 +311,21 @@ mod tests {
         // m2 needs 50 more -> exceeds 130.
         assert!(!t.fits(ModelId(2)).unwrap());
         assert_eq!(t.capacity_bytes(), 130);
+    }
+
+    #[test]
+    fn block_refcounts_follow_adds_and_removes() {
+        let lib = library();
+        let mut t = StorageTracker::new(&lib, 1_000);
+        assert_eq!(t.block_refcount(BlockId(0)), 0);
+        t.add(ModelId(0)).unwrap();
+        t.add(ModelId(1)).unwrap();
+        // Block 0 is the shared block of m0 and m1.
+        assert_eq!(t.block_refcount(BlockId(0)), 2);
+        t.remove(ModelId(0)).unwrap();
+        assert_eq!(t.block_refcount(BlockId(0)), 1);
+        // Unknown blocks report zero instead of erroring.
+        assert_eq!(t.block_refcount(BlockId(99)), 0);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!                 [--realisations N] [--csv] [--out FILE]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
-//!              serve serve-trace replacement replacement-trigger
-//!              lora-market city-scale
+//!              serve serve-trace serve-blocks replacement
+//!              replacement-trigger lora-market city-scale
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -39,7 +39,8 @@ fn print_usage() {
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
          [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
-         serve serve-trace replacement replacement-trigger lora-market city-scale \
+         serve serve-trace serve-blocks replacement replacement-trigger lora-market \
+         city-scale \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
@@ -133,6 +134,7 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "fig7" => render_table(fig7::mobility_robustness(config)?),
         "serve" => render_table(serve::policy_comparison(config)?),
         "serve-trace" => render_table(serve::warm_start_trace(config)?),
+        "serve-blocks" => render_table(serve::block_fill_comparison(config)?),
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
@@ -159,6 +161,7 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
                 "fig7",
                 "serve",
                 "serve-trace",
+                "serve-blocks",
                 "replacement",
                 "replacement-trigger",
                 "lora-market",

@@ -61,6 +61,26 @@ pub struct CoverageMap {
     /// Server positions (see `user_points`).
     server_points: Vec<Point>,
     coverage_radius_m: f64,
+    /// Lazily built spatial bucketing of `server_points`, reused across
+    /// [`CoverageMap::apply_user_moves`] batches. Purely derived state:
+    /// ignored by equality, skipped by serde (serialised maps stay
+    /// bit-stable and pre-grid snapshots still deserialise) and rebuilt
+    /// on demand. Any future API that mutates `server_points` must
+    /// reset this with `GridCache::default()`.
+    #[serde(skip)]
+    grid: GridCache,
+}
+
+/// Cached [`ServerGrid`] wrapper that is invisible to comparisons —
+/// two maps with identical coverage state are equal whether or not
+/// either has materialised its grid yet.
+#[derive(Debug, Clone, Default)]
+struct GridCache(Option<ServerGrid>);
+
+impl PartialEq for GridCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
 }
 
 impl CoverageMap {
@@ -98,6 +118,7 @@ impl CoverageMap {
             user_points: users.to_vec(),
             server_points: servers.to_vec(),
             coverage_radius_m,
+            grid: GridCache::default(),
         })
     }
 
@@ -129,16 +150,22 @@ impl CoverageMap {
                 });
             }
         }
-        // Large batches over many servers amortise a one-off spatial
-        // bucketing of the server points: each mover then probes only the
-        // servers within one coverage radius of its 3 × 3 neighbourhood
-        // instead of all M (the distance predicate itself is unchanged,
-        // so the resulting rows are identical to a linear rescan).
+        // Large batches over many servers amortise a spatial bucketing
+        // of the server points: each mover then probes only the servers
+        // within one coverage radius of its 3 × 3 neighbourhood instead
+        // of all M (the distance predicate itself is unchanged, so the
+        // resulting rows are identical to a linear rescan). The grid is
+        // built once and cached in the map — server positions never
+        // change after construction, so every later mobility slot reuses
+        // it instead of re-bucketing all M servers per batch.
         let grid = if moves.len().saturating_mul(self.server_points.len()) > 1 << 14 {
-            Some(ServerGrid::build(
-                &self.server_points,
-                self.coverage_radius_m,
-            ))
+            if self.grid.0.is_none() {
+                self.grid.0 = Some(ServerGrid::build(
+                    &self.server_points,
+                    self.coverage_radius_m,
+                ));
+            }
+            self.grid.0.as_ref()
         } else {
             None
         };
@@ -151,7 +178,7 @@ impl CoverageMap {
             self.user_points[k] = position;
             moved.push(k);
             let old_servers = std::mem::take(&mut self.servers_of_user[k]);
-            let new_servers: Vec<usize> = match &grid {
+            let new_servers: Vec<usize> = match grid {
                 Some(grid) => {
                     grid.covering_servers(position, &self.server_points, self.coverage_radius_m)
                 }
@@ -317,6 +344,7 @@ impl CoverageMap {
 /// Uniform hash grid over server points with cell side equal to the
 /// coverage radius: every server within one radius of a query point lies
 /// in the 3 × 3 cell neighbourhood of the query's cell.
+#[derive(Debug, Clone)]
 struct ServerGrid {
     cell_m: f64,
     buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
@@ -509,6 +537,28 @@ mod tests {
             .collect();
         map.apply_user_moves(&moves).unwrap();
         for &(k, p) in &moves {
+            users[k] = p;
+        }
+        // The freshly rebuilt map has no materialised grid; equality
+        // ignores the cache and compares coverage state only.
+        assert_eq!(map, CoverageMap::build(&users, &servers, 275.0).unwrap());
+        assert!(map.grid.0.is_some(), "large batches materialise the grid");
+
+        // A second large batch reuses the cached grid (instead of
+        // re-bucketing all servers) and still matches a full rebuild.
+        let moves2: Vec<(usize, Point)> = (0..120)
+            .map(|j| {
+                (
+                    j + 30,
+                    Point::new(
+                        ((j * 631 + 59) % 2000) as f64,
+                        ((j * 173 + 11) % 2000) as f64,
+                    ),
+                )
+            })
+            .collect();
+        map.apply_user_moves(&moves2).unwrap();
+        for &(k, p) in &moves2 {
             users[k] = p;
         }
         assert_eq!(map, CoverageMap::build(&users, &servers, 275.0).unwrap());

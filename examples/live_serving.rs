@@ -46,8 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.mobility_slot_s
     );
 
-    println!("| policy | start | hit ratio | served | p50 | p95 | p99 | downloads (MB) | evictions | handovers |");
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| policy | start | hit ratio | block hit ratio | p50 | p95 | p99 | stored (MB) | \
+         wire (MB) | evictions | handovers |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
         for (label, warm) in [("cold", None), ("warm", Some(&placement.placement))] {
             let report = serve(&scenario, policy, warm, &config)?;
@@ -57,15 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .unwrap_or_else(|| "-".into())
             };
             println!(
-                "| {} | {} | {:.4} | {:.4} | {} | {} | {} | {:.1} | {} | {} |",
+                "| {} | {} | {:.4} | {:.4} | {} | {} | {} | {:.1} | {:.1} | {} | {} |",
                 report.policy,
                 label,
                 m.hit_ratio(),
-                m.served_ratio(),
+                m.block_hit_ratio(),
                 q(m.p50_latency_s()),
                 q(m.p95_latency_s()),
                 q(m.p99_latency_s()),
                 m.bytes_downloaded as f64 / 1e6,
+                m.backhaul_bytes_moved as f64 / 1e6,
                 m.evictions,
                 m.handovers,
             );

@@ -21,9 +21,12 @@
 //!   Independent Caching baseline and the exhaustive-search reference;
 //! * [`runtime`] — the event-driven online serving engine: Poisson
 //!   request streams replayed against placements, per-server caches
-//!   under shared-block-aware eviction policies, mobility with server
-//!   handover, and streaming metrics (windowed hit ratio, latency
-//!   percentiles);
+//!   with block-granular residency under shared-block-aware eviction
+//!   policies, cache fills pipelined as block transfers over
+//!   congestion-aware backhaul links (whole-model fills remain as a
+//!   compatibility baseline), mobility with server handover, and
+//!   streaming metrics (windowed hit ratio, block hit ratio, backhaul
+//!   bytes moved, latency percentiles);
 //! * [`sim`] — the simulation harness regenerating every figure of the
 //!   paper's evaluation, plus the online `serve` experiments.
 //!
@@ -83,7 +86,8 @@ pub mod prelude {
         RandomPlacement, TopPopularity, TrimCachingGen, TrimCachingGenLazy, TrimCachingSpec,
     };
     pub use trimcaching_runtime::{
-        serve, serve_ensemble, CostAwareLfu, EvictionPolicy, Lfu, Lru, ServeConfig, ServeReport,
+        serve, serve_ensemble, CostAwareLfu, EvictionPolicy, FillGranularity, Lfu, Lru,
+        ServeConfig, ServeReport,
     };
     pub use trimcaching_scenario::prelude::*;
     pub use trimcaching_sim::{

@@ -1,0 +1,189 @@
+//! Integration tests of the block-granular transfer pipeline: parameter
+//! sharing must pay off on the backhaul wire (not just in storage), the
+//! whole-model compatibility mode must coincide with block granularity
+//! on libraries without sharing, and block-granular runs must be
+//! byte-identical across identical seeds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trimcaching::modellib::{ModelId, ModelLibrary};
+use trimcaching::prelude::*;
+use trimcaching::runtime::{serve, CostAwareLfu, FillGranularity, Lru, ServeConfig, ServeReport};
+use trimcaching::wireless::geometry::{DeploymentArea, Point};
+
+const BACKBONE_BYTES: u64 = 80_000_000;
+const HEAD_BYTES: u64 = 20_000_000;
+
+/// Four models sharing one 80 MB backbone, each adding a 20 MB head.
+fn shared_library() -> ModelLibrary {
+    let mut b = ModelLibrary::builder();
+    for i in 0..4 {
+        b.add_model_with_blocks(
+            format!("shared/m{i}"),
+            "t",
+            &[
+                ("backbone".into(), BACKBONE_BYTES),
+                (format!("m{i}/head"), HEAD_BYTES),
+            ],
+        )
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Four models of exactly the same sizes with no common blocks.
+fn disjoint_library() -> ModelLibrary {
+    let mut b = ModelLibrary::builder();
+    for i in 0..4 {
+        b.add_model_with_blocks(
+            format!("disjoint/m{i}"),
+            "t",
+            &[
+                (format!("m{i}/backbone"), BACKBONE_BYTES),
+                (format!("m{i}/head"), HEAD_BYTES),
+            ],
+        )
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// The same two-server snapshot over either library (the libraries have
+/// identical model counts and sizes, so the demand and radio state are
+/// bitwise identical — only block sharing differs).
+fn scenario(library: ModelLibrary) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(99);
+    let area = DeploymentArea::paper_default();
+    let positions: Vec<Point> = (0..16).map(|_| area.sample_uniform(&mut rng)).collect();
+    let demand = DemandConfig::paper_defaults()
+        .generate(16, library.num_models(), &mut rng)
+        .unwrap();
+    Scenario::builder()
+        .library(library)
+        .servers(vec![
+            EdgeServer::new(ServerId(0), Point::new(300.0, 500.0), gigabytes(0.5)).unwrap(),
+            EdgeServer::new(ServerId(1), Point::new(700.0, 500.0), gigabytes(0.5)).unwrap(),
+        ])
+        .users_at(&positions)
+        .demand(demand)
+        .build()
+        .unwrap()
+}
+
+fn config() -> ServeConfig {
+    // A 1 Gbps ingest link makes every fill take a visible fraction of
+    // a second (80 MB backbone ≈ 0.64 s uncontended).
+    ServeConfig::smoke()
+        .with_seed(7)
+        .with_cloud_ingest_bps(1.0e9)
+}
+
+#[test]
+fn shared_blocks_fill_faster_and_move_fewer_bytes_than_disjoint() {
+    let shared = serve(&scenario(shared_library()), &CostAwareLfu, None, &config()).unwrap();
+    let disjoint = serve(
+        &scenario(disjoint_library()),
+        &CostAwareLfu,
+        None,
+        &config(),
+    )
+    .unwrap();
+    let (s, d) = (&shared.metrics, &disjoint.metrics);
+    assert!(s.requests > 0 && d.requests > 0);
+    assert!(s.transfers_started > 0 && d.transfers_started > 0);
+    // Once the backbone is resident, every further fill moves only a
+    // 20 MB head instead of the full 100 MB artifact: strictly fewer
+    // wire bytes...
+    assert!(
+        s.backhaul_bytes_moved < d.backhaul_bytes_moved,
+        "shared {} must move fewer backhaul bytes than disjoint {}",
+        s.backhaul_bytes_moved,
+        d.backhaul_bytes_moved
+    );
+    // ...and strictly faster fills on the same link.
+    assert!(
+        s.mean_transfer_s() < d.mean_transfer_s(),
+        "shared fills ({:.3} s mean) must be faster than disjoint ({:.3} s mean)",
+        s.mean_transfer_s(),
+        d.mean_transfer_s()
+    );
+    // Partial residency shows up in the block hit ratio even when the
+    // model-level hit misses.
+    assert!(s.block_hit_ratio() >= s.hit_ratio());
+}
+
+#[test]
+fn disjoint_library_moves_equal_bytes_across_granularities() {
+    // Without shared blocks the wire bytes of every fill coincide
+    // (missing blocks == the whole model), so the two granularities
+    // produce identical event timelines — metrics and final caches are
+    // equal, not merely close.
+    let s = scenario(disjoint_library());
+    let block = serve(&s, &Lru, None, &config()).unwrap();
+    let whole = serve(
+        &s,
+        &Lru,
+        None,
+        &config().with_granularity(FillGranularity::WholeModel),
+    )
+    .unwrap();
+    assert_eq!(block.metrics, whole.metrics);
+    assert_eq!(block.final_caches, whole.final_caches);
+    assert_eq!(
+        block.metrics.backhaul_bytes_moved,
+        whole.metrics.backhaul_bytes_moved
+    );
+}
+
+#[test]
+fn shared_library_moves_strictly_fewer_bytes_than_whole_model() {
+    let s = scenario(shared_library());
+    let block = serve(&s, &CostAwareLfu, None, &config()).unwrap();
+    let whole = serve(
+        &s,
+        &CostAwareLfu,
+        None,
+        &config().with_granularity(FillGranularity::WholeModel),
+    )
+    .unwrap();
+    assert!(
+        block.metrics.backhaul_bytes_moved < whole.metrics.backhaul_bytes_moved,
+        "block fills ({}) must move strictly fewer bytes than whole-model fills ({})",
+        block.metrics.backhaul_bytes_moved,
+        whole.metrics.backhaul_bytes_moved
+    );
+}
+
+#[test]
+fn block_runs_are_byte_identical_across_identical_seeds() {
+    let s = scenario(shared_library());
+    let run = |seed: u64| -> ServeReport {
+        let config = config().with_seed(seed).with_congestion_aware(true);
+        serve(&s, &CostAwareLfu, None, &config).unwrap()
+    };
+    let a = run(2024);
+    let b = run(2024);
+    assert_eq!(a, b);
+    // Byte-identical down to the rendered representation (field order,
+    // histogram buckets, windowed trace, final caches).
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_ne!(run(2025).metrics, a.metrics, "different seeds must differ");
+}
+
+#[test]
+fn overlap_size_reports_the_wire_savings() {
+    let shared = shared_library();
+    let disjoint = disjoint_library();
+    assert_eq!(
+        shared.overlap_size_bytes(ModelId(0), ModelId(1)).unwrap(),
+        BACKBONE_BYTES
+    );
+    assert_eq!(
+        disjoint.overlap_size_bytes(ModelId(0), ModelId(1)).unwrap(),
+        0
+    );
+    // Equal naive footprints by construction — the comparison above is
+    // apples to apples.
+    assert_eq!(shared.total_naive_bytes(), disjoint.total_naive_bytes());
+}
