@@ -29,7 +29,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use trimcaching_modellib::ModelId;
-use trimcaching_scenario::{Scenario, ServerId, StorageTracker};
+use trimcaching_scenario::{DemandView, HitRatioObjective, Scenario, ServerId, StorageTracker};
 
 use crate::error::PlacementError;
 use crate::outcome::{PlacementAlgorithm, PlacementOutcome};
@@ -113,16 +113,42 @@ impl TrimCachingGenLazy {
     pub fn new() -> Self {
         Self
     }
-}
 
-impl PlacementAlgorithm for TrimCachingGenLazy {
-    fn name(&self) -> &str {
-        "trimcaching-gen-lazy"
+    /// Runs the CELF greedy against an *arbitrary demand surface* over
+    /// the scenario's eligibility and capacities — the re-placement
+    /// entry point: an online controller feeds the
+    /// [`DemandEstimate`](trimcaching_scenario::DemandEstimate) it
+    /// reconstructed from the served request stream and gets back the
+    /// placement the solver would choose for the demand it *observed*
+    /// instead of the frozen offline snapshot. Passing the scenario's
+    /// own [`Demand`](trimcaching_scenario::Demand) reproduces
+    /// [`PlacementAlgorithm::place`] exactly.
+    ///
+    /// The returned outcome's `hit_ratio` is still evaluated under the
+    /// scenario's ground-truth demand, so callers can compare planned
+    /// placements on one scale regardless of the estimate quality.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] when the demand view's dimensions
+    /// disagree with the scenario's, or the scenario is inconsistent.
+    pub fn place_with_demand(
+        &self,
+        scenario: &Scenario,
+        demand: &dyn DemandView,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        let objective = scenario.objective_with_demand(demand)?;
+        self.place_with_objective(scenario, &objective)
     }
 
-    fn place(&self, scenario: &Scenario) -> Result<PlacementOutcome, PlacementError> {
+    /// The CELF loop over an explicit objective (shared by the
+    /// ground-truth and estimated-demand entry points).
+    fn place_with_objective(
+        &self,
+        scenario: &Scenario,
+        objective: &HitRatioObjective<'_>,
+    ) -> Result<PlacementOutcome, PlacementError> {
         let start = Instant::now();
-        let objective = scenario.objective();
         let num_servers = scenario.num_servers();
 
         let mut placement = scenario.empty_placement();
@@ -205,6 +231,16 @@ impl PlacementAlgorithm for TrimCachingGenLazy {
     }
 }
 
+impl PlacementAlgorithm for TrimCachingGenLazy {
+    fn name(&self) -> &str {
+        "trimcaching-gen-lazy"
+    }
+
+    fn place(&self, scenario: &Scenario) -> Result<PlacementOutcome, PlacementError> {
+        self.place_with_objective(scenario, &scenario.objective())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +297,62 @@ mod tests {
         let eager = TrimCachingGen::new().place(&scenario).unwrap();
         let lazy = TrimCachingGenLazy::new().place(&scenario).unwrap();
         assert_eq!(eager.placement, lazy.placement);
+    }
+
+    #[test]
+    fn ground_truth_demand_view_reproduces_place_exactly() {
+        let scenario = paper_like_scenario(4, 12, 12, 0.5, 21, true);
+        let direct = TrimCachingGenLazy::new().place(&scenario).unwrap();
+        let via_view = TrimCachingGenLazy::new()
+            .place_with_demand(&scenario, scenario.demand())
+            .unwrap();
+        assert_eq!(direct.placement, via_view.placement);
+        assert_eq!(direct.evaluations, via_view.evaluations);
+        assert!((direct.hit_ratio - via_view.hit_ratio).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimated_demand_steers_the_solver() {
+        use trimcaching_scenario::DemandEstimate;
+        let scenario = paper_like_scenario(3, 10, 12, 0.25, 8, true);
+        let truth = TrimCachingGenLazy::new().place(&scenario).unwrap();
+        // An estimate that concentrates all observed demand on one model
+        // still yields a feasible placement — and one that caches that
+        // model wherever it has eligible users.
+        let k = scenario.num_users();
+        let i = scenario.num_models();
+        let hot = 7usize;
+        let mut weights = vec![vec![0.0; i]; k];
+        for row in &mut weights {
+            row[hot] = 1.0;
+        }
+        let estimate = DemandEstimate::new(weights).unwrap();
+        let skewed = TrimCachingGenLazy::new()
+            .place_with_demand(&scenario, &estimate)
+            .unwrap();
+        assert!(scenario.satisfies_capacities(&skewed.placement));
+        let hot_copies = (0..scenario.num_servers())
+            .filter(|&m| {
+                skewed
+                    .placement
+                    .contains(trimcaching_scenario::ServerId(m), ModelId(hot))
+            })
+            .count();
+        assert!(hot_copies >= 1, "the observed-hot model must be cached");
+        // The outcome's hit ratio is scored under ground truth, so the
+        // skewed plan cannot beat the solver run on the true demand.
+        assert!(skewed.hit_ratio <= truth.hit_ratio + 1e-12);
+        // A zero-mass estimate (nothing observed) plans nothing.
+        let empty = DemandEstimate::new(vec![vec![0.0; i]; k]).unwrap();
+        let none = TrimCachingGenLazy::new()
+            .place_with_demand(&scenario, &empty)
+            .unwrap();
+        assert!(none.placement.is_empty());
+        // Dimension mismatches are rejected.
+        let wrong = DemandEstimate::new(vec![vec![1.0; i + 1]; k]).unwrap();
+        assert!(TrimCachingGenLazy::new()
+            .place_with_demand(&scenario, &wrong)
+            .is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ use trimcaching_scenario::{LatencyEvaluator, Placement, Scenario, UserId};
 use trimcaching_wireless::geometry::DeploymentArea;
 
 use crate::cache::ServerCache;
+use crate::control::{plan_target, reconcile, ControlConfig, Controller, ReplanReason};
 use crate::error::RuntimeError;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{RequestOutcome, ServeMetrics};
@@ -95,6 +96,12 @@ pub struct ServeConfig {
     /// (processor sharing frozen at transfer start). When off, every
     /// transfer runs at the nominal rate regardless of load.
     pub congestion_aware: bool,
+    /// Online re-placement control loop (`None` = static placement, the
+    /// pre-control behaviour). When set, the engine runs a
+    /// [`Controller`]: demand estimation from the served stream, drift
+    /// detection over the windowed metrics, re-plans through the lazy
+    /// greedy and staged reconciliation over the backhaul links.
+    pub control: Option<ControlConfig>,
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
 }
@@ -113,6 +120,7 @@ impl ServeConfig {
             granularity: FillGranularity::Block,
             cloud_ingest_bps: 10.0e9,
             congestion_aware: true,
+            control: None,
             seed: 2024,
         }
     }
@@ -164,6 +172,12 @@ impl ServeConfig {
         self
     }
 
+    /// Enables the online re-placement controller.
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
+        self
+    }
+
     /// Enables mobility with the given slot length (users re-derive the
     /// radio snapshot every slot, as the paper's Fig. 7 study does every
     /// 5 s).
@@ -202,6 +216,9 @@ impl ServeConfig {
                     reason: format!("{name} must be non-negative and finite, got {value}"),
                 });
             }
+        }
+        if let Some(control) = &self.control {
+            control.validate()?;
         }
         Ok(())
     }
@@ -244,6 +261,12 @@ pub struct ServeEngine<'a> {
     /// Per-user primary server (highest-rate covering server) under the
     /// current snapshot; used to count handovers across mobility slots.
     primary: Vec<Option<usize>>,
+    /// The online re-placement controller (present when
+    /// [`ServeConfig::control`] is set).
+    controller: Option<Controller>,
+    /// Pre-scheduled oracle reconciliations: `(time, target placement)`
+    /// pairs staged through the same pipeline as controller re-plans.
+    scheduled: Vec<(f64, Placement)>,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -271,6 +294,10 @@ impl<'a> ServeEngine<'a> {
             .map(|_| BackhaulLink::new(config.cloud_ingest_bps, config.congestion_aware))
             .collect::<Result<Vec<_>, _>>()?;
         let primary = primary_servers(scenario)?;
+        let controller = config
+            .control
+            .map(|c| Controller::new(c, scenario.num_users(), scenario.num_models()))
+            .transpose()?;
         Ok(Self {
             scenario,
             policy,
@@ -281,7 +308,66 @@ impl<'a> ServeEngine<'a> {
             workload,
             metrics: ServeMetrics::new(config.window_s),
             primary,
+            controller,
+            scheduled: Vec::new(),
         })
+    }
+
+    /// Replaces the request workload — e.g. with a piecewise
+    /// non-stationary [`Workload`] whose popularity shifts at epoch
+    /// boundaries (the demand drift the controller exists to chase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when the workload's user
+    /// count disagrees with the scenario's.
+    pub fn set_workload(&mut self, workload: Workload) -> Result<(), RuntimeError> {
+        if workload.num_users() != self.scenario.num_users() {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "workload has {} users but the scenario has {}",
+                    workload.num_users(),
+                    self.scenario.num_users()
+                ),
+            });
+        }
+        self.workload = workload;
+        Ok(())
+    }
+
+    /// Schedules an *oracle* reconciliation: at simulated time `at_s`
+    /// the caches start converging towards `target` through the same
+    /// staged fill/evict pipeline a controller re-plan uses. This is the
+    /// upper-bound baseline of the `serve-adapt` study — the target was
+    /// computed with knowledge the online controller cannot have, but
+    /// the reconfiguration bytes and latency are paid all the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a non-finite or
+    /// negative time or a target whose dimensions disagree with the
+    /// scenario.
+    pub fn schedule_reconcile(&mut self, at_s: f64, target: Placement) -> Result<(), RuntimeError> {
+        if !(at_s.is_finite() && at_s >= 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("reconcile time must be non-negative and finite, got {at_s}"),
+            });
+        }
+        if target.num_servers() != self.scenario.num_servers()
+            || target.num_models() != self.scenario.num_models()
+        {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "target is {}x{} but the scenario is {}x{}",
+                    target.num_servers(),
+                    target.num_models(),
+                    self.scenario.num_servers(),
+                    self.scenario.num_models()
+                ),
+            });
+        }
+        self.scheduled.push((at_s, target));
+        Ok(())
     }
 
     /// Warm-starts the caches from an offline placement (e.g. a
@@ -325,6 +411,12 @@ impl<'a> ServeEngine<'a> {
             let t = self.workload.next_interarrival_s(&mut rng);
             queue.push(t, EventKind::Request { user: UserId(k) });
         }
+        if let Some(controller) = &self.controller {
+            queue.push(controller.config().tick_s, EventKind::ControlTick);
+        }
+        for (index, (at_s, _)) in self.scheduled.iter().enumerate() {
+            queue.push(*at_s, EventKind::ScheduledReconcile { index });
+        }
 
         while let Some(event) = queue.pop() {
             if event.time_s > self.config.duration_s {
@@ -332,7 +424,7 @@ impl<'a> ServeEngine<'a> {
             }
             match event.kind {
                 EventKind::Request { user } => {
-                    let model = self.workload.draw_model(user, &mut rng);
+                    let model = self.workload.draw_model(user, event.time_s, &mut rng);
                     self.serve_request(user, model, event.time_s, &mut queue)?;
                     let gap = self.workload.next_interarrival_s(&mut rng);
                     queue.push(event.time_s + gap, EventKind::Request { user });
@@ -340,6 +432,17 @@ impl<'a> ServeEngine<'a> {
                 EventKind::TransferComplete { server, model } => {
                     self.caches[server].complete_fill(model)?;
                     self.metrics.fills_completed += 1;
+                }
+                EventKind::ControlTick => {
+                    self.control_tick(event.time_s, &mut queue)?;
+                }
+                EventKind::ScheduledReconcile { index } => {
+                    let target = self.scheduled[index].1.clone();
+                    self.metrics.replans_triggered += 1;
+                    self.reconcile_to_target(&target, event.time_s, &mut queue)?;
+                    if let Some(controller) = self.controller.as_mut() {
+                        controller.note_replan(event.time_s);
+                    }
                 }
                 EventKind::MobilitySlot => {
                     let mobility = mobility
@@ -416,12 +519,11 @@ impl<'a> ServeEngine<'a> {
             }
         }
 
-        match (best_hit, best_any) {
+        let (outcome, recorded_latency) = match (best_hit, best_any) {
             (Some((latency, m)), _) => {
                 self.caches[m].record_access(model, now_s);
                 self.count_block_residency(m, model)?;
-                self.metrics
-                    .record(now_s, RequestOutcome::Hit, Some(latency));
+                (RequestOutcome::Hit, Some(latency))
             }
             (None, Some((latency, m))) => {
                 self.caches[m].record_access(model, now_s);
@@ -432,11 +534,100 @@ impl<'a> ServeEngine<'a> {
                 // backhaul link, not a closed-form constant.
                 let wait_s = self.fill_or_fetch(m, model, now_s, queue)?;
                 let total = latency + wait_s + self.config.cloud_fetch_penalty_s;
-                self.metrics
-                    .record(now_s, RequestOutcome::MissServed, Some(total));
+                (RequestOutcome::MissServed, Some(total))
             }
-            (None, None) => {
-                self.metrics.record(now_s, RequestOutcome::Rejected, None);
+            (None, None) => (RequestOutcome::Rejected, None),
+        };
+        self.metrics.record(now_s, outcome, recorded_latency);
+        if let Some(controller) = self.controller.as_mut() {
+            // Every request is demand evidence — rejections included.
+            controller.on_request(user, model);
+        }
+        Ok(())
+    }
+
+    /// One control tick: roll the estimator epoch, feed the drift
+    /// detector, and — when drift or the epoch timer fired — solve a
+    /// re-plan over the estimated demand and stage it through the
+    /// reconciler. Always schedules the next tick.
+    fn control_tick(&mut self, now_s: f64, queue: &mut EventQueue) -> Result<(), RuntimeError> {
+        let controller = self
+            .controller
+            .as_mut()
+            .expect("control ticks only scheduled when control is on");
+        let tick_s = controller.config().tick_s;
+        let decision = controller.tick(now_s, &self.metrics);
+        self.metrics.control_ticks += 1;
+        if let Some(after_s) = decision.recovered_after_s {
+            self.metrics.recoveries += 1;
+            self.metrics.recovery_seconds += after_s;
+        }
+        if let Some(reason) = decision.replan {
+            // Plan against the *current* snapshot (mobility included)
+            // and the demand the controller actually observed.
+            let estimate = self
+                .controller
+                .as_ref()
+                .expect("controller present")
+                .estimate()?;
+            let target = plan_target(&self.current, &estimate)?;
+            self.metrics.replans_triggered += 1;
+            if reason == ReplanReason::Drift {
+                self.metrics.replans_drift += 1;
+            }
+            self.reconcile_to_target(&target, now_s, queue)?;
+            self.controller
+                .as_mut()
+                .expect("controller present")
+                .note_replan(now_s);
+        }
+        queue.push(now_s + tick_s, EventKind::ControlTick);
+        Ok(())
+    }
+
+    /// Stages the delta between `target` and the live caches: missing
+    /// target models become ordinary backhaul fills (reserving capacity,
+    /// pinning shared blocks, completing via [`EventKind::TransferComplete`]);
+    /// displaced models are evicted lazily, coldest-first, only when a
+    /// staged fill needs the room. Reconfiguration traffic is accounted
+    /// on the same links and counters as demand-miss traffic, plus the
+    /// dedicated `reconcile_*` metrics.
+    fn reconcile_to_target(
+        &mut self,
+        target: &Placement,
+        now_s: f64,
+        queue: &mut EventQueue,
+    ) -> Result<(), RuntimeError> {
+        let plan = reconcile::diff(target, &self.caches)?;
+        for (m, delta) in plan.servers.iter().enumerate() {
+            for &model in &delta.fills {
+                let standalone_bytes = self
+                    .scenario
+                    .library()
+                    .model_size_bytes(model)
+                    .map_err(trimcaching_scenario::ScenarioError::from)?;
+                if standalone_bytes > self.caches[m].capacity_bytes() {
+                    continue;
+                }
+                while !self.caches[m].fits(model)? {
+                    match reconcile::next_victim(&self.caches[m].view(), &delta.eviction_pool) {
+                        Some(victim) => {
+                            self.caches[m].evict(victim)?;
+                            self.metrics.evictions += 1;
+                            self.metrics.reconcile_evictions += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if !self.caches[m].fits(model)? {
+                    // The pool is exhausted (e.g. pinned by pending
+                    // fills): approach the target, never force it.
+                    continue;
+                }
+                // Same staged pipeline as a demand-miss fill.
+                let (_, wire_bytes) = self.start_fill_pipeline(m, model, now_s, queue)?;
+                self.metrics.reconcile_fills_started += 1;
+                self.metrics.reconcile_bytes_moved += wire_bytes;
             }
         }
         Ok(())
@@ -500,20 +691,7 @@ impl<'a> ServeEngine<'a> {
                 }
             }
             if cache.fits(model)? {
-                // Plan after eviction: freed shared blocks must be
-                // re-downloaded, so the plan can only have grown.
-                let plan = cache.fill_plan(model)?;
-                let join_inflight = self.config.granularity == FillGranularity::Block;
-                let wire_bytes = match self.config.granularity {
-                    FillGranularity::WholeModel => standalone_bytes,
-                    FillGranularity::Block => plan.missing_bytes,
-                };
-                let finish_s = self.begin_transfer(m, now_s, wire_bytes);
-                let (eta_s, reserved) =
-                    self.caches[m].start_fill(model, finish_s, join_inflight)?;
-                self.metrics.bytes_downloaded += reserved;
-                self.metrics.insertions += 1;
-                queue.push(eta_s, EventKind::TransferComplete { server: m, model });
+                let (eta_s, _) = self.start_fill_pipeline(m, model, now_s, queue)?;
                 return Ok((eta_s - now_s).max(0.0));
             }
         }
@@ -528,6 +706,40 @@ impl<'a> ServeEngine<'a> {
         };
         let finish_s = self.begin_transfer(m, now_s, wire_bytes);
         Ok((finish_s.max(join_eta_s) - now_s).max(0.0))
+    }
+
+    /// Starts the staged fill pipeline for `model` at server `m`
+    /// (capacity must already fit): plans the fill **after** any
+    /// eviction — freed shared blocks must be re-downloaded, so the
+    /// plan can only have grown — moves the configured granularity's
+    /// wire bytes over the backhaul link, reserves storage (pinning
+    /// shared blocks) and schedules the transfer-complete event.
+    /// Demand-miss fills and reconciliation fills share this one path,
+    /// so their byte accounting can never diverge. Returns
+    /// `(completion_eta_s, wire_bytes)`.
+    fn start_fill_pipeline(
+        &mut self,
+        m: usize,
+        model: ModelId,
+        now_s: f64,
+        queue: &mut EventQueue,
+    ) -> Result<(f64, u64), RuntimeError> {
+        let plan = self.caches[m].fill_plan(model)?;
+        let join_inflight = self.config.granularity == FillGranularity::Block;
+        let wire_bytes = match self.config.granularity {
+            FillGranularity::WholeModel => self
+                .scenario
+                .library()
+                .model_size_bytes(model)
+                .map_err(trimcaching_scenario::ScenarioError::from)?,
+            FillGranularity::Block => plan.missing_bytes,
+        };
+        let finish_s = self.begin_transfer(m, now_s, wire_bytes);
+        let (eta_s, reserved) = self.caches[m].start_fill(model, finish_s, join_inflight)?;
+        self.metrics.bytes_downloaded += reserved;
+        self.metrics.insertions += 1;
+        queue.push(eta_s, EventKind::TransferComplete { server: m, model });
+        Ok((eta_s, wire_bytes))
     }
 
     /// Starts a backhaul transfer of `bytes` to server `m` (a no-op
@@ -587,6 +799,29 @@ pub fn serve(
     config: &ServeConfig,
 ) -> Result<ServeReport, RuntimeError> {
     let mut engine = ServeEngine::new(scenario, policy, *config)?;
+    if let Some(placement) = initial {
+        engine.warm_start(placement)?;
+    }
+    engine.run()
+}
+
+/// Runs one serving replay under an explicit (possibly piecewise
+/// non-stationary) workload: build engine, swap the workload, optional
+/// warm start, run. The `serve-adapt` study drives its demand-shift
+/// scenarios through this entry point.
+///
+/// # Errors
+///
+/// Propagates configuration, workload and scenario errors.
+pub fn serve_with_workload(
+    scenario: &Scenario,
+    policy: &dyn EvictionPolicy,
+    initial: Option<&Placement>,
+    config: &ServeConfig,
+    workload: &Workload,
+) -> Result<ServeReport, RuntimeError> {
+    let mut engine = ServeEngine::new(scenario, policy, *config)?;
+    engine.set_workload(workload.clone())?;
     if let Some(placement) = initial {
         engine.warm_start(placement)?;
     }
@@ -897,8 +1132,76 @@ mod tests {
             },
             ServeConfig::smoke().with_cloud_ingest_bps(0.0),
             ServeConfig::smoke().with_cloud_ingest_bps(f64::NAN),
+            ServeConfig::smoke().with_control(ControlConfig::paper_defaults().with_tick_s(0.0)),
         ] {
             assert!(serve(&s, &Lru, None, &bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn control_ticks_fire_and_stay_deterministic() {
+        let s = scenario(12, 0.5);
+        let config = ServeConfig::smoke()
+            .with_seed(17)
+            .with_control(ControlConfig::paper_defaults().with_tick_s(10.0));
+        let a = serve(&s, &Lru, None, &config).unwrap();
+        // 60 s at 10 s ticks: five ticks fire strictly inside the run.
+        assert!(a.metrics.control_ticks >= 5);
+        let b = serve(&s, &Lru, None, &config).unwrap();
+        assert_eq!(a, b, "controller-enabled runs must be deterministic");
+        // The stationary smoke workload never drifts: the detector may
+        // only fire through the (disabled) epoch timer.
+        assert_eq!(a.metrics.replans_drift, 0);
+    }
+
+    #[test]
+    fn epoch_timer_replans_and_accounts_reconfiguration_traffic() {
+        let s = scenario(12, 0.3);
+        let control = ControlConfig {
+            tick_s: 10.0,
+            min_observed_requests: 1,
+            drift: crate::control::DriftConfig {
+                replan_every_s: 20.0,
+                ..crate::control::DriftConfig::paper_defaults()
+            },
+            ..ControlConfig::paper_defaults()
+        };
+        let config = ServeConfig::smoke().with_seed(23).with_control(control);
+        let report = serve(&s, &Lru, None, &config).unwrap();
+        assert!(report.metrics.replans_triggered >= 2);
+        // Reconfiguration bytes ride the same backhaul accounting.
+        assert!(report.metrics.reconcile_bytes_moved <= report.metrics.backhaul_bytes_moved);
+        assert!(report.metrics.reconcile_fills_started <= report.metrics.insertions);
+        assert!(report.metrics.reconcile_evictions <= report.metrics.evictions);
+    }
+
+    #[test]
+    fn scheduled_reconcile_converges_towards_the_target() {
+        let s = scenario(10, 0.5);
+        // Target: models 0..3 on server 0, nothing new on server 1.
+        let mut target = s.empty_placement();
+        for i in 0..3 {
+            target.place(ServerId(0), ModelId(i)).unwrap();
+        }
+        let mut engine = ServeEngine::new(&s, &Lru, ServeConfig::smoke().with_seed(9)).unwrap();
+        engine.schedule_reconcile(5.0, target.clone()).unwrap();
+        let report = engine.run().unwrap();
+        assert_eq!(report.metrics.replans_triggered, 1);
+        assert!(report.metrics.reconcile_fills_started > 0);
+        assert!(report.metrics.reconcile_bytes_moved > 0);
+        // Every target model that was staged became servable at server 0
+        // (the 10 Gbps smoke ingest lands fills long before the horizon).
+        for i in 0..3 {
+            assert!(
+                report.final_caches[0].contains(&ModelId(i)),
+                "model {i} should have been reconciled into server 0"
+            );
+        }
+        // Invalid schedules are rejected up front.
+        let mut engine = ServeEngine::new(&s, &Lru, ServeConfig::smoke()).unwrap();
+        assert!(engine.schedule_reconcile(f64::NAN, target.clone()).is_err());
+        assert!(engine
+            .schedule_reconcile(1.0, Placement::empty(9, 9))
+            .is_err());
     }
 }

@@ -16,6 +16,12 @@ pub enum RuntimeError {
     },
     /// The scenario layer failed.
     Scenario(ScenarioError),
+    /// The online re-placement control loop failed (estimator state,
+    /// re-plan solve or reconciliation).
+    Control {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -25,6 +31,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "invalid serving configuration: {reason}")
             }
             RuntimeError::Scenario(e) => write!(f, "scenario error: {e}"),
+            RuntimeError::Control { reason } => {
+                write!(f, "re-placement control error: {reason}")
+            }
         }
     }
 }
@@ -33,7 +42,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Scenario(e) => Some(e),
-            RuntimeError::InvalidConfig { .. } => None,
+            RuntimeError::InvalidConfig { .. } | RuntimeError::Control { .. } => None,
         }
     }
 }

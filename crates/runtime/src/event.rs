@@ -33,6 +33,20 @@ pub enum EventKind {
         /// The model that became servable.
         model: ModelId,
     },
+    /// One tick of the online re-placement control loop: the demand
+    /// estimator rolls its epoch, the drift detector inspects the tick's
+    /// hit-ratio / latency window, and — if drift or the epoch timer
+    /// fired — a re-plan is solved and staged through the reconciler.
+    ControlTick,
+    /// A pre-scheduled reconciliation towards an externally supplied
+    /// target placement (the *oracle replan* baseline of the
+    /// `serve-adapt` study: the target was computed from ground-truth
+    /// future demand, but the bytes still move through the ordinary
+    /// staged backhaul pipeline).
+    ScheduledReconcile {
+        /// Index into the engine's scheduled-reconcile list.
+        index: usize,
+    },
 }
 
 /// One scheduled event.

@@ -32,9 +32,19 @@
 //!   baseline), user mobility advanced in event time with server
 //!   handover, caches maintained online, and independent runs fanned out
 //!   across worker threads;
+//! * [`control`] — the **online re-placement loop**: an EWMA demand
+//!   estimator over the served stream, a drift detector on the windowed
+//!   hit-ratio / p95 trace, re-plans through the shared-block-aware
+//!   lazy greedy against the *estimated* demand, and staged cache
+//!   reconciliation whose fills ride the ordinary congestion-aware
+//!   backhaul pipeline — reconfiguration cost shows up in backhaul
+//!   bytes and tail latency like everything else (enable with
+//!   [`ServeConfig::with_control`]);
 //! * [`metrics`] — streaming metrics: windowed hit-ratio trace,
 //!   hit/miss/rejected counts, backhaul bytes moved, block hit ratio,
-//!   transfer-queue depth, and a latency histogram with p50/p95/p99.
+//!   transfer-queue depth, re-plan/reconciliation counters with
+//!   hit-ratio recovery times, and a latency histogram with
+//!   p50/p95/p99.
 //!
 //! # Example
 //!
@@ -68,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod control;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -77,10 +88,16 @@ pub mod transfer;
 pub mod workload;
 
 pub use cache::{CacheView, FillPlan, ServerCache};
-pub use engine::{serve, serve_ensemble, FillGranularity, ServeConfig, ServeEngine, ServeReport};
+pub use control::{
+    ControlConfig, Controller, DemandEstimator, DriftConfig, DriftDetector, ReplanReason,
+};
+pub use engine::{
+    serve, serve_ensemble, serve_with_workload, FillGranularity, ServeConfig, ServeEngine,
+    ServeReport,
+};
 pub use error::RuntimeError;
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::{LatencyHistogram, RequestOutcome, ServeMetrics, WindowPoint};
 pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
 pub use transfer::{BackhaulLink, TransferTicket};
-pub use workload::Workload;
+pub use workload::{rotate_popularity, PopularityShift, Workload};

@@ -85,6 +85,28 @@ impl LatencyHistogram {
         self.count += 1;
     }
 
+    /// The histogram of samples recorded since `earlier` was snapshot
+    /// from this same (cumulative, append-only) histogram — how the
+    /// controller derives per-tick latency quantiles without a second
+    /// per-request recording path.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not an earlier snapshot
+    /// (some bucket would go negative).
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        debug_assert!(self.count >= earlier.count, "snapshots must be ordered");
+        Self {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(now, then)| now - then)
+                .collect(),
+            count: self.count - earlier.count,
+        }
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -170,6 +192,30 @@ pub struct ServeMetrics {
     /// Users whose primary (highest-rate covering) server changed across
     /// a mobility slot — the handovers the engine carried out.
     pub handovers: u64,
+    /// Ticks of the online re-placement control loop that fired.
+    pub control_ticks: u64,
+    /// Re-plans triggered (drift-triggered, epoch-timer and scheduled
+    /// oracle reconciliations all count).
+    pub replans_triggered: u64,
+    /// Re-plans triggered specifically by the drift detector.
+    pub replans_drift: u64,
+    /// Cache fills started by reconciliation towards a re-planned
+    /// target (a subset of the insertions; their bytes also appear in
+    /// [`ServeMetrics::backhaul_bytes_moved`]).
+    pub reconcile_fills_started: u64,
+    /// Wire bytes moved by reconciliation fills — the reconfiguration
+    /// traffic, accounted on the same backhaul links as miss fills.
+    pub reconcile_bytes_moved: u64,
+    /// Evictions performed by the reconciler to make room for target
+    /// models (a subset of the evictions).
+    pub reconcile_evictions: u64,
+    /// Re-plans whose hit ratio recovered to the pre-drift reference
+    /// before the run ended.
+    pub recoveries: u64,
+    /// Total seconds from a re-plan to hit-ratio recovery, summed over
+    /// [`ServeMetrics::recoveries`]; mean recovery time =
+    /// [`ServeMetrics::mean_recovery_s`].
+    pub recovery_seconds: f64,
     /// Latency histogram over all *served* requests (hits and misses).
     pub latency: LatencyHistogram,
     /// Completed hit-ratio windows in time order.
@@ -212,6 +258,14 @@ impl ServeMetrics {
             snapshot_rebuilds: 0,
             users_refreshed: 0,
             handovers: 0,
+            control_ticks: 0,
+            replans_triggered: 0,
+            replans_drift: 0,
+            reconcile_fills_started: 0,
+            reconcile_bytes_moved: 0,
+            reconcile_evictions: 0,
+            recoveries: 0,
+            recovery_seconds: 0.0,
             latency: LatencyHistogram::new(),
             windows: Vec::new(),
             window_s,
@@ -315,6 +369,16 @@ impl ServeMetrics {
         }
     }
 
+    /// Mean seconds from a re-plan to hit-ratio recovery over the
+    /// re-plans that recovered within the run (zero when none did).
+    pub fn mean_recovery_s(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_seconds / self.recoveries as f64
+        }
+    }
+
     /// Fraction of requests that were served at all (hit or cloud fetch).
     pub fn served_ratio(&self) -> f64 {
         if self.requests == 0 {
@@ -385,6 +449,10 @@ mod tests {
         assert_eq!(m.block_hit_ratio(), 0.75);
         assert_eq!(m.mean_transfer_s(), 0.5);
         assert_eq!(m.mean_transfer_queue_depth(), 1.5);
+        assert_eq!(m.mean_recovery_s(), 0.0);
+        m.recoveries = 2;
+        m.recovery_seconds = 30.0;
+        assert_eq!(m.mean_recovery_s(), 15.0);
     }
 
     #[test]
@@ -437,6 +505,23 @@ mod tests {
         h.record(0.0);
         h.record(1e9);
         assert_eq!(h.count(), 102);
+    }
+
+    #[test]
+    fn delta_histograms_isolate_the_window_between_snapshots() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.01);
+        h.record(0.01);
+        let snapshot = h.clone();
+        h.record(10.0);
+        h.record(10.0);
+        h.record(10.0);
+        let delta = h.delta_since(&snapshot);
+        assert_eq!(delta.count(), 3);
+        // The delta only holds the slow samples recorded after the
+        // snapshot: its median sits at the 10 s bucket, not 10 ms.
+        assert!(delta.quantile_s(0.5).unwrap() > 1.0);
+        assert!(snapshot.quantile_s(0.5).unwrap() < 0.1);
     }
 
     #[test]

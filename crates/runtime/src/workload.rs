@@ -1,5 +1,5 @@
 //! Online request workload: Poisson arrivals with demand-driven model
-//! selection.
+//! selection, optionally **piecewise non-stationary**.
 //!
 //! The offline formulation only needs the request *probabilities*
 //! `p_{k,i}`; an online engine needs actual request streams. Following
@@ -9,27 +9,42 @@
 //! model from the user's own popularity row of the [`Demand`] — i.e. the
 //! empirical request frequencies converge to exactly the `p_{k,i}` the
 //! placement algorithms optimised for.
+//!
+//! A [`Workload`] can hold several *phases*: piecewise-stationary demand
+//! snapshots switching at configured epoch boundaries. Within a phase
+//! the stream is exactly the stationary workload above; at a boundary
+//! the per-user popularity distribution flips to the next snapshot —
+//! the non-stationarity (flash crowds, diurnal shifts, model releases)
+//! the `runtime::control` re-placement loop exists to chase.
+//! [`PopularityShift`] generates such schedules deterministically from a
+//! seed by permuting the Zipf popularity columns of a base demand at
+//! every epoch boundary; [`rotate_popularity`] is the fully explicit
+//! single-shift variant the tests pin behaviour with.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use trimcaching_modellib::ModelId;
 use trimcaching_scenario::{Demand, UserId};
 
 use crate::error::RuntimeError;
 
-/// Per-user Poisson request stream over the demand distribution.
+/// Per-user Poisson request stream over one or more piecewise-stationary
+/// demand distributions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     rate_hz: f64,
-    /// `cdfs[k]` is the normalised cumulative distribution over models
-    /// for user `k`.
-    cdfs: Vec<Vec<f64>>,
+    /// Phase start times in seconds, ascending; the first is always 0.
+    starts_s: Vec<f64>,
+    /// `phases[p][k]` is the normalised cumulative distribution over
+    /// models for user `k` during phase `p`.
+    phases: Vec<Vec<Vec<f64>>>,
 }
 
 impl Workload {
-    /// Builds a workload in which every user issues requests at
-    /// `rate_hz` (Poisson) and draws models from its row of `demand`.
+    /// Builds a stationary workload in which every user issues requests
+    /// at `rate_hz` (Poisson) and draws models from its row of `demand`.
     ///
     /// # Errors
     ///
@@ -37,33 +52,63 @@ impl Workload {
     /// strictly positive and finite, or if a user's demand row has zero
     /// total mass (such a user could never issue a request).
     pub fn from_demand(demand: &Demand, rate_hz: f64) -> Result<Self, RuntimeError> {
+        Self::piecewise(&[(0.0, demand)], rate_hz)
+    }
+
+    /// Builds a piecewise non-stationary workload: `segments` pairs each
+    /// phase's start time with its demand snapshot. The first start must
+    /// be `0`, starts must be strictly increasing, and every snapshot
+    /// must have the same dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for an invalid rate, an
+    /// empty schedule, unordered or non-zero-based starts, mismatched
+    /// snapshot dimensions, or a zero-mass user row in any phase.
+    pub fn piecewise(segments: &[(f64, &Demand)], rate_hz: f64) -> Result<Self, RuntimeError> {
         if !(rate_hz.is_finite() && rate_hz > 0.0) {
             return Err(RuntimeError::InvalidConfig {
                 reason: format!("request rate must be positive and finite, got {rate_hz}"),
             });
         }
-        let num_models = demand.num_models();
-        let mut cdfs = Vec::with_capacity(demand.num_users());
-        for k in 0..demand.num_users() {
-            let mut row = Vec::with_capacity(num_models);
-            let mut acc = 0.0;
-            for i in 0..num_models {
-                acc += demand
-                    .probability(UserId(k), ModelId(i))
-                    .map_err(RuntimeError::from)?;
-                row.push(acc);
-            }
-            if acc <= 0.0 {
+        let Some(&(first_start, first)) = segments.first() else {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "a workload needs at least one phase".into(),
+            });
+        };
+        if first_start != 0.0 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("the first phase must start at 0 s, got {first_start}"),
+            });
+        }
+        let (num_users, num_models) = (first.num_users(), first.num_models());
+        let mut starts_s = Vec::with_capacity(segments.len());
+        let mut phases = Vec::with_capacity(segments.len());
+        for (p, &(start_s, demand)) in segments.iter().enumerate() {
+            if !start_s.is_finite() || (p > 0 && start_s <= starts_s[p - 1]) {
                 return Err(RuntimeError::InvalidConfig {
-                    reason: format!("user {k} has zero total request probability"),
+                    reason: format!(
+                        "phase starts must be finite and strictly increasing at {start_s}"
+                    ),
                 });
             }
-            for c in &mut row {
-                *c /= acc;
+            if demand.num_users() != num_users || demand.num_models() != num_models {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!(
+                        "phase {p} is {}x{} but phase 0 is {num_users}x{num_models}",
+                        demand.num_users(),
+                        demand.num_models()
+                    ),
+                });
             }
-            cdfs.push(row);
+            starts_s.push(start_s);
+            phases.push(cdfs_of(demand)?);
         }
-        Ok(Self { rate_hz, cdfs })
+        Ok(Self {
+            rate_hz,
+            starts_s,
+            phases,
+        })
     }
 
     /// The per-user request rate in Hz.
@@ -73,7 +118,18 @@ impl Workload {
 
     /// Number of users.
     pub fn num_users(&self) -> usize {
-        self.cdfs.len()
+        self.phases[0].len()
+    }
+
+    /// Number of piecewise-stationary phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The phase active at simulated time `now_s` (times before the
+    /// first boundary map to phase 0).
+    pub fn phase_at(&self, now_s: f64) -> usize {
+        self.starts_s.partition_point(|&s| s <= now_s).max(1) - 1
     }
 
     /// Draws the time to a user's next request (exponential with the
@@ -84,17 +140,177 @@ impl Workload {
         -(1.0 - u).ln().max(f64::MIN_POSITIVE.ln()) / self.rate_hz
     }
 
-    /// Draws the model requested by `user` from its demand distribution.
+    /// Draws the model requested by `user` at simulated time `now_s`
+    /// from the demand distribution of the active phase.
     ///
     /// # Panics
     ///
     /// Panics if `user` is out of range (the engine only passes users the
     /// workload was built from).
-    pub fn draw_model(&self, user: UserId, rng: &mut StdRng) -> ModelId {
-        let cdf = &self.cdfs[user.index()];
+    pub fn draw_model(&self, user: UserId, now_s: f64, rng: &mut StdRng) -> ModelId {
+        let cdf = &self.phases[self.phase_at(now_s)][user.index()];
         let u: f64 = rng.gen();
         let idx = cdf.partition_point(|&c| c <= u);
         ModelId(idx.min(cdf.len() - 1))
+    }
+}
+
+/// Normalised per-user CDFs of one demand snapshot.
+fn cdfs_of(demand: &Demand) -> Result<Vec<Vec<f64>>, RuntimeError> {
+    let num_models = demand.num_models();
+    let mut cdfs = Vec::with_capacity(demand.num_users());
+    for k in 0..demand.num_users() {
+        let mut row = Vec::with_capacity(num_models);
+        let mut acc = 0.0;
+        for i in 0..num_models {
+            acc += demand
+                .probability(UserId(k), ModelId(i))
+                .map_err(RuntimeError::from)?;
+            row.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("user {k} has zero total request probability"),
+            });
+        }
+        for c in &mut row {
+            *c /= acc;
+        }
+        cdfs.push(row);
+    }
+    Ok(cdfs)
+}
+
+/// Rebuilds `demand` with its popularity columns permuted: the new
+/// probability of `(k, i)` is the old probability of `(k, perm[i])`.
+/// Deadlines and inference latencies stay with the *model* slot, so the
+/// eligibility indicator is untouched — only what users *ask for*
+/// shifts, which is exactly the paper's "popularity drift" setting.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InvalidConfig`] if `perm` is not a
+/// permutation of `0..num_models`.
+pub fn permute_popularity(demand: &Demand, perm: &[usize]) -> Result<Demand, RuntimeError> {
+    let (k, i) = (demand.num_users(), demand.num_models());
+    let mut seen = vec![false; i];
+    if perm.len() != i
+        || !perm
+            .iter()
+            .all(|&p| p < i && !std::mem::replace(&mut seen[p], true))
+    {
+        return Err(RuntimeError::InvalidConfig {
+            reason: format!("expected a permutation of 0..{i}, got {perm:?}"),
+        });
+    }
+    let mut probabilities = Vec::with_capacity(k);
+    let mut deadlines = Vec::with_capacity(k);
+    let mut inference = Vec::with_capacity(k);
+    for user in 0..k {
+        let user = UserId(user);
+        probabilities.push(
+            perm.iter()
+                .map(|&src| demand.probability(user, ModelId(src)))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        deadlines.push(
+            (0..i)
+                .map(|m| demand.deadline_s(user, ModelId(m)))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        inference.push(
+            (0..i)
+                .map(|m| demand.inference_s(user, ModelId(m)))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    }
+    Ok(Demand::new(probabilities, deadlines, inference)?)
+}
+
+/// Rotates the popularity columns by `shift` positions: model `i`
+/// inherits the request probabilities of model `(i + shift) mod I`. A
+/// half-library rotation is the classic "popularity flip" stress case.
+///
+/// # Errors
+///
+/// Propagates [`permute_popularity`] errors (never fires for in-range
+/// shifts).
+pub fn rotate_popularity(demand: &Demand, shift: usize) -> Result<Demand, RuntimeError> {
+    let i = demand.num_models();
+    let perm: Vec<usize> = (0..i).map(|m| (m + shift) % i).collect();
+    permute_popularity(demand, &perm)
+}
+
+/// Deterministic piecewise-Zipf schedule generator: `epochs` phases of
+/// `epoch_s` seconds each; phase 0 is the base demand and every later
+/// phase permutes the base popularity columns with a fresh seeded
+/// shuffle. The schedule is a pure function of
+/// `(base demand, epoch_s, epochs, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopularityShift {
+    /// Length of one stationary epoch in seconds.
+    pub epoch_s: f64,
+    /// Total number of phases (1 = stationary).
+    pub epochs: usize,
+    /// Seed of the per-epoch popularity permutations.
+    pub seed: u64,
+}
+
+impl PopularityShift {
+    /// Creates a schedule of `epochs` phases of `epoch_s` seconds.
+    pub fn new(epoch_s: f64, epochs: usize, seed: u64) -> Self {
+        Self {
+            epoch_s,
+            epochs,
+            seed,
+        }
+    }
+
+    /// The demand snapshot of every phase (phase 0 is `base` itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a non-positive epoch
+    /// length or zero epochs.
+    pub fn phases(&self, base: &Demand) -> Result<Vec<Demand>, RuntimeError> {
+        if !(self.epoch_s.is_finite() && self.epoch_s > 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "epoch length must be positive and finite, got {}",
+                    self.epoch_s
+                ),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "a schedule needs at least one epoch".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut perm: Vec<usize> = (0..base.num_models()).collect();
+        let mut phases = Vec::with_capacity(self.epochs);
+        phases.push(base.clone());
+        for _ in 1..self.epochs {
+            perm.shuffle(&mut rng);
+            phases.push(permute_popularity(base, &perm)?);
+        }
+        Ok(phases)
+    }
+
+    /// Builds the piecewise [`Workload`] of this schedule over `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PopularityShift::phases`] and
+    /// [`Workload::piecewise`] errors.
+    pub fn workload(&self, base: &Demand, rate_hz: f64) -> Result<Workload, RuntimeError> {
+        let phases = self.phases(base)?;
+        let segments: Vec<(f64, &Demand)> = phases
+            .iter()
+            .enumerate()
+            .map(|(p, d)| (p as f64 * self.epoch_s, d))
+            .collect();
+        Workload::piecewise(&segments, rate_hz)
     }
 }
 
@@ -119,7 +335,7 @@ mod tests {
         let mut counts = [0u64; 8];
         let draws = 40_000;
         for _ in 0..draws {
-            counts[workload.draw_model(UserId(0), &mut rng).index()] += 1;
+            counts[workload.draw_model(UserId(0), 1.0, &mut rng).index()] += 1;
         }
         let mass: f64 = (0..8)
             .map(|i| demand.probability(UserId(0), ModelId(i)).unwrap())
@@ -147,6 +363,7 @@ mod tests {
         );
         assert_eq!(workload.rate_hz(), 4.0);
         assert_eq!(workload.num_users(), 2);
+        assert_eq!(workload.num_phases(), 1);
     }
 
     #[test]
@@ -164,10 +381,102 @@ mod tests {
         let seq = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..50)
-                .map(|j| w.draw_model(UserId(j % 3), &mut rng).index())
+                .map(|j| w.draw_model(UserId(j % 3), j as f64, &mut rng).index())
                 .collect::<Vec<_>>()
         };
         assert_eq!(seq(9), seq(9));
         assert_ne!(seq(9), seq(10));
+    }
+
+    #[test]
+    fn piecewise_schedules_switch_phase_at_the_boundaries() {
+        let base = demand(4, 6);
+        let flipped = rotate_popularity(&base, 3).unwrap();
+        let w = Workload::piecewise(&[(0.0, &base), (100.0, &flipped)], 1.0).unwrap();
+        assert_eq!(w.num_phases(), 2);
+        assert_eq!(w.phase_at(0.0), 0);
+        assert_eq!(w.phase_at(99.999), 0);
+        assert_eq!(w.phase_at(100.0), 1);
+        assert_eq!(w.phase_at(1e9), 1);
+        // Same rng stream, times on opposite sides of the boundary:
+        // phase 1 draws follow the flipped distribution, i.e. drawing at
+        // t=150 equals drawing from a stationary flipped workload.
+        let stationary = Workload::from_demand(&flipped, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for j in 0..200 {
+            assert_eq!(
+                w.draw_model(UserId(j % 4), 150.0, &mut a),
+                stationary.draw_model(UserId(j % 4), 0.0, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn piecewise_validation_rejects_bad_schedules() {
+        let base = demand(3, 4);
+        let other = demand(2, 4);
+        // Non-zero first start.
+        assert!(Workload::piecewise(&[(1.0, &base)], 1.0).is_err());
+        // Unordered starts.
+        assert!(Workload::piecewise(&[(0.0, &base), (5.0, &base), (5.0, &base)], 1.0).is_err());
+        // Mismatched dimensions.
+        assert!(Workload::piecewise(&[(0.0, &base), (5.0, &other)], 1.0).is_err());
+        // Empty schedule.
+        assert!(Workload::piecewise(&[], 1.0).is_err());
+    }
+
+    #[test]
+    fn popularity_permutations_move_probabilities_only() {
+        let base = demand(3, 5);
+        let rotated = rotate_popularity(&base, 2).unwrap();
+        for k in 0..3 {
+            let user = UserId(k);
+            for i in 0..5 {
+                let model = ModelId(i);
+                let src = ModelId((i + 2) % 5);
+                assert_eq!(
+                    rotated.probability(user, model).unwrap(),
+                    base.probability(user, src).unwrap()
+                );
+                // Latency matrices stay with the model slot.
+                assert_eq!(
+                    rotated.deadline_s(user, model).unwrap(),
+                    base.deadline_s(user, model).unwrap()
+                );
+                assert_eq!(
+                    rotated.inference_s(user, model).unwrap(),
+                    base.inference_s(user, model).unwrap()
+                );
+            }
+        }
+        // A full rotation is the identity.
+        assert_eq!(rotate_popularity(&base, 5).unwrap(), base);
+        // Invalid permutations are rejected.
+        assert!(permute_popularity(&base, &[0, 1, 2]).is_err());
+        assert!(permute_popularity(&base, &[0, 0, 1, 2, 3]).is_err());
+        assert!(permute_popularity(&base, &[0, 1, 2, 3, 9]).is_err());
+    }
+
+    #[test]
+    fn shift_schedules_are_seeded_and_deterministic() {
+        let base = demand(3, 6);
+        let shift = PopularityShift::new(60.0, 4, 11);
+        let a = shift.phases(&base).unwrap();
+        let b = shift.phases(&base).unwrap();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], base);
+        let c = PopularityShift::new(60.0, 4, 12).phases(&base).unwrap();
+        assert_ne!(a, c, "different seeds permute differently");
+        // The workload wires the boundaries at epoch multiples.
+        let w = shift.workload(&base, 2.0).unwrap();
+        assert_eq!(w.num_phases(), 4);
+        assert_eq!(w.phase_at(59.9), 0);
+        assert_eq!(w.phase_at(60.0), 1);
+        assert_eq!(w.phase_at(185.0), 3);
+        // Degenerate configs are rejected.
+        assert!(PopularityShift::new(0.0, 2, 1).phases(&base).is_err());
+        assert!(PopularityShift::new(10.0, 0, 1).phases(&base).is_err());
     }
 }

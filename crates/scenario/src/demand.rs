@@ -12,6 +12,14 @@
 //!
 //! [`Demand`] stores those three `K × I` matrices; [`DemandConfig`] is the
 //! random generator reproducing the paper's distributions.
+//!
+//! The hit-ratio objective of Eq. (2) only consumes the *weights*
+//! `p_{k,i}` (and their total mass), not the latency matrices — that
+//! surface is the [`DemandView`] trait, implemented both by the
+//! ground-truth [`Demand`] and by [`DemandEstimate`], the unnormalised
+//! weight matrix an online controller reconstructs from a served request
+//! stream. Re-placement can therefore run the very same solver over
+//! observed demand instead of the frozen offline snapshot.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -159,6 +167,121 @@ impl Demand {
                 index: model.index(),
                 len: row.len(),
             })
+    }
+}
+
+/// The demand surface the hit-ratio objective of Eq. (2) consumes:
+/// per-`(user, model)` request weights plus the total mass normalising
+/// them. Weights need not sum to one — the objective divides by
+/// [`DemandView::total_mass`] — so both the ground-truth probabilities
+/// of [`Demand`] and the unnormalised rate estimates of
+/// [`DemandEstimate`] satisfy the trait, and every consumer (objective,
+/// greedy solvers) runs unchanged over either.
+pub trait DemandView: std::fmt::Debug {
+    /// Number of users `K`.
+    fn num_users(&self) -> usize;
+
+    /// Number of models `I`.
+    fn num_models(&self) -> usize;
+
+    /// Request weight of `(user, model)`; zero for out-of-range indices.
+    fn weight(&self, user: UserId, model: ModelId) -> f64;
+
+    /// Total weight `Σ_{k,i}` — the denominator of Eq. (2).
+    fn total_mass(&self) -> f64;
+}
+
+impl DemandView for Demand {
+    fn num_users(&self) -> usize {
+        Demand::num_users(self)
+    }
+
+    fn num_models(&self) -> usize {
+        Demand::num_models(self)
+    }
+
+    fn weight(&self, user: UserId, model: ModelId) -> f64 {
+        self.probability(user, model).unwrap_or(0.0)
+    }
+
+    fn total_mass(&self) -> f64 {
+        self.total_probability_mass()
+    }
+}
+
+/// An estimated demand surface: a `K × I` matrix of non-negative request
+/// weights (typically EWMA request rates observed by an online
+/// estimator). Satisfies [`DemandView`], so the placement solvers accept
+/// it wherever they accept the ground-truth [`Demand`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandEstimate {
+    /// `weights[k][i]` — unnormalised request weight of `(k, i)`.
+    weights: Vec<Vec<f64>>,
+    /// Cached `Σ weights`.
+    total: f64,
+}
+
+impl DemandEstimate {
+    /// Creates an estimate from an explicit weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] for an empty or
+    /// ragged matrix and [`ScenarioError::InvalidValue`] for a negative
+    /// or non-finite weight. An all-zero matrix is allowed (an estimator
+    /// that has observed nothing): the objective treats it as zero mass.
+    pub fn new(weights: Vec<Vec<f64>>) -> Result<Self, ScenarioError> {
+        if weights.is_empty() || weights[0].is_empty() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "estimate matrix must be non-empty".into(),
+            });
+        }
+        let i = weights[0].len();
+        if weights.iter().any(|row| row.len() != i) {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "estimate rows must all have the same length".into(),
+            });
+        }
+        let mut total = 0.0;
+        for row in &weights {
+            for &w in row {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(ScenarioError::InvalidValue {
+                        name: "estimated request weight",
+                        value: w,
+                    });
+                }
+                total += w;
+            }
+        }
+        Ok(Self { weights, total })
+    }
+
+    /// The weight of `(user, model)`, zero for out-of-range indices.
+    pub fn weight(&self, user: UserId, model: ModelId) -> f64 {
+        self.weights
+            .get(user.index())
+            .and_then(|row| row.get(model.index()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl DemandView for DemandEstimate {
+    fn num_users(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn num_models(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    fn weight(&self, user: UserId, model: ModelId) -> f64 {
+        DemandEstimate::weight(self, user, model)
+    }
+
+    fn total_mass(&self) -> f64 {
+        self.total
     }
 }
 
@@ -362,6 +485,34 @@ mod tests {
         let cfg = DemandConfig::paper_defaults();
         assert!(cfg.generate(0, 2, &mut rng).is_err());
         assert!(cfg.generate(2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn demand_view_matches_the_underlying_probabilities() {
+        let d = small_demand();
+        let view: &dyn DemandView = &d;
+        assert_eq!(view.num_users(), 2);
+        assert_eq!(view.num_models(), 2);
+        assert_eq!(view.weight(UserId(0), ModelId(1)), 0.3);
+        assert_eq!(view.weight(UserId(9), ModelId(0)), 0.0);
+        assert!((view.total_mass() - d.total_probability_mass()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_validates_and_exposes_weights() {
+        let e = DemandEstimate::new(vec![vec![2.0, 0.0], vec![0.5, 1.5]]).unwrap();
+        assert_eq!(DemandView::num_users(&e), 2);
+        assert_eq!(DemandView::num_models(&e), 2);
+        assert_eq!(e.weight(UserId(0), ModelId(0)), 2.0);
+        assert_eq!(e.weight(UserId(5), ModelId(0)), 0.0);
+        assert!((e.total_mass() - 4.0).abs() < 1e-12);
+        // Zero mass is allowed; structural and value errors are not.
+        assert!(DemandEstimate::new(vec![vec![0.0; 3]; 2]).is_ok());
+        assert!(DemandEstimate::new(vec![]).is_err());
+        assert!(DemandEstimate::new(vec![vec![]]).is_err());
+        assert!(DemandEstimate::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(DemandEstimate::new(vec![vec![-0.1]]).is_err());
+        assert!(DemandEstimate::new(vec![vec![f64::NAN]]).is_err());
     }
 
     #[test]

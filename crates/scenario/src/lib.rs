@@ -97,7 +97,7 @@ pub mod storage;
 
 pub use block_view::BlockPlacement;
 pub use delta::SnapshotDelta;
-pub use demand::{Demand, DemandConfig};
+pub use demand::{Demand, DemandConfig, DemandEstimate, DemandView};
 pub use eligibility::{
     Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
 };
@@ -114,7 +114,7 @@ pub use storage::StorageTracker;
 pub mod prelude {
     pub use crate::block_view::BlockPlacement;
     pub use crate::delta::SnapshotDelta;
-    pub use crate::demand::{Demand, DemandConfig};
+    pub use crate::demand::{Demand, DemandConfig, DemandEstimate, DemandView};
     pub use crate::eligibility::{
         Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
     };

@@ -16,10 +16,14 @@
 //! the dense tensor and the coverage-pruned sparse representation — and
 //! because every view yields indices in ascending order, the two paths
 //! accumulate floats identically and produce bit-identical hit ratios.
+//! The demand side is likewise consumed through the [`DemandView`]
+//! trait, so the evaluator scores placements against the ground-truth
+//! probabilities `p_{k,i}` or against an online
+//! [`DemandEstimate`](crate::demand::DemandEstimate) interchangeably.
 
 use trimcaching_modellib::ModelId;
 
-use crate::demand::Demand;
+use crate::demand::DemandView;
 use crate::eligibility::{EligibilityView, ServerModels, UsersFor};
 use crate::entities::{ServerId, UserId};
 use crate::error::ScenarioError;
@@ -29,21 +33,38 @@ use crate::placement::Placement;
 /// eligibility view.
 #[derive(Debug, Clone, Copy)]
 pub struct HitRatioObjective<'a> {
-    demand: &'a Demand,
+    demand: &'a dyn DemandView,
     eligibility: &'a dyn EligibilityView,
 }
 
 impl<'a> HitRatioObjective<'a> {
-    /// Creates an objective evaluator over any eligibility representation.
+    /// Creates an objective evaluator over any demand and eligibility
+    /// representation.
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::DimensionMismatch`] when the demand and the
     /// eligibility view disagree on the number of users or models.
-    pub fn new<E>(demand: &'a Demand, eligibility: &'a E) -> Result<Self, ScenarioError>
+    pub fn new<D, E>(demand: &'a D, eligibility: &'a E) -> Result<Self, ScenarioError>
     where
+        D: DemandView,
         E: EligibilityView,
     {
+        Self::from_views(demand, eligibility)
+    }
+
+    /// Trait-object variant of [`HitRatioObjective::new`] for callers
+    /// that already hold dynamic views (e.g. an online controller
+    /// carrying a boxed estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when the demand and the
+    /// eligibility view disagree on the number of users or models.
+    pub fn from_views(
+        demand: &'a dyn DemandView,
+        eligibility: &'a dyn EligibilityView,
+    ) -> Result<Self, ScenarioError> {
         if demand.num_users() != eligibility.num_users()
             || demand.num_models() != eligibility.num_models()
         {
@@ -85,12 +106,12 @@ impl<'a> HitRatioObjective<'a> {
 
     /// Total request mass `Σ_{k,i} p_{k,i}` — the denominator of Eq. (2).
     pub fn total_mass(&self) -> f64 {
-        self.demand.total_probability_mass()
+        self.demand.total_mass()
     }
 
-    /// The request probability `p_{k,i}`, zero for out-of-range indices.
+    /// The request weight `p_{k,i}`, zero for out-of-range indices.
     pub fn weight(&self, user: UserId, model: ModelId) -> f64 {
-        self.demand.probability(user, model).unwrap_or(0.0)
+        self.demand.weight(user, model)
     }
 
     /// Whether server `m` can serve `(k, i)` within the deadline
@@ -316,6 +337,34 @@ mod tests {
         let obj = HitRatioObjective::new(&demand, &elig).unwrap();
         assert_eq!(obj.weight(UserId(9), ModelId(0)), 0.0);
         assert_eq!(obj.weight(UserId(0), ModelId(9)), 0.0);
+    }
+
+    #[test]
+    fn estimated_demand_drives_the_objective_like_the_ground_truth() {
+        use crate::demand::DemandEstimate;
+        let (demand, elig) = fixture();
+        // An estimate exactly proportional to the true probabilities (an
+        // observed request stream scales every weight by the request
+        // volume) produces identical hit ratios and proportional gains.
+        let scaled = DemandEstimate::new(vec![vec![6.0, 4.0], vec![7.0, 3.0]]).unwrap();
+        let truth = HitRatioObjective::new(&demand, &elig).unwrap();
+        let est = HitRatioObjective::new(&scaled, &elig).unwrap();
+        let mut p = Placement::empty(2, 2);
+        p.place(ServerId(0), ModelId(0)).unwrap();
+        assert!((truth.hit_ratio(&p) - est.hit_ratio(&p)).abs() < 1e-12);
+        assert!(
+            (est.marginal_hits(&p, ServerId(1), ModelId(1)) - 3.0).abs() < 1e-12,
+            "gains are expressed in the estimate's own weight units"
+        );
+        // A skewed estimate reorders the gains — the planner would now
+        // prefer model 0 at server 0 over model 1.
+        let skewed = DemandEstimate::new(vec![vec![9.0, 0.1], vec![0.1, 0.1]]).unwrap();
+        let skewed_obj = HitRatioObjective::new(&skewed, &elig).unwrap();
+        let empty = Placement::empty(2, 2);
+        assert!(
+            skewed_obj.marginal_hits(&empty, ServerId(0), ModelId(0))
+                > skewed_obj.marginal_hits(&empty, ServerId(0), ModelId(1))
+        );
     }
 
     #[test]

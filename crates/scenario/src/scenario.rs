@@ -151,6 +151,24 @@ impl Scenario {
             .expect("scenario components are validated at construction")
     }
 
+    /// The hit-ratio objective under this scenario's eligibility but an
+    /// *arbitrary* demand surface — e.g. an online
+    /// [`DemandEstimate`](crate::demand::DemandEstimate) reconstructed
+    /// from a served request stream. This is the entry point online
+    /// re-placement uses: same eligibility, same solver, estimated
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when the view's
+    /// dimensions disagree with the scenario's.
+    pub fn objective_with_demand<'a>(
+        &'a self,
+        demand: &'a dyn crate::demand::DemandView,
+    ) -> Result<HitRatioObjective<'a>, ScenarioError> {
+        HitRatioObjective::from_views(demand, &self.eligibility)
+    }
+
     /// A fresh storage tracker for server `m`.
     ///
     /// # Errors

@@ -6,8 +6,8 @@
 //!                 [--realisations N] [--csv] [--out FILE]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
-//!              serve serve-trace serve-blocks replacement
-//!              replacement-trigger lora-market city-scale
+//!              serve serve-trace serve-blocks serve-adapt serve-adapt-trace
+//!              replacement replacement-trigger lora-market city-scale
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -21,7 +21,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
-    ablation, city, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
+    ablation, adapt, city, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
 use trimcaching_sim::SimError;
@@ -39,8 +39,8 @@ fn print_usage() {
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
          [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
-         serve serve-trace serve-blocks replacement replacement-trigger lora-market \
-         city-scale \
+         serve serve-trace serve-blocks serve-adapt serve-adapt-trace replacement \
+         replacement-trigger lora-market city-scale \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
@@ -135,6 +135,8 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "serve" => render_table(serve::policy_comparison(config)?),
         "serve-trace" => render_table(serve::warm_start_trace(config)?),
         "serve-blocks" => render_table(serve::block_fill_comparison(config)?),
+        "serve-adapt" => render_table(adapt::adaptive_serving(config)?),
+        "serve-adapt-trace" => render_table(adapt::adaptive_trace(config)?),
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
@@ -162,6 +164,8 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
                 "serve",
                 "serve-trace",
                 "serve-blocks",
+                "serve-adapt",
+                "serve-adapt-trace",
                 "replacement",
                 "replacement-trigger",
                 "lora-market",

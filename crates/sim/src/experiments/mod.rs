@@ -12,9 +12,11 @@
 //! | [`ablation`] | ε sweep, sharing-depth sweep, Zipf sweep, scaling, backhaul, deadline, shadowing |
 //! | [`replacement`] | online re-placement extension of Fig. 7 |
 //! | [`serve`] | online serving via `trimcaching-runtime`: eviction policies and warm starts under live traffic |
+//! | [`adapt`] | adaptive serving under demand drift: static vs oracle replan vs the online re-placement controller |
 //! | [`city`] | city-scale Poisson deployments on the sparse eligibility representation |
 
 pub mod ablation;
+pub mod adapt;
 pub mod city;
 pub mod fig1;
 pub mod fig4;

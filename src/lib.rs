@@ -20,13 +20,16 @@
 //! * [`placement`] — the TrimCaching Spec / Gen algorithms, the
 //!   Independent Caching baseline and the exhaustive-search reference;
 //! * [`runtime`] — the event-driven online serving engine: Poisson
-//!   request streams replayed against placements, per-server caches
-//!   with block-granular residency under shared-block-aware eviction
-//!   policies, cache fills pipelined as block transfers over
-//!   congestion-aware backhaul links (whole-model fills remain as a
-//!   compatibility baseline), mobility with server handover, and
+//!   request streams (optionally piecewise non-stationary) replayed
+//!   against placements, per-server caches with block-granular
+//!   residency under shared-block-aware eviction policies, cache fills
+//!   pipelined as block transfers over congestion-aware backhaul links
+//!   (whole-model fills remain as a compatibility baseline), mobility
+//!   with server handover, an **online re-placement controller**
+//!   (`runtime::control`: EWMA demand estimation, drift detection,
+//!   estimated-demand re-plans, staged cache reconciliation), and
 //!   streaming metrics (windowed hit ratio, block hit ratio, backhaul
-//!   bytes moved, latency percentiles);
+//!   bytes moved, re-plan/recovery counters, latency percentiles);
 //! * [`sim`] — the simulation harness regenerating every figure of the
 //!   paper's evaluation, plus the online `serve` experiments.
 //!
@@ -86,8 +89,9 @@ pub mod prelude {
         RandomPlacement, TopPopularity, TrimCachingGen, TrimCachingGenLazy, TrimCachingSpec,
     };
     pub use trimcaching_runtime::{
-        serve, serve_ensemble, CostAwareLfu, EvictionPolicy, FillGranularity, Lfu, Lru,
-        ServeConfig, ServeReport,
+        rotate_popularity, serve, serve_ensemble, serve_with_workload, ControlConfig, CostAwareLfu,
+        DriftConfig, EvictionPolicy, FillGranularity, Lfu, Lru, PopularityShift, ServeConfig,
+        ServeEngine, ServeReport, Workload,
     };
     pub use trimcaching_scenario::prelude::*;
     pub use trimcaching_sim::{

@@ -2,7 +2,7 @@
 //! regenerated end-to-end at reduced scale and produces a structurally
 //! correct table whose values respect the paper's qualitative claims.
 
-use trimcaching::sim::experiments::{ablation, fig1, fig4, fig5, fig6, fig7, RunConfig};
+use trimcaching::sim::experiments::{ablation, adapt, fig1, fig4, fig5, fig6, fig7, RunConfig};
 use trimcaching::sim::MonteCarloConfig;
 
 fn smoke_config() -> RunConfig {
@@ -87,6 +87,30 @@ fn fig7_mobility_runs() {
     assert_eq!(table.id, "fig7");
     assert_eq!(table.rows.first().unwrap().x, 0.0);
     assert_eq!(table.rows.last().unwrap().x, 120.0);
+}
+
+#[test]
+fn serve_adapt_runs() {
+    let config = smoke_config();
+    let summary = adapt::adaptive_serving(&config).unwrap();
+    assert_eq!(summary.id, "serve-adapt");
+    assert_eq!(summary.rows.len(), 3, "static, oracle, controller");
+    assert_eq!(summary.series.len(), 6);
+    for row in &summary.rows {
+        assert!((0.0..=1.0).contains(&row.cells[0].mean), "hit ratio");
+        assert!(
+            row.cells[4].mean <= row.cells[3].mean + 1e-9,
+            "reconfiguration MB cannot exceed total backhaul MB"
+        );
+    }
+    // The static baseline never re-plans and moves no reconfig bytes.
+    assert_eq!(summary.rows[0].cells[5].mean, 0.0);
+    assert_eq!(summary.rows[0].cells[4].mean, 0.0);
+    let trace = adapt::adaptive_trace(&config).unwrap();
+    assert_eq!(trace.id, "serve-adapt-trace");
+    assert_eq!(trace.series.len(), 3);
+    assert!(!trace.rows.is_empty());
+    assert!(!trace.to_markdown().is_empty());
 }
 
 #[test]
