@@ -68,7 +68,7 @@ fn bench(c: &mut Criterion) {
         .with_duration_s(300.0)
         .with_request_rate_hz(0.05)
         .with_seed(2024);
-    let controlled = base.with_control(steady_control());
+    let controlled = base.clone().with_control(steady_control());
 
     let reference = serve(&scenario, &CostAwareLfu, None, &controlled).expect("serve runs");
     assert!(

@@ -340,6 +340,62 @@ impl<'lib> ServerCache<'lib> {
         self.evictions += 1;
         Ok(freed)
     }
+
+    /// Captures the cache's full mutable state for checkpointing. The
+    /// tracker is represented by its resident model set (including
+    /// pending fills — their reservations hold bytes); replaying
+    /// `tracker.add` over that set reproduces the refcounts exactly
+    /// because shared-storage accounting is order-independent.
+    pub(crate) fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            resident: self.tracker.cached_models(),
+            last_access_s: self.last_access_s.clone(),
+            access_count: self.access_count.clone(),
+            pending: self.pending.clone(),
+            pending_eta_s: self.pending_eta_s.clone(),
+            block_arrived: self.block_arrived.clone(),
+            block_eta_s: self.block_eta_s.clone(),
+            insertions: self.insertions,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Restores the state captured by [`ServerCache::snapshot`] into a
+    /// freshly constructed cache over the same library and capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a resident model id is unknown to the library
+    /// or does not fit (a corrupt or mismatched checkpoint).
+    pub(crate) fn restore(&mut self, snapshot: CacheSnapshot) -> Result<(), RuntimeError> {
+        for m in &snapshot.resident {
+            self.tracker.add(*m)?;
+        }
+        self.last_access_s = snapshot.last_access_s;
+        self.access_count = snapshot.access_count;
+        self.pending = snapshot.pending;
+        self.pending_eta_s = snapshot.pending_eta_s;
+        self.block_arrived = snapshot.block_arrived;
+        self.block_eta_s = snapshot.block_eta_s;
+        self.insertions = snapshot.insertions;
+        self.evictions = snapshot.evictions;
+        Ok(())
+    }
+}
+
+/// The checkpointable state of one [`ServerCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CacheSnapshot {
+    /// Models resident in the tracker (servable *and* pending).
+    pub resident: Vec<ModelId>,
+    pub last_access_s: Vec<f64>,
+    pub access_count: Vec<u64>,
+    pub pending: Vec<bool>,
+    pub pending_eta_s: Vec<f64>,
+    pub block_arrived: Vec<bool>,
+    pub block_eta_s: Vec<f64>,
+    pub insertions: u64,
+    pub evictions: u64,
 }
 
 fn to_runtime(e: trimcaching_modellib::ModelLibError) -> RuntimeError {

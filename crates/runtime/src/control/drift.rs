@@ -267,6 +267,44 @@ impl DriftDetector {
         }
         self.pre_drift_reference = None;
     }
+
+    /// Captures the detector's full state for checkpointing.
+    pub(crate) fn snapshot(&self) -> DriftSnapshot {
+        DriftSnapshot {
+            config: self.config,
+            reference_hit: self.reference_hit,
+            reference_p95: self.reference_p95,
+            degraded_ticks: self.degraded_ticks,
+            pre_drift_reference: self.pre_drift_reference,
+            last_replan_s: self.last_replan_s,
+            recovery: self.recovery,
+        }
+    }
+
+    /// Rebuilds a detector from [`DriftDetector::snapshot`] output.
+    pub(crate) fn restore(s: DriftSnapshot) -> Self {
+        Self {
+            config: s.config,
+            reference_hit: s.reference_hit,
+            reference_p95: s.reference_p95,
+            degraded_ticks: s.degraded_ticks,
+            pre_drift_reference: s.pre_drift_reference,
+            last_replan_s: s.last_replan_s,
+            recovery: s.recovery,
+        }
+    }
+}
+
+/// The checkpointable state of a [`DriftDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DriftSnapshot {
+    pub config: DriftConfig,
+    pub reference_hit: Option<f64>,
+    pub reference_p95: Option<f64>,
+    pub degraded_ticks: u32,
+    pub pre_drift_reference: Option<f64>,
+    pub last_replan_s: Option<f64>,
+    pub recovery: Option<(f64, f64)>,
 }
 
 #[cfg(test)]

@@ -188,6 +188,52 @@ impl DemandEstimator {
     pub fn epochs_rolled(&self) -> u64 {
         self.epochs_rolled
     }
+
+    /// Captures the estimator's full state for checkpointing (including
+    /// the open epoch log and the lazy scale, so a restored estimator
+    /// folds future epochs bit-identically).
+    pub(crate) fn snapshot(&self) -> EstimatorSnapshot {
+        EstimatorSnapshot {
+            alpha: self.alpha,
+            num_users: self.num_users as u64,
+            num_models: self.num_models as u64,
+            epoch_log: self.epoch_log.clone(),
+            rates: self.rates.clone(),
+            scale: self.scale,
+            primed: self.primed,
+            total_requests: self.total_requests,
+            epochs_rolled: self.epochs_rolled,
+        }
+    }
+
+    /// Rebuilds an estimator from [`DemandEstimator::snapshot`] output.
+    pub(crate) fn restore(s: EstimatorSnapshot) -> Self {
+        Self {
+            alpha: s.alpha,
+            num_users: s.num_users as usize,
+            num_models: s.num_models as usize,
+            epoch_log: s.epoch_log,
+            rates: s.rates,
+            scale: s.scale,
+            primed: s.primed,
+            total_requests: s.total_requests,
+            epochs_rolled: s.epochs_rolled,
+        }
+    }
+}
+
+/// The checkpointable state of a [`DemandEstimator`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EstimatorSnapshot {
+    pub alpha: f64,
+    pub num_users: u64,
+    pub num_models: u64,
+    pub epoch_log: Vec<u32>,
+    pub rates: Vec<f64>,
+    pub scale: f64,
+    pub primed: bool,
+    pub total_requests: u64,
+    pub epochs_rolled: u64,
 }
 
 #[cfg(test)]

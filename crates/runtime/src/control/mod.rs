@@ -240,6 +240,41 @@ impl Controller {
     pub fn observed_requests(&self) -> u64 {
         self.estimator.total_requests()
     }
+
+    /// Captures the controller's full state for checkpointing.
+    pub(crate) fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            config: self.config,
+            estimator: self.estimator.snapshot(),
+            drift: self.drift.snapshot(),
+            seen_requests: self.seen_requests,
+            seen_hits: self.seen_hits,
+            seen_latency: self.seen_latency.clone(),
+        }
+    }
+
+    /// Rebuilds a controller from [`Controller::snapshot`] output.
+    pub(crate) fn restore(s: ControllerSnapshot) -> Self {
+        Self {
+            config: s.config,
+            estimator: DemandEstimator::restore(s.estimator),
+            drift: DriftDetector::restore(s.drift),
+            seen_requests: s.seen_requests,
+            seen_hits: s.seen_hits,
+            seen_latency: s.seen_latency,
+        }
+    }
+}
+
+/// The checkpointable state of a [`Controller`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ControllerSnapshot {
+    pub config: ControlConfig,
+    pub estimator: estimator::EstimatorSnapshot,
+    pub drift: drift::DriftSnapshot,
+    pub seen_requests: u64,
+    pub seen_hits: u64,
+    pub seen_latency: LatencyHistogram,
 }
 
 #[cfg(test)]

@@ -35,6 +35,9 @@
 //! `(scenario, policy, config)` — identical seeds produce identical
 //! metric traces, which the integration tests assert.
 
+use std::collections::VecDeque;
+use std::path::Path;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -49,6 +52,9 @@ use crate::control::{plan_target, reconcile, ControlConfig, Controller, ReplanRe
 use crate::error::RuntimeError;
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{RequestOutcome, ServeMetrics};
+use crate::persist::checkpoint::{CheckpointSaver, CheckpointState, MobilityState};
+use crate::persist::journal::{recover_journal, JournalHeader, JournalWriter};
+use crate::persist::{Checkpoint, PersistConfig, PersistError, ServedRecord};
 use crate::policy::EvictionPolicy;
 use crate::transfer::BackhaulLink;
 use crate::workload::Workload;
@@ -68,7 +74,7 @@ pub enum FillGranularity {
 }
 
 /// Configuration of one serving run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Simulated duration in seconds.
     pub duration_s: f64,
@@ -104,6 +110,11 @@ pub struct ServeConfig {
     pub control: Option<ControlConfig>,
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
+    /// Durable-run persistence (`None` = in-memory only). When set, the
+    /// engine journals every served event, writes slot-boundary
+    /// checkpoints of its full state, and can be resumed byte-identically
+    /// via [`ServeEngine::resume`] or forked via [`ServeEngine::fork`].
+    pub persist: Option<PersistConfig>,
 }
 
 impl ServeConfig {
@@ -122,6 +133,7 @@ impl ServeConfig {
             congestion_aware: true,
             control: None,
             seed: 2024,
+            persist: None,
         }
     }
 
@@ -186,6 +198,14 @@ impl ServeConfig {
         self
     }
 
+    /// Enables durable-run persistence: an append-only journal of
+    /// served events plus slot-boundary checkpoints in
+    /// `persist.dir`, from which the run can be resumed or forked.
+    pub fn with_persist(mut self, persist: PersistConfig) -> Self {
+        self.persist = Some(persist);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -220,6 +240,9 @@ impl ServeConfig {
         if let Some(control) = &self.control {
             control.validate()?;
         }
+        if let Some(persist) = &self.persist {
+            persist.validate()?;
+        }
         Ok(())
     }
 }
@@ -246,6 +269,68 @@ pub struct ServeReport {
     pub final_caches: Vec<Vec<ModelId>>,
 }
 
+/// The mutable per-run machinery threaded through the event loop: the
+/// seeded RNG, the pending event queue and (when mobility is on) the
+/// kinematic mobility model. Checkpoints capture it wholesale;
+/// [`ServeEngine::resume`] and [`ServeEngine::fork`] rebuild it.
+struct RunState {
+    rng: StdRng,
+    queue: EventQueue,
+    mobility: Option<MobilityModel>,
+}
+
+/// Journal and checkpoint plumbing of a durable run.
+struct PersistState {
+    config: PersistConfig,
+    writer: JournalWriter,
+    /// Simulated time of the next checkpoint boundary.
+    next_checkpoint_s: f64,
+    /// Journal records beyond the checkpoint this run resumed from,
+    /// paired with each record's end offset in the journal file. The
+    /// resumed run must re-serve them identically — verified one by
+    /// one — before it may append anything new.
+    verify: VecDeque<(ServedRecord, u64)>,
+    /// Journal offset up to which re-served records have been verified.
+    /// Checkpoints written mid-verification record this position rather
+    /// than the file length, so their journal suffix stays correct.
+    verified_through: u64,
+    /// Background checkpoint writer — disk latency stays off the
+    /// serving path.
+    saver: CheckpointSaver,
+}
+
+impl PersistState {
+    /// The journal position a checkpoint taken now should record.
+    fn journal_position(&self) -> u64 {
+        if self.verify.is_empty() {
+            self.writer.offset()
+        } else {
+            self.verified_through
+        }
+    }
+
+    /// Accounts one served request: verified against the journal
+    /// suffix while resuming, appended to the journal otherwise.
+    fn note_served(&mut self, record: &ServedRecord) -> Result<(), PersistError> {
+        match self.verify.pop_front() {
+            Some((expected, end)) => {
+                if expected != *record {
+                    return Err(PersistError::Diverged {
+                        time_s: record.time_s,
+                        detail: format!(
+                            "re-served request disagrees with the journal: \
+                             journal has {expected:?}, replay produced {record:?}"
+                        ),
+                    });
+                }
+                self.verified_through = end;
+                Ok(())
+            }
+            None => self.writer.append(record),
+        }
+    }
+}
+
 /// The discrete-event serving engine. See the module docs for the
 /// service semantics.
 pub struct ServeEngine<'a> {
@@ -267,6 +352,12 @@ pub struct ServeEngine<'a> {
     /// Pre-scheduled oracle reconciliations: `(time, target placement)`
     /// pairs staged through the same pipeline as controller re-plans.
     scheduled: Vec<(f64, Placement)>,
+    /// Durable-run journal/checkpoint plumbing, present when
+    /// [`ServeConfig::persist`] is set.
+    persist: Option<PersistState>,
+    /// Run state restored from a checkpoint, consumed by the next
+    /// [`ServeEngine::run`] or [`ServeEngine::run_until`] call.
+    resume_state: Option<RunState>,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -301,15 +392,17 @@ impl<'a> ServeEngine<'a> {
         Ok(Self {
             scenario,
             policy,
+            metrics: ServeMetrics::new(config.window_s),
             config,
             current: scenario.clone(),
             caches,
             links,
             workload,
-            metrics: ServeMetrics::new(config.window_s),
             primary,
             controller,
             scheduled: Vec::new(),
+            persist: None,
+            resume_state: None,
         })
     }
 
@@ -388,16 +481,14 @@ impl<'a> ServeEngine<'a> {
         Ok(())
     }
 
-    /// Runs the engine to completion and returns the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates scenario errors (which indicate an internally
-    /// inconsistent snapshot).
-    pub fn run(mut self) -> Result<ServeReport, RuntimeError> {
+    /// Builds the initial run state — the seeded RNG, the primed event
+    /// queue and the mobility model — exactly as every pre-persistence
+    /// run did (the RNG draw order is part of the determinism contract),
+    /// and opens the journal when persistence is configured.
+    fn begin(&mut self) -> Result<RunState, RuntimeError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut queue = EventQueue::new();
-        let mut mobility = if self.config.mobility_slot_s > 0.0 {
+        let mobility = if self.config.mobility_slot_s > 0.0 {
             let area = DeploymentArea::new(self.config.area_side_m)
                 .map_err(trimcaching_scenario::ScenarioError::from)?;
             let positions: Vec<_> = self.scenario.users().iter().map(|u| u.position()).collect();
@@ -418,37 +509,76 @@ impl<'a> ServeEngine<'a> {
             queue.push(*at_s, EventKind::ScheduledReconcile { index });
         }
 
-        while let Some(event) = queue.pop() {
-            if event.time_s > self.config.duration_s {
-                break;
+        if let Some(pc) = self.config.persist.clone() {
+            std::fs::create_dir_all(&pc.dir).map_err(|e| PersistError::io(&pc.dir, e))?;
+            let header = JournalHeader {
+                seed: self.config.seed,
+                policy: self.policy.name().to_string(),
+                window_s: self.config.window_s,
+                duration_s: self.config.duration_s,
+                granularity: self.config.granularity,
+            };
+            let writer = JournalWriter::create(&pc.journal_path(), &header)?;
+            self.persist = Some(PersistState {
+                writer,
+                next_checkpoint_s: 0.0,
+                verify: VecDeque::new(),
+                verified_through: 0,
+                saver: CheckpointSaver::default(),
+                config: pc,
+            });
+        }
+
+        Ok(RunState {
+            rng,
+            queue,
+            mobility,
+        })
+    }
+
+    /// Pumps the event loop until no pending event fires at or before
+    /// `stop_s`, writing every due checkpoint boundary on the way.
+    /// Events are only ever *peeked* past the horizon, never popped and
+    /// dropped, so a stopped run's queue is byte-identical to the same
+    /// moment of an uninterrupted run.
+    fn drive(&mut self, state: &mut RunState, stop_s: f64) -> Result<(), RuntimeError> {
+        loop {
+            self.write_due_checkpoints(state, stop_s)?;
+            match state.queue.peek() {
+                Some(event) if event.time_s <= stop_s => {}
+                _ => break,
             }
+            let event = state.queue.pop().expect("peeked event exists");
             match event.kind {
                 EventKind::Request { user } => {
-                    let model = self.workload.draw_model(user, event.time_s, &mut rng);
-                    self.serve_request(user, model, event.time_s, &mut queue)?;
-                    let gap = self.workload.next_interarrival_s(&mut rng);
-                    queue.push(event.time_s + gap, EventKind::Request { user });
+                    let model = self.workload.draw_model(user, event.time_s, &mut state.rng);
+                    self.serve_request(user, model, event.time_s, &mut state.queue)?;
+                    let gap = self.workload.next_interarrival_s(&mut state.rng);
+                    state
+                        .queue
+                        .push(event.time_s + gap, EventKind::Request { user });
                 }
                 EventKind::TransferComplete { server, model } => {
                     self.caches[server].complete_fill(model)?;
                     self.metrics.fills_completed += 1;
                 }
                 EventKind::ControlTick => {
-                    self.control_tick(event.time_s, &mut queue)?;
+                    self.control_tick(event.time_s, &mut state.queue)?;
                 }
                 EventKind::ScheduledReconcile { index } => {
                     let target = self.scheduled[index].1.clone();
                     self.metrics.replans_triggered += 1;
-                    self.reconcile_to_target(&target, event.time_s, &mut queue)?;
+                    self.reconcile_to_target(&target, event.time_s, &mut state.queue)?;
                     if let Some(controller) = self.controller.as_mut() {
                         controller.note_replan(event.time_s);
                     }
                 }
                 EventKind::MobilitySlot => {
-                    let mobility = mobility
+                    let mobility = state
+                        .mobility
                         .as_mut()
                         .expect("mobility events only scheduled when mobility is on");
-                    mobility.step(&mut rng);
+                    mobility.step(&mut state.rng);
                     // Incremental snapshot evolution: only the moved
                     // users' rows (and the rows of users sharing a
                     // reallocated server) are re-derived — bit-identical
@@ -468,15 +598,112 @@ impl<'a> ServeEngine<'a> {
                             self.primary[k] = fresh;
                         }
                     }
-                    queue.push(
+                    state.queue.push(
                         event.time_s + self.config.mobility_slot_s,
                         EventKind::MobilitySlot,
                     );
                 }
             }
         }
+        Ok(())
+    }
 
-        self.metrics.finish(self.config.duration_s);
+    /// Writes every checkpoint boundary that is due: a boundary `T` is
+    /// written once no pending event fires at or before `T` (events
+    /// *at* the boundary are simulated state of the boundary, so they
+    /// process first) and `T` is within the current horizon. The
+    /// journal is flushed first so the on-disk journal always covers
+    /// the offset the checkpoint records.
+    fn write_due_checkpoints(&mut self, state: &RunState, stop_s: f64) -> Result<(), RuntimeError> {
+        loop {
+            let Some(p) = self.persist.as_ref() else {
+                return Ok(());
+            };
+            let due = p.next_checkpoint_s;
+            if due > stop_s || state.queue.peek().is_some_and(|ev| ev.time_s <= due) {
+                return Ok(());
+            }
+            let path = p.config.checkpoint_path();
+            let every_s = p.config.checkpoint_every_s;
+            let fsync = p.config.fsync;
+            self.persist
+                .as_mut()
+                .expect("persistence is on")
+                .writer
+                .flush()?;
+            let checkpoint = Checkpoint {
+                state: self.capture(due, state),
+            };
+            let p = self.persist.as_mut().expect("persistence is on");
+            p.saver.save(path, checkpoint, fsync)?;
+            p.next_checkpoint_s = due + every_s;
+        }
+    }
+
+    /// Captures the complete mutable engine state at boundary `time_s`.
+    fn capture(&self, time_s: f64, state: &RunState) -> CheckpointState {
+        let (events, next_seq) = state.queue.snapshot();
+        let (rate_hz, starts_s, phases) = self.workload.raw_parts();
+        let mut config = self.config.clone();
+        config.persist = None;
+        CheckpointState {
+            time_s,
+            policy: self.policy.name().to_string(),
+            config,
+            rng: state.rng.state(),
+            events,
+            next_seq,
+            positions: self.current.users().iter().map(|u| u.position()).collect(),
+            primary: self.primary.iter().map(|p| p.map(|m| m as u64)).collect(),
+            caches: self.caches.iter().map(|c| c.snapshot()).collect(),
+            links: self.links.iter().map(|l| l.inflight_snapshot()).collect(),
+            workload_rate_hz: rate_hz,
+            workload_starts_s: starts_s.to_vec(),
+            workload_phases: phases.to_vec(),
+            metrics: self.metrics.clone(),
+            controller: self.controller.as_ref().map(|c| c.snapshot()),
+            scheduled: self.scheduled.clone(),
+            mobility: state.mobility.as_ref().map(|m| MobilityState {
+                slot_seconds: m.slot_seconds(),
+                users: m.users().to_vec(),
+            }),
+            journal_offset: self
+                .persist
+                .as_ref()
+                .expect("capture only runs under persistence")
+                .journal_position(),
+        }
+    }
+
+    /// Runs the engine to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario errors (which indicate an internally
+    /// inconsistent snapshot) and, for persistent runs, journal and
+    /// checkpoint I/O failures.
+    pub fn run(mut self) -> Result<ServeReport, RuntimeError> {
+        let mut state = match self.resume_state.take() {
+            Some(state) => state,
+            None => self.begin()?,
+        };
+        let horizon = self.config.duration_s;
+        self.drive(&mut state, horizon)?;
+        if let Some(p) = self.persist.as_mut() {
+            if !p.verify.is_empty() {
+                return Err(PersistError::Diverged {
+                    time_s: horizon,
+                    detail: format!(
+                        "{} journaled records were never re-served by the resumed run",
+                        p.verify.len()
+                    ),
+                }
+                .into());
+            }
+            p.writer.flush()?;
+            p.saver.wait()?;
+        }
+        self.metrics.finish(horizon);
         Ok(ServeReport {
             policy: self.policy.name().to_string(),
             seed: self.config.seed,
@@ -484,6 +711,197 @@ impl<'a> ServeEngine<'a> {
             metrics: self.metrics,
             final_caches: self.caches.iter().map(|c| c.cached_models()).collect(),
         })
+    }
+
+    /// Runs the engine up to simulated time `stop_s` and then drops it —
+    /// the durable-run analogue of the process being killed at `stop_s`.
+    /// The journal is flushed and every checkpoint boundary at or before
+    /// `stop_s` is on disk; continue with [`ServeEngine::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-finite or negative stop time and propagates the
+    /// same errors as [`ServeEngine::run`].
+    pub fn run_until(mut self, stop_s: f64) -> Result<(), RuntimeError> {
+        if !(stop_s.is_finite() && stop_s >= 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("stop time must be non-negative and finite, got {stop_s}"),
+            });
+        }
+        let stop_s = stop_s.min(self.config.duration_s);
+        let mut state = match self.resume_state.take() {
+            Some(state) => state,
+            None => self.begin()?,
+        };
+        self.drive(&mut state, stop_s)?;
+        if let Some(p) = self.persist.as_mut() {
+            p.writer.flush()?;
+            p.saver.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Resumes an interrupted durable run from the latest checkpoint
+    /// and journal in `persist.dir`.
+    ///
+    /// The journal is recovered leniently — a torn final record (crash
+    /// mid-write) is truncated away — and every intact record beyond the
+    /// checkpoint's journal offset is queued for verification: the
+    /// resumed run must re-serve those requests *identically* before it
+    /// appends anything new, so [`run`](ServeEngine::run) after resume
+    /// produces a report and journal byte-identical to the uninterrupted
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt files, or a policy/seed mismatch
+    /// between `policy`, the checkpoint and the journal header.
+    pub fn resume(
+        scenario: &'a Scenario,
+        policy: &'a dyn EvictionPolicy,
+        persist: PersistConfig,
+    ) -> Result<Self, RuntimeError> {
+        persist.validate()?;
+        let cp = Checkpoint::load(&persist.checkpoint_path())?;
+        if cp.state.policy != policy.name() {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "checkpoint was taken under policy '{}' but resume was asked to run '{}'",
+                    cp.state.policy,
+                    policy.name()
+                ),
+            }
+            .into());
+        }
+        let recovered = recover_journal(&persist.journal_path())?;
+        if recovered.header.seed != cp.state.config.seed
+            || recovered.header.policy != cp.state.policy
+        {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "journal belongs to seed {} / policy '{}' but the checkpoint is seed {} / policy '{}'",
+                    recovered.header.seed,
+                    recovered.header.policy,
+                    cp.state.config.seed,
+                    cp.state.policy
+                ),
+            }
+            .into());
+        }
+        if cp.state.journal_offset > recovered.valid_len {
+            return Err(PersistError::Corrupt {
+                context: format!(
+                    "checkpoint refers to journal offset {} but only {} valid bytes exist",
+                    cp.state.journal_offset, recovered.valid_len
+                ),
+            }
+            .into());
+        }
+        let verify: VecDeque<(ServedRecord, u64)> = recovered
+            .records
+            .iter()
+            .copied()
+            .zip(recovered.record_ends.iter().copied())
+            .filter(|&(_, end)| end > cp.state.journal_offset)
+            .collect();
+        // Reopening truncates any torn tail before appends continue.
+        let writer = JournalWriter::reopen(&persist.journal_path(), recovered.valid_len)?;
+        let mut engine = Self::restore_from(scenario, policy, &cp)?;
+        engine.persist = Some(PersistState {
+            writer,
+            next_checkpoint_s: cp.state.time_s + persist.checkpoint_every_s,
+            verify,
+            verified_through: cp.state.journal_offset,
+            saver: CheckpointSaver::default(),
+            config: persist.clone(),
+        });
+        engine.config.persist = Some(persist);
+        Ok(engine)
+    }
+
+    /// Forks a checkpoint into a fresh *in-memory* engine — no journal,
+    /// no further checkpoints — under any eviction policy, including one
+    /// different from the original run's. Two forks of the same
+    /// checkpoint share their entire past and diverge only through their
+    /// policies: diffing their reports isolates the policy's effect on
+    /// the deterministic future (the `fork-ab` study).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a corrupt checkpoint, or a checkpoint whose
+    /// dimensions disagree with `scenario`.
+    pub fn fork(
+        scenario: &'a Scenario,
+        policy: &'a dyn EvictionPolicy,
+        checkpoint_path: &Path,
+    ) -> Result<Self, RuntimeError> {
+        let cp = Checkpoint::load(checkpoint_path)?;
+        Self::restore_from(scenario, policy, &cp)
+    }
+
+    /// Rebuilds an engine mid-run from a checkpoint: a fresh engine over
+    /// the original scenario, every mutable layer overwritten with the
+    /// checkpointed state, and the run state (RNG words, event queue,
+    /// mobility kinematics) staged for the next `run`/`run_until` call.
+    fn restore_from(
+        scenario: &'a Scenario,
+        policy: &'a dyn EvictionPolicy,
+        cp: &Checkpoint,
+    ) -> Result<Self, RuntimeError> {
+        let state = &cp.state;
+        if state.positions.len() != scenario.num_users()
+            || state.caches.len() != scenario.num_servers()
+        {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "checkpoint captured {} users / {} servers but the scenario has {} / {}",
+                    state.positions.len(),
+                    state.caches.len(),
+                    scenario.num_users(),
+                    scenario.num_servers()
+                ),
+            }
+            .into());
+        }
+        let mut engine = Self::new(scenario, policy, state.config.clone())?;
+        // One-shot position update — bit-identical to the incremental
+        // slot-by-slot evolution that produced the checkpoint (pinned by
+        // `incremental_slots_match_full_rebuild_serving`).
+        engine.current.update_user_positions(&state.positions)?;
+        engine.primary = state
+            .primary
+            .iter()
+            .map(|p| p.map(|m| m as usize))
+            .collect();
+        for (cache, snapshot) in engine.caches.iter_mut().zip(state.caches.iter()) {
+            cache.restore(snapshot.clone())?;
+        }
+        for (link, inflight) in engine.links.iter_mut().zip(state.links.iter()) {
+            link.restore_inflight(inflight.clone());
+        }
+        engine.workload = Workload::from_raw_parts(
+            state.workload_rate_hz,
+            state.workload_starts_s.clone(),
+            state.workload_phases.clone(),
+        );
+        engine.metrics = state.metrics.clone();
+        engine.controller = state.controller.clone().map(Controller::restore);
+        engine.scheduled = state.scheduled.clone();
+        let mobility = match &state.mobility {
+            Some(m) => Some(MobilityModel::new(
+                m.users.clone(),
+                DeploymentArea::new(engine.config.area_side_m)
+                    .map_err(trimcaching_scenario::ScenarioError::from)?,
+                m.slot_seconds,
+            )),
+            None => None,
+        };
+        engine.resume_state = Some(RunState {
+            rng: StdRng::from_state(state.rng),
+            queue: EventQueue::restore(state.events.clone(), state.next_seq),
+            mobility,
+        });
+        Ok(engine)
     }
 
     /// Serves one request under the current snapshot.
@@ -519,26 +937,37 @@ impl<'a> ServeEngine<'a> {
             }
         }
 
-        let (outcome, recorded_latency) = match (best_hit, best_any) {
+        let (outcome, recorded_latency, block_hits, block_requests) = match (best_hit, best_any) {
             (Some((latency, m)), _) => {
                 self.caches[m].record_access(model, now_s);
-                self.count_block_residency(m, model)?;
-                (RequestOutcome::Hit, Some(latency))
+                let (arrived, needed) = self.count_block_residency(m, model)?;
+                (RequestOutcome::Hit, Some(latency), arrived, needed)
             }
             (None, Some((latency, m))) => {
                 self.caches[m].record_access(model, now_s);
-                self.count_block_residency(m, model)?;
+                let (arrived, needed) = self.count_block_residency(m, model)?;
                 // The model must travel from the cloud to server `m`
                 // before edge delivery: the extra wait is the fill (or
                 // transient fetch) pipeline through the congestion-aware
                 // backhaul link, not a closed-form constant.
                 let wait_s = self.fill_or_fetch(m, model, now_s, queue)?;
                 let total = latency + wait_s + self.config.cloud_fetch_penalty_s;
-                (RequestOutcome::MissServed, Some(total))
+                (RequestOutcome::MissServed, Some(total), arrived, needed)
             }
-            (None, None) => (RequestOutcome::Rejected, None),
+            (None, None) => (RequestOutcome::Rejected, None, 0, 0),
         };
         self.metrics.record(now_s, outcome, recorded_latency);
+        if let Some(p) = self.persist.as_mut() {
+            p.note_served(&ServedRecord {
+                time_s: now_s,
+                user: user.0 as u32,
+                model: model.0 as u32,
+                outcome,
+                latency_bits: recorded_latency.map(f64::to_bits),
+                block_hits,
+                block_requests,
+            })?;
+        }
         if let Some(controller) = self.controller.as_mut() {
             // Every request is demand evidence — rejections included.
             controller.on_request(user, model);
@@ -634,12 +1063,17 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Adds one served request's block residency at server `m` to the
-    /// block hit-ratio counters.
-    fn count_block_residency(&mut self, m: usize, model: ModelId) -> Result<(), RuntimeError> {
+    /// block hit-ratio counters and returns `(arrived, needed)` so the
+    /// journal can carry the same numbers.
+    fn count_block_residency(
+        &mut self,
+        m: usize,
+        model: ModelId,
+    ) -> Result<(u32, u32), RuntimeError> {
         let (arrived, total) = self.caches[m].arrived_blocks(model)?;
         self.metrics.block_hits += arrived as u64;
         self.metrics.block_requests += total as u64;
-        Ok(())
+        Ok((arrived as u32, total as u32))
     }
 
     /// Brings `model` to server `m` on a miss and returns the extra wait
@@ -798,7 +1232,7 @@ pub fn serve(
     initial: Option<&Placement>,
     config: &ServeConfig,
 ) -> Result<ServeReport, RuntimeError> {
-    let mut engine = ServeEngine::new(scenario, policy, *config)?;
+    let mut engine = ServeEngine::new(scenario, policy, config.clone())?;
     if let Some(placement) = initial {
         engine.warm_start(placement)?;
     }
@@ -820,7 +1254,7 @@ pub fn serve_with_workload(
     config: &ServeConfig,
     workload: &Workload,
 ) -> Result<ServeReport, RuntimeError> {
-    let mut engine = ServeEngine::new(scenario, policy, *config)?;
+    let mut engine = ServeEngine::new(scenario, policy, config.clone())?;
     engine.set_workload(workload.clone())?;
     if let Some(placement) = initial {
         engine.warm_start(placement)?;
@@ -871,7 +1305,9 @@ pub fn serve_ensemble(
                 if index >= runs {
                     break;
                 }
-                let run_config = config.with_seed(config.seed.wrapping_add(index as u64));
+                let run_config = config
+                    .clone()
+                    .with_seed(config.seed.wrapping_add(index as u64));
                 let outcome = serve(scenario, policy, initial, &run_config);
                 let failed = outcome.is_err();
                 results.lock().expect("no poisoned runs")[index] = Some(outcome);
@@ -957,7 +1393,7 @@ mod tests {
         let s = scenario(10, 0.3);
         let config = ServeConfig::smoke().with_seed(99);
         for granularity in [FillGranularity::Block, FillGranularity::WholeModel] {
-            let config = config.with_granularity(granularity);
+            let config = config.clone().with_granularity(granularity);
             for policy in [&Lru as &dyn EvictionPolicy, &Lfu, &CostAwareLfu] {
                 let a = serve(&s, policy, None, &config).unwrap();
                 let b = serve(&s, policy, None, &config).unwrap();
@@ -969,7 +1405,7 @@ mod tests {
                 );
             }
         }
-        let c = serve(&s, &Lru, None, &config.with_seed(100)).unwrap();
+        let c = serve(&s, &Lru, None, &config.clone().with_seed(100)).unwrap();
         assert_ne!(
             serve(&s, &Lru, None, &config).unwrap().metrics,
             c.metrics,

@@ -22,6 +22,9 @@ pub enum RuntimeError {
         /// Description of the problem.
         reason: String,
     },
+    /// The durable-run persistence layer failed (journal or checkpoint
+    /// I/O, corruption, or a resume that diverged from its journal).
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -34,6 +37,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Control { reason } => {
                 write!(f, "re-placement control error: {reason}")
             }
+            RuntimeError::Persist(e) => write!(f, "persistence error: {e}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Scenario(e) => Some(e),
+            RuntimeError::Persist(e) => Some(e),
             RuntimeError::InvalidConfig { .. } | RuntimeError::Control { .. } => None,
         }
     }
@@ -50,6 +55,12 @@ impl std::error::Error for RuntimeError {
 impl From<ScenarioError> for RuntimeError {
     fn from(e: ScenarioError) -> Self {
         RuntimeError::Scenario(e)
+    }
+}
+
+impl From<crate::persist::PersistError> for RuntimeError {
+    fn from(e: crate::persist::PersistError) -> Self {
+        RuntimeError::Persist(e)
     }
 }
 

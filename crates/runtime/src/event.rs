@@ -114,6 +114,11 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// The earliest pending event without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -122,6 +127,28 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// A canonical snapshot of the queue for checkpointing: the pending
+    /// events in pop order plus the next sequence number. Restoring via
+    /// [`EventQueue::restore`] reproduces the exact pop order (including
+    /// tie-breaks) of the original queue.
+    pub(crate) fn snapshot(&self) -> (Vec<Event>, u64) {
+        let mut events: Vec<Event> = self.heap.iter().copied().collect();
+        events.sort_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        (events, self.next_seq)
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot`].
+    pub(crate) fn restore(events: Vec<Event>, next_seq: u64) -> Self {
+        Self {
+            heap: events.into_iter().collect(),
+            next_seq,
+        }
     }
 }
 

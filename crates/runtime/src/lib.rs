@@ -44,7 +44,14 @@
 //!   hit/miss/rejected counts, backhaul bytes moved, block hit ratio,
 //!   transfer-queue depth, re-plan/reconciliation counters with
 //!   hit-ratio recovery times, and a latency histogram with
-//!   p50/p95/p99.
+//!   p50/p95/p99;
+//! * [`persist`] — **durable runs**: a CRC-guarded append-only journal
+//!   of served events, slot-boundary checkpoints of the full engine
+//!   state (RNG words, event queue, caches, in-flight transfers,
+//!   controller), byte-identical resume after a crash
+//!   ([`ServeEngine::resume`]) and A/B forks of one checkpoint under
+//!   different policies ([`ServeEngine::fork`]) — enable with
+//!   [`ServeConfig::with_persist`].
 //!
 //! # Example
 //!
@@ -83,6 +90,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod metrics;
+pub mod persist;
 pub mod policy;
 pub mod transfer;
 pub mod workload;
@@ -98,6 +106,10 @@ pub use engine::{
 pub use error::RuntimeError;
 pub use event::{Event, EventKind, EventQueue};
 pub use metrics::{LatencyHistogram, RequestOutcome, ServeMetrics, WindowPoint};
+pub use persist::{
+    read_journal, recompute_metrics, Checkpoint, JournalHeader, PersistConfig, PersistError,
+    ServedRecord,
+};
 pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
 pub use transfer::{BackhaulLink, TransferTicket};
 pub use workload::{rotate_popularity, PopularityShift, Workload};

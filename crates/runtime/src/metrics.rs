@@ -112,6 +112,16 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// The raw bucket counts, for checkpointing.
+    pub(crate) fn raw_buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts and sample count.
+    pub(crate) fn from_raw(buckets: Vec<u64>, count: u64) -> Self {
+        Self { buckets, count }
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`) as the upper edge of the bucket
     /// containing it, or `None` if the histogram is empty.
     pub fn quantile_s(&self, q: f64) -> Option<f64> {
@@ -396,6 +406,40 @@ impl ServeMetrics {
     /// Simulated time of the last recorded event.
     pub fn last_event_s(&self) -> f64 {
         self.last_event_s
+    }
+
+    /// Captures the private windowing state for checkpointing. The
+    /// public counters are read directly by the persist layer; together
+    /// with this tuple they reconstruct the metrics exactly.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn window_state(&self) -> (&[WindowPoint], f64, f64, u64, u64, f64) {
+        (
+            &self.windows,
+            self.window_s,
+            self.window_end_s,
+            self.window_requests,
+            self.window_hits,
+            self.last_event_s,
+        )
+    }
+
+    /// Restores the private windowing state captured by
+    /// [`ServeMetrics::window_state`].
+    pub(crate) fn restore_window_state(
+        &mut self,
+        windows: Vec<WindowPoint>,
+        window_s: f64,
+        window_end_s: f64,
+        window_requests: u64,
+        window_hits: u64,
+        last_event_s: f64,
+    ) {
+        self.windows = windows;
+        self.window_s = window_s;
+        self.window_end_s = window_end_s;
+        self.window_requests = window_requests;
+        self.window_hits = window_hits;
+        self.last_event_s = last_event_s;
     }
 
     /// Median service latency, if any request was served.

@@ -104,6 +104,17 @@ impl BackhaulLink {
             duration_s,
         }
     }
+
+    /// The in-flight finish times (ascending), for checkpointing.
+    pub(crate) fn inflight_snapshot(&self) -> Vec<f64> {
+        self.inflight.iter().copied().collect()
+    }
+
+    /// Restores the in-flight finish times captured by
+    /// [`BackhaulLink::inflight_snapshot`].
+    pub(crate) fn restore_inflight(&mut self, finish_times: Vec<f64>) {
+        self.inflight = finish_times.into();
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,28 @@ impl Workload {
         let idx = cdf.partition_point(|&c| c <= u);
         ModelId(idx.min(cdf.len() - 1))
     }
+
+    /// The workload's raw representation `(rate_hz, starts_s, phases)`
+    /// for checkpointing — the CDFs themselves are saved, so a restored
+    /// workload draws bit-identical models without re-deriving anything
+    /// from a `Demand`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(&self) -> (f64, &[f64], &[Vec<Vec<f64>>]) {
+        (self.rate_hz, &self.starts_s, &self.phases)
+    }
+
+    /// Rebuilds a workload from [`Workload::raw_parts`] output.
+    pub(crate) fn from_raw_parts(
+        rate_hz: f64,
+        starts_s: Vec<f64>,
+        phases: Vec<Vec<Vec<f64>>>,
+    ) -> Self {
+        Self {
+            rate_hz,
+            starts_s,
+            phases,
+        }
+    }
 }
 
 /// Normalised per-user CDFs of one demand snapshot.

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! trimcaching-sim <experiment> [--paper|--fast] [--topologies N]
-//!                 [--realisations N] [--csv] [--out FILE]
+//!                 [--realisations N] [--csv] [--out FILE] [--dir DIR]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
 //!              serve serve-trace serve-blocks serve-adapt serve-adapt-trace
+//!              serve-journal resume fork-ab journal-stats
 //!              replacement replacement-trigger lora-market city-scale
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
@@ -16,12 +17,21 @@
 //! The default repetition counts are the `reduced` preset (15 topologies ×
 //! 100 fading realisations), which preserves the paper's trends while
 //! finishing in minutes; `--paper` selects the full 100 × 1000 setting.
+//!
+//! The durable subcommands (`serve-journal`, `resume`, `fork-ab`,
+//! `journal-stats`) persist and re-open run artefacts under `--dir`
+//! (default `target/durable`): `serve-journal` writes the journal and
+//! checkpoint files, then `resume`, `fork-ab` and `journal-stats`
+//! operate on them. They run one deterministic study run each and are
+//! not part of `all`.
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
-    ablation, adapt, city, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve, RunConfig,
+    ablation, adapt, city, durable, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve,
+    RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
 use trimcaching_sim::SimError;
@@ -32,14 +42,17 @@ struct Options {
     config: RunConfig,
     csv: bool,
     out: Option<String>,
+    dir: PathBuf,
 }
 
 fn print_usage() {
     eprintln!(
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
-         [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE]\n\
+         [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE] \
+         [--dir DIR]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
-         serve serve-trace serve-blocks serve-adapt serve-adapt-trace replacement \
+         serve serve-trace serve-blocks serve-adapt serve-adapt-trace \
+         serve-journal resume fork-ab journal-stats replacement \
          replacement-trigger lora-market city-scale \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
@@ -51,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut config = RunConfig::reduced();
     let mut csv = false;
     let mut out = None;
+    let mut dir = PathBuf::from("target/durable");
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -63,7 +77,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--csv" => csv = true,
-            "--topologies" | "--realisations" | "--models-per-backbone" | "--seed" | "--out" => {
+            "--topologies"
+            | "--realisations"
+            | "--models-per-backbone"
+            | "--seed"
+            | "--out"
+            | "--dir" => {
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("missing value for {arg}"))?;
@@ -88,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             value.parse().map_err(|_| format!("invalid seed {value}"))?;
                     }
                     "--out" => out = Some(value.clone()),
+                    "--dir" => dir = PathBuf::from(value),
                     _ => unreachable!(),
                 }
             }
@@ -102,11 +122,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config,
         csv,
         out,
+        dir,
     })
 }
 
 /// Runs one experiment and returns its rendered output.
-fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, SimError> {
+fn run_experiment(
+    name: &str,
+    config: &RunConfig,
+    csv: bool,
+    dir: &Path,
+) -> Result<String, SimError> {
     let render_table = |t: trimcaching_sim::ExperimentTable| {
         if csv {
             t.to_csv()
@@ -137,6 +163,10 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
         "serve-blocks" => render_table(serve::block_fill_comparison(config)?),
         "serve-adapt" => render_table(adapt::adaptive_serving(config)?),
         "serve-adapt-trace" => render_table(adapt::adaptive_trace(config)?),
+        "serve-journal" => render_table(durable::serve_journal(config, dir)?),
+        "resume" => render_table(durable::resume_run(config, dir)?),
+        "fork-ab" => render_table(durable::fork_ab(config, dir)?),
+        "journal-stats" => render_table(durable::journal_stats(dir)?),
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
@@ -179,7 +209,7 @@ fn run_experiment(name: &str, config: &RunConfig, csv: bool) -> Result<String, S
                 "ablation-shadowing",
             ] {
                 eprintln!("[trimcaching-sim] running {exp} ...");
-                out.push_str(&run_experiment(exp, config, csv)?);
+                out.push_str(&run_experiment(exp, config, csv, dir)?);
             }
             out
         }
@@ -201,7 +231,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_experiment(&options.experiment, &options.config, options.csv) {
+    match run_experiment(
+        &options.experiment,
+        &options.config,
+        options.csv,
+        &options.dir,
+    ) {
         Ok(rendered) => {
             if let Some(path) = options.out {
                 match std::fs::File::create(&path)

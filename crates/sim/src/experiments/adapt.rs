@@ -115,8 +115,8 @@ fn run_variants(config: &RunConfig) -> Result<AdaptRuns, SimError> {
         Ok(engine.run()?)
     };
 
-    let static_run = run(base_config, None)?;
-    let oracle_run = run(base_config, Some(&oracle_target))?;
+    let static_run = run(base_config.clone(), None)?;
+    let oracle_run = run(base_config.clone(), Some(&oracle_target))?;
     let controller_run = run(base_config.with_control(study_control_config()), None)?;
     Ok(AdaptRuns {
         reports: [static_run, oracle_run, controller_run],

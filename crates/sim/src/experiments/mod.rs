@@ -14,10 +14,12 @@
 //! | [`serve`] | online serving via `trimcaching-runtime`: eviction policies and warm starts under live traffic |
 //! | [`adapt`] | adaptive serving under demand drift: static vs oracle replan vs the online re-placement controller |
 //! | [`city`] | city-scale Poisson deployments on the sparse eligibility representation |
+//! | [`durable`] | durable serving via `runtime::persist`: journaled runs, checkpoint resume, A/B forks, offline journal analysis |
 
 pub mod ablation;
 pub mod adapt;
 pub mod city;
+pub mod durable;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -163,6 +163,7 @@ pub fn block_fill_comparison(config: &RunConfig) -> Result<ExperimentTable, SimE
             let scenario = topology.generate(&library, config.monte_carlo.seed, index as u64)?;
             for (v, &(_, granularity, congestion)) in variants.iter().enumerate() {
                 let serve_config = base_config
+                    .clone()
                     .with_granularity(granularity)
                     .with_congestion_aware(congestion);
                 let report = serve(&scenario, &CostAwareLfu, None, &serve_config)?;

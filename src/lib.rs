@@ -29,7 +29,11 @@
 //!   (`runtime::control`: EWMA demand estimation, drift detection,
 //!   estimated-demand re-plans, staged cache reconciliation), and
 //!   streaming metrics (windowed hit ratio, block hit ratio, backhaul
-//!   bytes moved, re-plan/recovery counters, latency percentiles);
+//!   bytes moved, re-plan/recovery counters, latency percentiles), and
+//!   **durable runs** (`runtime::persist`: an append-only CRC-framed
+//!   journal of served requests plus slot-boundary checkpoints, with
+//!   byte-identical `ServeEngine::resume` after a kill anywhere and
+//!   `ServeEngine::fork` for A/B futures of one checkpoint);
 //! * [`sim`] — the simulation harness regenerating every figure of the
 //!   paper's evaluation, plus the online `serve` experiments.
 //!
@@ -90,8 +94,8 @@ pub mod prelude {
     };
     pub use trimcaching_runtime::{
         rotate_popularity, serve, serve_ensemble, serve_with_workload, ControlConfig, CostAwareLfu,
-        DriftConfig, EvictionPolicy, FillGranularity, Lfu, Lru, PopularityShift, ServeConfig,
-        ServeEngine, ServeReport, Workload,
+        DriftConfig, EvictionPolicy, FillGranularity, Lfu, Lru, PersistConfig, PopularityShift,
+        ServeConfig, ServeEngine, ServeReport, Workload,
     };
     pub use trimcaching_scenario::prelude::*;
     pub use trimcaching_sim::{

@@ -105,8 +105,8 @@ fn drift_replan_beats_static_and_tracks_the_oracle_at_city_scale() {
         engine.run().expect("run completes")
     };
 
-    let static_run = run(base_config, None);
-    let oracle_run = run(base_config, Some(&oracle_target));
+    let static_run = run(base_config.clone(), None);
+    let oracle_run = run(base_config.clone(), Some(&oracle_target));
     let controller_run = run(base_config.with_control(study_control_config()), None);
 
     // The static placement must actually be hurt by the flip — otherwise

@@ -167,6 +167,29 @@ pub mod rngs {
             Self { s }
         }
     }
+
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpoint/restore.
+        ///
+        /// This is an extension over the upstream `rand` API: restoring a
+        /// generator via [`StdRng::from_state`] continues the exact stream
+        /// that `state` was captured from.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`StdRng::state`].
+        ///
+        /// The all-zero state (a fixed point of xoshiro256++, never produced
+        /// by seeding or stepping) is remapped the same way `from_seed` does.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            if state == [0, 0, 0, 0] {
+                return Self::from_seed([0u8; 32]);
+            }
+            Self { s: state }
+        }
+    }
 }
 
 /// Types that can be sampled uniformly from a range.
