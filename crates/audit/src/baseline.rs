@@ -1,0 +1,242 @@
+//! The ratchet baseline: pinned per-file `panic-in-library` counts and
+//! the persisted wire-format fingerprint.
+//!
+//! The contract is monotone burn-down: a file's live panic count may
+//! equal or drop below its pinned count, never exceed it; files absent
+//! from the baseline must be clean. `--update-baseline` re-pins the
+//! current state (dropping entries for deleted or cleaned-up files),
+//! which is the only sanctioned way to move the ratchet.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+
+/// The parsed `audit-baseline.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Pinned non-waived `panic-in-library` findings per file.
+    pub panic_counts: BTreeMap<String, u64>,
+    /// Pinned wire-format observation.
+    pub wire: WireBaseline,
+}
+
+/// The pinned fingerprint of the persisted record layouts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireBaseline {
+    /// FNV-1a-64 over the code tokens of the persist layout files.
+    pub fingerprint: String,
+    /// `JOURNAL_VERSION` at the time the fingerprint was pinned.
+    pub journal_version: u64,
+    /// `CHECKPOINT_VERSION` at the time the fingerprint was pinned.
+    pub checkpoint_version: u64,
+}
+
+/// One ratchet violation (a hard CI failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetViolation {
+    /// File whose count regressed.
+    pub file: String,
+    /// Live non-waived count.
+    pub count: u64,
+    /// Pinned count (0 for files not in the baseline).
+    pub pinned: u64,
+}
+
+/// Files whose debt shrank: allowed, but worth re-pinning so the
+/// improvement is locked in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetImprovement {
+    /// File whose count dropped.
+    pub file: String,
+    /// Live non-waived count.
+    pub count: u64,
+    /// Pinned count.
+    pub pinned: u64,
+}
+
+impl Baseline {
+    /// Parses the baseline file content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = parse(text)?;
+        let top = doc.as_object().ok_or("baseline root must be an object")?;
+        let mut baseline = Baseline::default();
+        if let Some(counts) = top.get("panic-in-library") {
+            let map = counts
+                .as_object()
+                .ok_or("`panic-in-library` must be an object")?;
+            for (file, v) in map {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("count for {file} must be an integer"))?;
+                baseline.panic_counts.insert(file.clone(), n);
+            }
+        }
+        if let Some(wire) = top.get("wire-compat") {
+            let map = wire.as_object().ok_or("`wire-compat` must be an object")?;
+            baseline.wire.fingerprint = map
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .ok_or("`wire-compat.fingerprint` must be a string")?
+                .to_string();
+            baseline.wire.journal_version = map
+                .get("journal-version")
+                .and_then(Value::as_u64)
+                .ok_or("`wire-compat.journal-version` must be an integer")?;
+            baseline.wire.checkpoint_version = map
+                .get("checkpoint-version")
+                .and_then(Value::as_u64)
+                .ok_or("`wire-compat.checkpoint-version` must be an integer")?;
+        }
+        Ok(baseline)
+    }
+
+    /// Serialises the baseline with sorted keys and stable layout, so
+    /// diffs of `audit-baseline.json` stay reviewable.
+    pub fn to_json(&self) -> String {
+        let mut counts = BTreeMap::new();
+        for (file, n) in &self.panic_counts {
+            // Zero-count entries are dropped: clean files must stay clean.
+            if *n > 0 {
+                counts.insert(file.clone(), Value::Number(*n));
+            }
+        }
+        let mut wire = BTreeMap::new();
+        wire.insert(
+            "fingerprint".to_string(),
+            Value::String(self.wire.fingerprint.clone()),
+        );
+        wire.insert(
+            "journal-version".to_string(),
+            Value::Number(self.wire.journal_version),
+        );
+        wire.insert(
+            "checkpoint-version".to_string(),
+            Value::Number(self.wire.checkpoint_version),
+        );
+        let mut top = BTreeMap::new();
+        top.insert("panic-in-library".to_string(), Value::Object(counts));
+        top.insert("wire-compat".to_string(), Value::Object(wire));
+        Value::Object(top).to_pretty()
+    }
+
+    /// Applies the ratchet to live per-file counts: counts above the
+    /// pin (or any count for an unpinned file) are violations; counts
+    /// below the pin are improvements.
+    pub fn ratchet(
+        &self,
+        live: &BTreeMap<String, u64>,
+    ) -> (Vec<RatchetViolation>, Vec<RatchetImprovement>) {
+        let mut violations = Vec::new();
+        let mut improvements = Vec::new();
+        for (file, &count) in live {
+            let pinned = self.panic_counts.get(file).copied().unwrap_or(0);
+            if count > pinned {
+                violations.push(RatchetViolation {
+                    file: file.clone(),
+                    count,
+                    pinned,
+                });
+            } else if count < pinned {
+                improvements.push(RatchetImprovement {
+                    file: file.clone(),
+                    count,
+                    pinned,
+                });
+            }
+        }
+        // A pinned file that disappeared (deleted or renamed) is an
+        // improvement too: the debt is gone either way.
+        for (file, &pinned) in &self.panic_counts {
+            if pinned > 0 && !live.contains_key(file) {
+                improvements.push(RatchetImprovement {
+                    file: file.clone(),
+                    count: 0,
+                    pinned,
+                });
+            }
+        }
+        improvements.sort_by(|a, b| a.file.cmp(&b.file));
+        (violations, improvements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(entries: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        entries.iter().map(|(f, n)| (f.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn counts_may_decrease_but_never_increase() {
+        let mut base = Baseline::default();
+        base.panic_counts.insert("a.rs".into(), 3);
+        base.panic_counts.insert("b.rs".into(), 1);
+
+        // Equal counts: clean.
+        let (v, i) = base.ratchet(&live(&[("a.rs", 3), ("b.rs", 1)]));
+        assert!(v.is_empty() && i.is_empty());
+
+        // Decrease: allowed, reported as improvement.
+        let (v, i) = base.ratchet(&live(&[("a.rs", 1), ("b.rs", 1)]));
+        assert!(v.is_empty());
+        assert_eq!(i.len(), 1);
+        assert_eq!((i[0].count, i[0].pinned), (1, 3));
+
+        // Increase: violation.
+        let (v, _) = base.ratchet(&live(&[("a.rs", 4), ("b.rs", 1)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].count, v[0].pinned), (4, 3));
+    }
+
+    #[test]
+    fn unpinned_files_must_be_clean() {
+        let base = Baseline::default();
+        let (v, _) = base.ratchet(&live(&[("new.rs", 1)]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pinned, 0);
+        let (v, _) = base.ratchet(&live(&[("new.rs", 0)]));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn deleted_pinned_files_count_as_improvements() {
+        let mut base = Baseline::default();
+        base.panic_counts.insert("gone.rs".into(), 2);
+        let (v, i) = base.ratchet(&live(&[]));
+        assert!(v.is_empty());
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].count, 0);
+    }
+
+    #[test]
+    fn json_round_trip_is_stable_and_drops_zeros() {
+        let mut base = Baseline::default();
+        base.panic_counts.insert("z.rs".into(), 2);
+        base.panic_counts.insert("a.rs".into(), 0);
+        base.wire = WireBaseline {
+            fingerprint: "deadbeef".into(),
+            journal_version: 1,
+            checkpoint_version: 1,
+        };
+        let text = base.to_json();
+        let parsed = Baseline::from_json(&text).unwrap();
+        assert_eq!(parsed.panic_counts.len(), 1);
+        assert_eq!(parsed.panic_counts["z.rs"], 2);
+        assert_eq!(parsed.wire, base.wire);
+        // Serialisation is idempotent.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"panic-in-library\": 3}").is_err());
+        assert!(Baseline::from_json("{\"wire-compat\": {\"fingerprint\": \"x\"}}").is_err());
+    }
+}

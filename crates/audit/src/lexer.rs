@@ -1,0 +1,592 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The audit must never mistake the *mention* of `HashMap` inside a
+//! doc comment, a string literal, or a `//` remark for an actual use
+//! in code, so the lexer handles the full set of Rust token ambience:
+//! nested block comments, string escapes, raw strings with arbitrary
+//! `#` fences, byte strings, and the lifetime-vs-char-literal
+//! ambiguity after `'`. It deliberately does *not* build a syntax
+//! tree — the rule engine works on the flat token stream.
+
+/// The coarse classification the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token text. For `Lifetime` this is the name without `'`;
+    /// for long literals the text is truncated (rules never need it).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A comment (line or block) with the line it starts on. The waiver
+/// parser consumes these; the token stream never contains comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The code tokens in source order, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Maximum literal text retained per token; rules only ever inspect
+/// identifiers and punctuation, so literal bodies can be truncated.
+const MAX_LITERAL_TEXT: usize = 64;
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+/// Lexes `src` into tokens and comments. Invalid input never panics:
+/// unterminated constructs simply run to end of file.
+pub fn lex(src: &str) -> LexOutput {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.ident(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(TokenKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `b'x'`, `br#"..."#`,
+    /// returning true if the current position held one of them.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.peek(0);
+        let (skip, raw, is_char) = match (b0, self.peek(1), self.peek(2)) {
+            (Some(b'r'), Some(b'"' | b'#'), _) => (1, true, false),
+            (Some(b'b'), Some(b'r'), Some(b'"' | b'#')) => (2, true, false),
+            (Some(b'b'), Some(b'"'), _) => (1, false, false),
+            (Some(b'b'), Some(b'\''), _) => (1, false, true),
+            _ => return false,
+        };
+        let line = self.line;
+        for _ in 0..skip {
+            self.bump();
+        }
+        if raw {
+            self.raw_string_body(line);
+        } else if is_char {
+            self.char_literal_body(line);
+        } else {
+            self.string_literal();
+        }
+        true
+    }
+
+    fn raw_string_body(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#foo` raw identifier: emit as ident.
+            let start = self.pos;
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokenKind::Ident, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokenKind::Literal, "\"raw\"".into(), line);
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        let end = (start + MAX_LITERAL_TEXT).min(self.pos);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    /// After a bare `'`: disambiguates lifetimes from char literals.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(b'\\') => self.char_literal_tail(line),
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                // Could be 'a' (char) or 'a / 'abc (lifetime): scan the
+                // identifier, then check for a closing quote.
+                let start = self.pos;
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    self.push(TokenKind::Literal, "'c'".into(), line);
+                } else {
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokenKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => self.char_literal_tail(line),
+            None => {}
+        }
+    }
+
+    /// Char literal body after `b'` (the quote already consumed).
+    fn char_literal_body(&mut self, line: u32) {
+        self.bump(); // opening quote
+        self.char_literal_tail(line);
+    }
+
+    /// Reads a char literal up to and including the closing quote; the
+    /// opening quote is already consumed.
+    fn char_literal_tail(&mut self, line: u32) {
+        loop {
+            match self.bump() {
+                None | Some(b'\'') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokenKind::Literal, "'c'".into(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            let fraction_dot = b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if b.is_ascii_alphanumeric() || b == b'_' || fraction_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let end = (start + MAX_LITERAL_TEXT).min(self.pos);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+/// Removes test-only code from the token stream: any item annotated
+/// `#[test]` or `#[cfg(test)]` (including whole `mod tests { ... }`
+/// blocks) is dropped, so the rules only see code that ships.
+/// `#[cfg(not(test))]` is production code and is kept.
+pub fn strip_test_code(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match matching_bracket(&tokens, i + 1) {
+                Some(c) => c,
+                None => {
+                    out.push(tokens[i].clone());
+                    i += 1;
+                    continue;
+                }
+            };
+            if attr_is_test(&tokens[i + 2..close]) {
+                i = skip_attributed_item(&tokens, close + 1);
+                continue;
+            }
+            out.extend_from_slice(&tokens[i..=close]);
+            i = close + 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Whether the attribute body (tokens between `[` and `]`) marks
+/// test-only code: `test`, `cfg(test)`, `cfg(all(test, ...))` — but
+/// not `cfg(not(test))`.
+fn attr_is_test(body: &[Token]) -> bool {
+    let first_is = |s: &str| body.first().is_some_and(|t| t.is_ident(s));
+    if first_is("test") {
+        return true;
+    }
+    if first_is("cfg") {
+        let mentions_test = body.iter().any(|t| t.is_ident("test"));
+        let negated = body.iter().any(|t| t.is_ident("not"));
+        return mentions_test && !negated;
+    }
+    false
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skips the item following a test attribute: further attributes, then
+/// either a `;`-terminated item or a braced body (with its signature).
+fn skip_attributed_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further stacked attributes belong to the same skipped item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching_bracket(tokens, i + 1) {
+            Some(c) => i = c + 1,
+            None => return tokens.len(),
+        }
+    }
+    // Scan the signature for the item body `{ ... }` or a terminating
+    // `;` (e.g. `#[cfg(test)] use ...;`). Parens/brackets in the
+    // signature (fn args, where clauses) never contain `{` or `;` at
+    // depth zero in valid Rust items.
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            return i + 1;
+        } else if depth == 0 && t.is_punct('{') {
+            let mut braces = 0i32;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    braces += 1;
+                } else if tokens[i].is_punct('}') {
+                    braces -= 1;
+                    if braces == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return tokens.len();
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_from_tokens() {
+        let out = lex("let x = 1; // HashMap here\n/* and HashSet\nhere */ let y = 2;");
+        assert!(out.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("HashMap"));
+        assert!(out.comments[1].text.contains("HashSet"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let out = lex("/* outer /* inner */ still comment */ fn after() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("after")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("still")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let out = lex("/* a\nb\nc */\nfn f() {}\n\"s\ntring\"\nlet z = 0;");
+        let f = out.tokens.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+        let z = out.tokens.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 7);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_do_not_leak_tokens() {
+        let out = lex(r####"let s = r#"HashMap "quoted" // not a comment"#; let t = 1;"####);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("t")));
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn byte_and_plain_strings_handle_escapes() {
+        let out = lex(r#"let a = b"by\"tes"; let b2 = "es\\caped \" quote"; let c = 3;"#);
+        assert!(out.tokens.iter().any(|t| t.is_ident("c")));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let out = lex(r"let c = 'x'; let n = '\n'; let q = '\''; let s = 'static_is_char';");
+        // 'static_is_char' is a char literal (closing quote present).
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static_is_char"));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal && t.text == "'c'")
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn static_lifetime_followed_by_punct_is_lifetime() {
+        let out = lex("fn f(x: &'static str) {}");
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let out = lex("for i in 0..10u32 { let f = 1.5e3; let h = 0xFF_u8; }");
+        // `0..10u32` must not swallow the range dots.
+        assert_eq!(out.tokens.iter().filter(|t| t.is_punct('.')).count(), 2);
+        assert!(out.tokens.iter().any(|t| t.text == "10u32"));
+        assert!(out.tokens.iter().any(|t| t.text == "1.5e3"));
+    }
+
+    #[test]
+    fn strip_test_code_removes_cfg_test_modules() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let toks = strip_test_code(lex(src).tokens);
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+        assert!(!toks.iter().any(|t| t.is_ident("tests")));
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn strip_test_code_keeps_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n#[test]\nfn gone() {}";
+        let toks = strip_test_code(lex(src).tokens);
+        assert!(toks.iter().any(|t| t.is_ident("live")));
+        assert!(!toks.iter().any(|t| t.is_ident("gone")));
+    }
+
+    #[test]
+    fn strip_test_code_keeps_other_attributes() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[cfg(test)]\nuse foo::bar;";
+        let toks = strip_test_code(lex(src).tokens);
+        assert!(toks.iter().any(|t| t.is_ident("derive")));
+        assert!(toks.iter().any(|t| t.is_ident("S")));
+        assert!(!toks.iter().any(|t| t.is_ident("bar")));
+    }
+
+    #[test]
+    fn strip_test_code_handles_stacked_attributes() {
+        let src = "#[test]\n#[ignore]\nfn gone() { x.unwrap(); }\nfn kept() {}";
+        let toks = strip_test_code(lex(src).tokens);
+        assert!(!toks.iter().any(|t| t.is_ident("gone")));
+        assert!(toks.iter().any(|t| t.is_ident("kept")));
+    }
+}

@@ -1,0 +1,40 @@
+//! `trimcaching-audit` — a workspace determinism & robustness
+//! static-analysis pass with a CI ratchet.
+//!
+//! Every result in this repository rests on byte-identical
+//! determinism: seeded traces, bit-equal resume, and slot-boundary
+//! merges that must not depend on thread count. This crate *enforces*
+//! the invariants the code so far kept by discipline alone:
+//!
+//! * **unordered-iteration** — no `HashMap`/`HashSet` in
+//!   determinism-critical crates, and no iteration over unordered
+//!   collections anywhere;
+//! * **wall-clock** — no `Instant::now`/`SystemTime::now` outside
+//!   bench/CLI timing code; simulation runs on event time;
+//! * **ambient-rng** — every RNG derives from an explicit seed;
+//! * **panic-in-library** — the `unwrap`/`expect`/`panic!` family in
+//!   library code is pinned per file in `audit-baseline.json` and may
+//!   only burn down;
+//! * **wire-compat** — the persisted journal/checkpoint record
+//!   layouts are fingerprinted; changing them without a format-version
+//!   bump (and a deliberate baseline refresh) fails CI.
+//!
+//! Findings can be waived inline with
+//! `// audit:allow(rule-name): reason` — the reason is mandatory.
+//! See `AUDIT.md` at the repository root for the full contract.
+//!
+//! The crate is dependency-free on purpose: it runs in CI before the
+//! main build, so it must compile in seconds and work offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, RatchetImprovement, RatchetViolation, WireBaseline};
+pub use rules::{analyze_file, FileScope, Finding, Rule};
+pub use workspace::{run_workspace, scope_for_path, AuditReport, WireObservation};

@@ -1,0 +1,338 @@
+//! CLI for `trimcaching-audit`.
+//!
+//! ```text
+//! cargo run -p trimcaching-audit --release [-- --json | --update-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or ratchet violations, `2`
+//! usage or I/O errors.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use trimcaching_audit::json::Value;
+use trimcaching_audit::{run_workspace, AuditReport, Baseline, Rule};
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    json: bool,
+    update_baseline: bool,
+}
+
+const USAGE: &str =
+    "usage: trimcaching-audit [--root DIR] [--baseline FILE] [--json] [--update-baseline]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline_path: None,
+        json: false,
+        update_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--baseline" => {
+                opts.baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a file path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// first ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.clone().map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("audit-baseline.json"));
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        return update_baseline(&report, &baseline_path, opts.json);
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = Verdict::judge(&report, &baseline);
+    if opts.json {
+        print!("{}", verdict.to_json(&report));
+    } else {
+        print_human(&report, &verdict);
+    }
+    if verdict.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read baseline {}: {e}; run with --update-baseline to create it",
+            path.display()
+        )
+    })?;
+    Baseline::from_json(&text).map_err(|e| format!("malformed baseline {}: {e}", path.display()))
+}
+
+fn update_baseline(report: &AuditReport, path: &Path, json: bool) -> ExitCode {
+    let strict: Vec<_> = report.strict_findings().collect();
+    if !strict.is_empty() {
+        eprintln!(
+            "error: --update-baseline only re-pins the ratchet; fix or waive the {} strict finding(s) first:",
+            strict.len()
+        );
+        for f in strict {
+            eprintln!("  {}:{}  [{}] {}", f.file, f.line, f.rule.name(), f.message);
+        }
+        return ExitCode::from(1);
+    }
+    let mut baseline = Baseline {
+        panic_counts: report.panic_counts.clone(),
+        ..Baseline::default()
+    };
+    baseline.wire.fingerprint = report.wire.fingerprint.clone();
+    baseline.wire.journal_version = report.wire.journal_version.unwrap_or(0);
+    baseline.wire.checkpoint_version = report.wire.checkpoint_version.unwrap_or(0);
+    if let Err(e) = std::fs::write(path, baseline.to_json()) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    let total: u64 = report.panic_counts.values().sum();
+    if json {
+        let mut top = BTreeMap::new();
+        top.insert("updated".to_string(), Value::Bool(true));
+        top.insert(
+            "baseline".to_string(),
+            Value::String(path.display().to_string()),
+        );
+        top.insert("panic-in-library-total".to_string(), Value::Number(total));
+        print!("{}", Value::Object(top).to_pretty());
+    } else {
+        println!(
+            "baseline updated: {} ({} panic-in-library finding(s) pinned across {} file(s), wire fingerprint {})",
+            path.display(),
+            total,
+            report.panic_counts.len(),
+            report.wire.fingerprint
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The pass/fail decision and its supporting detail.
+struct Verdict {
+    strict_count: usize,
+    ratchet_violations: Vec<trimcaching_audit::RatchetViolation>,
+    improvements: Vec<trimcaching_audit::RatchetImprovement>,
+    wire_violation: Option<String>,
+}
+
+impl Verdict {
+    fn judge(report: &AuditReport, baseline: &Baseline) -> Verdict {
+        let (ratchet_violations, improvements) = baseline.ratchet(&report.panic_counts);
+        let wire_violation = if report.wire.fingerprint != baseline.wire.fingerprint {
+            let versions_bumped = report.wire.journal_version
+                != Some(baseline.wire.journal_version)
+                || report.wire.checkpoint_version != Some(baseline.wire.checkpoint_version);
+            Some(if versions_bumped {
+                "persisted record layout changed with a format-version bump; \
+                 refresh the pin with --update-baseline in the same change"
+                    .to_string()
+            } else {
+                "persisted record layout changed without bumping JOURNAL_VERSION/\
+                 CHECKPOINT_VERSION; bump the version (readers must reject old \
+                 files) and refresh the pin with --update-baseline"
+                    .to_string()
+            })
+        } else {
+            None
+        };
+        Verdict {
+            strict_count: report.strict_findings().count(),
+            ratchet_violations,
+            improvements,
+            wire_violation,
+        }
+    }
+
+    fn ok(&self) -> bool {
+        self.strict_count == 0
+            && self.ratchet_violations.is_empty()
+            && self.wire_violation.is_none()
+    }
+
+    fn to_json(&self, report: &AuditReport) -> String {
+        let findings: Vec<Value> = report
+            .strict_findings()
+            .map(|f| {
+                let mut m = BTreeMap::new();
+                m.insert("rule".to_string(), Value::String(f.rule.name().into()));
+                m.insert("file".to_string(), Value::String(f.file.clone()));
+                m.insert("line".to_string(), Value::Number(u64::from(f.line)));
+                m.insert("message".to_string(), Value::String(f.message.clone()));
+                Value::Object(m)
+            })
+            .collect();
+        let ratchet: Vec<Value> = self
+            .ratchet_violations
+            .iter()
+            .map(|v| {
+                let mut m = BTreeMap::new();
+                m.insert("file".to_string(), Value::String(v.file.clone()));
+                m.insert("count".to_string(), Value::Number(v.count));
+                m.insert("pinned".to_string(), Value::Number(v.pinned));
+                Value::Object(m)
+            })
+            .collect();
+        let counts: BTreeMap<String, Value> = report
+            .panic_counts
+            .iter()
+            .map(|(f, n)| (f.clone(), Value::Number(*n)))
+            .collect();
+        let mut wire = BTreeMap::new();
+        wire.insert(
+            "fingerprint".to_string(),
+            Value::String(report.wire.fingerprint.clone()),
+        );
+        if let Some(v) = report.wire.journal_version {
+            wire.insert("journal-version".to_string(), Value::Number(v));
+        }
+        if let Some(v) = report.wire.checkpoint_version {
+            wire.insert("checkpoint-version".to_string(), Value::Number(v));
+        }
+        if let Some(msg) = &self.wire_violation {
+            wire.insert("violation".to_string(), Value::String(msg.clone()));
+        }
+        let mut top = BTreeMap::new();
+        top.insert(
+            "files-scanned".to_string(),
+            Value::Number(report.files_scanned as u64),
+        );
+        top.insert("findings".to_string(), Value::Array(findings));
+        top.insert(
+            "waived".to_string(),
+            Value::Number(report.waived.len() as u64),
+        );
+        top.insert("panic-in-library".to_string(), Value::Object(counts));
+        top.insert("ratchet-violations".to_string(), Value::Array(ratchet));
+        top.insert("wire-compat".to_string(), Value::Object(wire));
+        top.insert("ok".to_string(), Value::Bool(self.ok()));
+        Value::Object(top).to_pretty()
+    }
+}
+
+fn print_human(report: &AuditReport, verdict: &Verdict) {
+    println!(
+        "trimcaching-audit: scanned {} files ({} waived finding(s))",
+        report.files_scanned,
+        report.waived.len()
+    );
+    let mut by_rule: BTreeMap<Rule, Vec<&trimcaching_audit::Finding>> = BTreeMap::new();
+    for f in report.strict_findings() {
+        by_rule.entry(f.rule).or_default().push(f);
+    }
+    for (rule, findings) in &by_rule {
+        println!("\n{} ({} finding(s)):", rule.name(), findings.len());
+        for f in findings {
+            println!("  {}:{}  {}", f.file, f.line, f.message);
+        }
+    }
+    if !verdict.ratchet_violations.is_empty() {
+        println!(
+            "\npanic-in-library ratchet: {} file(s) above their pinned count:",
+            verdict.ratchet_violations.len()
+        );
+        for v in &verdict.ratchet_violations {
+            println!(
+                "  {}: {} found, {} pinned — new panics in library code are rejected",
+                v.file, v.count, v.pinned
+            );
+        }
+    }
+    if !verdict.improvements.is_empty() {
+        println!(
+            "\npanic-in-library debt shrank in {} file(s) — lock it in with --update-baseline:",
+            verdict.improvements.len()
+        );
+        for i in &verdict.improvements {
+            println!("  {}: {} found, {} pinned", i.file, i.count, i.pinned);
+        }
+    }
+    if let Some(msg) = &verdict.wire_violation {
+        println!("\nwire-compat: {msg}");
+    }
+    let total_pinned: u64 = report.panic_counts.values().sum();
+    if verdict.ok() {
+        println!(
+            "\naudit: PASS ({} panic-in-library finding(s) pinned by the ratchet)",
+            total_pinned
+        );
+    } else {
+        let n = verdict.strict_count
+            + verdict.ratchet_violations.len()
+            + usize::from(verdict.wire_violation.is_some());
+        println!("\naudit: FAIL ({n} violation(s))");
+    }
+}

@@ -1,0 +1,453 @@
+//! The rule engine: five determinism/robustness rules over the token
+//! stream of one file, plus inline-waiver handling.
+//!
+//! Rules are conservative by design: a static pass cannot prove the
+//! *absence* of unordered iteration through aliasing, so in
+//! determinism-critical crates the mere presence of an unordered
+//! collection type is a finding — audited membership-only uses carry a
+//! written waiver instead of silently passing.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, strip_test_code, Comment, Token, TokenKind};
+
+/// The audit rules. Kebab-case names are the stable identifiers used
+/// in waivers, JSON output, and the baseline file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered collection (iteration or presence) in a
+    /// determinism-critical crate.
+    UnorderedIteration,
+    /// `Instant::now` / `SystemTime::now` outside bench/CLI timing.
+    WallClock,
+    /// RNG construction not derived from an explicit seed.
+    AmbientRng,
+    /// `unwrap` / `expect` / `panic!` family in library code
+    /// (ratcheted via the baseline, not a hard failure).
+    PanicInLibrary,
+    /// Persisted record layout changed without a format-version bump
+    /// (checked at workspace level, not per file).
+    WireCompat,
+    /// A malformed waiver comment (missing reason).
+    WaiverSyntax,
+}
+
+impl Rule {
+    /// The stable kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::PanicInLibrary => "panic-in-library",
+            Rule::WireCompat => "wire-compat",
+            Rule::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    /// Parses a kebab-case rule name.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Some(match s {
+            "unordered-iteration" => Rule::UnorderedIteration,
+            "wall-clock" => Rule::WallClock,
+            "ambient-rng" => Rule::AmbientRng,
+            "panic-in-library" => Rule::PanicInLibrary,
+            "wire-compat" => Rule::WireCompat,
+            "waiver-syntax" => Rule::WaiverSyntax,
+            _ => return None,
+        })
+    }
+}
+
+/// One finding, possibly suppressed by a waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// True when an inline waiver suppressed this finding.
+    pub waived: bool,
+}
+
+/// Which rules apply to a file; decided centrally from its path by
+/// [`crate::workspace::scope_for_path`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// The file lives in a determinism-critical crate: unordered
+    /// collections are flagged on sight.
+    pub determinism_critical: bool,
+    /// Wall-clock reads are flagged (off for bench and CLI binaries).
+    pub wall_clock: bool,
+    /// Panic family is counted against the ratchet baseline (off for
+    /// bench and CLI binaries).
+    pub panic_in_library: bool,
+}
+
+/// A parsed `// audit:allow(rule): reason` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule being waived.
+    pub rule: Rule,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The written justification (never empty for a valid waiver).
+    pub reason: String,
+}
+
+const WAIVER_MARKER: &str = "audit:allow(";
+
+/// Extracts waivers from comments. Malformed waivers (unknown rule or
+/// missing reason) become `waiver-syntax` findings instead of silently
+/// suppressing anything. Only plain `//` and `/*` comments carry
+/// waivers: doc comments are documentation and may *mention* the
+/// syntax without arming it.
+pub fn parse_waivers(comments: &[Comment], file: &str) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let doc = ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p));
+        if doc {
+            continue;
+        }
+        let Some(start) = c.text.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = &c.text[start + WAIVER_MARKER.len()..];
+        let bad = |msg: String| Finding {
+            rule: Rule::WaiverSyntax,
+            file: file.to_string(),
+            line: c.line,
+            message: msg,
+            waived: false,
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(bad("waiver is missing the closing `)`".into()));
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let Some(rule) = Rule::from_name(rule_name) else {
+            findings.push(bad(format!("waiver names unknown rule `{rule_name}`")));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        let reason = reason.trim_end_matches("*/").trim();
+        if reason.is_empty() {
+            findings.push(bad(format!(
+                "waiver for `{}` has no reason; write `audit:allow({}): why this is safe`",
+                rule.name(),
+                rule.name()
+            )));
+            continue;
+        }
+        waivers.push(Waiver {
+            rule,
+            line: c.line,
+            reason: reason.to_string(),
+        });
+    }
+    (waivers, findings)
+}
+
+/// Runs every per-file rule on `src` and applies waivers. A waiver
+/// suppresses findings of its rule on its own line and the line
+/// directly below it (the standalone-comment-above-the-code idiom).
+pub fn analyze_file(file: &str, src: &str, scope: FileScope) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = strip_test_code(lexed.tokens);
+    let (waivers, mut findings) = parse_waivers(&lexed.comments, file);
+
+    if scope.determinism_critical {
+        unordered_presence(file, &tokens, &mut findings);
+    }
+    unordered_iteration(file, &tokens, &mut findings);
+    if scope.wall_clock {
+        wall_clock(file, &tokens, &mut findings);
+    }
+    ambient_rng(file, &tokens, &mut findings);
+    if scope.panic_in_library {
+        panic_in_library(file, &tokens, &mut findings);
+    }
+
+    dedupe(&mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    for f in &mut findings {
+        if f.rule == Rule::WaiverSyntax {
+            continue;
+        }
+        f.waived = waivers
+            .iter()
+            .any(|w| w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line));
+    }
+    findings
+}
+
+/// One finding per (rule, line): `let m: HashMap<_, _> = HashMap::new()`
+/// is one problem, not two.
+fn dedupe(findings: &mut Vec<Finding>) {
+    let mut seen: BTreeSet<(Rule, u32)> = BTreeSet::new();
+    findings.retain(|f| seen.insert((f.rule, f.line)));
+}
+
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// In determinism-critical crates any mention of an unordered
+/// collection type is flagged: static analysis cannot rule out
+/// iteration through aliases, so audited uses must carry a waiver
+/// (or switch to `BTreeMap`/`BTreeSet`).
+fn unordered_presence(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && UNORDERED_TYPES.contains(&t.text.as_str()) {
+            findings.push(Finding {
+                rule: Rule::UnorderedIteration,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a determinism-critical crate: iteration order is \
+                     nondeterministic; use `BTree{}` or waive an audited \
+                     membership-only use",
+                    t.text,
+                    t.text.trim_start_matches("Hash")
+                ),
+                waived: false,
+            });
+        }
+    }
+}
+
+/// Workspace-wide: explicit iteration over a value whose declared type
+/// mentions `HashMap`/`HashSet` — `for x in map`, `map.keys()`, etc.
+fn unordered_iteration(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let tracked = tracked_unordered_bindings(tokens);
+    let mut report = |line: u32, what: &str| {
+        findings.push(Finding {
+            rule: Rule::UnorderedIteration,
+            file: file.to_string(),
+            line,
+            message: format!(
+                "{what} iterates an unordered collection: the visit order is nondeterministic"
+            ),
+            waived: false,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        // `name.iter()` / `name.keys()` / ... on a tracked binding.
+        if t.kind == TokenKind::Ident
+            && tracked.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|m| {
+                m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+            && tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            report(t.line, &format!("`{}.{}()`", t.text, tokens[i + 2].text));
+        }
+        // `for pat in expr {` where expr mentions a tracked binding or
+        // an unordered type. An `impl Trait for Type` header contains
+        // no `in` before its `{`, so it never matches.
+        if t.is_ident("for") {
+            let mut j = i + 1;
+            let mut saw_in = None;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].is_ident("in") && saw_in.is_none() {
+                    saw_in = Some(j);
+                }
+                j += 1;
+            }
+            if let Some(k) = saw_in {
+                let expr = &tokens[k + 1..j.min(tokens.len())];
+                let hit = expr.iter().any(|e| {
+                    e.kind == TokenKind::Ident
+                        && (tracked.contains(&e.text) || UNORDERED_TYPES.contains(&e.text.as_str()))
+                });
+                // `for x in map.keys().collect::<BTreeSet<_>>()` style
+                // chains that end in an ordering collect are still
+                // flagged: sort explicitly or waive with the reason.
+                if hit {
+                    report(t.line, "`for` loop");
+                }
+            }
+        }
+    }
+}
+
+/// Names whose declared or constructed type mentions an unordered
+/// collection: `name: HashMap<..>` (fields, lets, params),
+/// `let name = HashMap::new()`, `let name = ...collect::<HashMap<..>>()`.
+fn tracked_unordered_bindings(tokens: &[Token]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : ... HashMap ...` up to a type-position terminator.
+        if tokens.get(i + 1).is_some_and(|p| p.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|p| p.is_punct(':'))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct(':'))
+        {
+            let mut depth = 0i32;
+            for u in tokens.iter().skip(i + 2).take(40) {
+                if u.is_punct('<') || u.is_punct('(') {
+                    depth += 1;
+                } else if u.is_punct('>') || u.is_punct(')') {
+                    if depth == 0 && u.is_punct(')') {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0
+                    && (u.is_punct(',') || u.is_punct(';') || u.is_punct('=') || u.is_punct('{'))
+                {
+                    break;
+                } else if u.kind == TokenKind::Ident && UNORDERED_TYPES.contains(&u.text.as_str()) {
+                    tracked.insert(t.text.clone());
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = <rhs>;` where the rhs constructs an
+        // unordered collection directly or via turbofish collect.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|m| m.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|n| n.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !tokens.get(j + 1).is_some_and(|p| p.is_punct('=')) {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut constructs = false;
+            while k < tokens.len() && !tokens[k].is_punct(';') {
+                if tokens[k].kind == TokenKind::Ident
+                    && UNORDERED_TYPES.contains(&tokens[k].text.as_str())
+                {
+                    // Direct construction (`HashMap::new()`, `HashSet::from(..)`)
+                    // or a `collect::<HashMap<_,_>>()` turbofish.
+                    let direct = k == j + 2
+                        || (k >= 4 && tokens[k - 1].is_punct(':') && tokens[k - 2].is_punct(':'));
+                    if direct {
+                        constructs = true;
+                    }
+                }
+                k += 1;
+            }
+            if constructs {
+                tracked.insert(name.text.clone());
+            }
+        }
+    }
+    tracked
+}
+
+/// Flags `Instant::now` and `SystemTime::now`: the simulation runs on
+/// event time; wall-clock reads make traces machine-dependent.
+fn wall_clock(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|p| p.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            findings.push(Finding {
+                rule: Rule::WallClock,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}::now` reads the wall clock: simulated runs must be \
+                     machine-independent; use event time, or waive pure \
+                     reporting-only timing",
+                    t.text
+                ),
+                waived: false,
+            });
+        }
+    }
+}
+
+/// Ambient (entropy-seeded) RNG constructors. Every random stream in
+/// the workspace must derive from an explicit caller-provided seed.
+const AMBIENT_RNG_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+
+fn ambient_rng(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let hit = (t.kind == TokenKind::Ident && AMBIENT_RNG_IDENTS.contains(&t.text.as_str()))
+            || (t.is_ident("rand")
+                && tokens.get(i + 1).is_some_and(|p| p.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|p| p.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|n| n.is_ident("random")));
+        if hit {
+            findings.push(Finding {
+                rule: Rule::AmbientRng,
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` constructs an RNG from ambient entropy: derive every \
+                     generator from an explicit seed instead",
+                    t.text
+                ),
+                waived: false,
+            });
+        }
+    }
+}
+
+/// The panic family in library code. Ratcheted per file via the
+/// baseline rather than failing outright: legacy debt may only burn
+/// down, new debt is rejected immediately.
+fn panic_in_library(file: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut report = |line: u32, what: String| {
+        findings.push(Finding {
+            rule: Rule::PanicInLibrary,
+            file: file.to_string(),
+            line,
+            message: format!(
+                "{what} can panic in library code: a durable run dies with the \
+                 process; return a Result or document the invariant with a waiver"
+            ),
+            waived: false,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('.')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+            && tokens.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            report(tokens[i + 1].line, format!("`.{}()`", tokens[i + 1].text));
+        }
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            // `core::panic!`-style paths still match on the last segment;
+            // `#[should_panic]`-style attribute idents never precede `!`.
+            && !tokens.get(i.wrapping_sub(1)).is_some_and(|p| p.is_punct('!'))
+        {
+            report(t.line, format!("`{}!`", t.text));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Workspace walking, per-path rule scoping, and the wire-format
+//! fingerprint — the glue that turns per-file rules into one audit
+//! report for the whole repository.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, strip_test_code, Token, TokenKind};
+use crate::rules::{analyze_file, FileScope, Finding, Rule};
+
+/// Crates whose traces must be byte-identical across runs: any
+/// unordered collection inside them is flagged on sight.
+pub const DETERMINISM_CRITICAL_CRATES: [&str; 5] =
+    ["wireless", "modellib", "scenario", "placement", "runtime"];
+
+/// The persist-layer files whose token stream defines the on-disk
+/// record layouts guarded by the `wire-compat` rule.
+pub const WIRE_LAYOUT_FILES: [&str; 3] = [
+    "crates/runtime/src/persist/wire.rs",
+    "crates/runtime/src/persist/journal.rs",
+    "crates/runtime/src/persist/checkpoint.rs",
+];
+
+/// What the audit observed about the persisted wire formats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireObservation {
+    /// FNV-1a-64 (hex) over the code tokens of [`WIRE_LAYOUT_FILES`].
+    pub fingerprint: String,
+    /// The `JOURNAL_VERSION` constant, if found.
+    pub journal_version: Option<u64>,
+    /// The `CHECKPOINT_VERSION` constant, if found.
+    pub checkpoint_version: Option<u64>,
+}
+
+/// The complete result of auditing a workspace.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Active (non-waived) findings, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a valid waiver.
+    pub waived: Vec<Finding>,
+    /// Non-waived `panic-in-library` findings per file (ratchet input).
+    pub panic_counts: BTreeMap<String, u64>,
+    /// Wire-format observation for the `wire-compat` rule.
+    pub wire: WireObservation,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Active findings of the strict rules — every one is a CI
+    /// failure. `panic-in-library` is excluded: it goes through the
+    /// ratchet instead.
+    pub fn strict_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.rule != Rule::PanicInLibrary)
+    }
+}
+
+/// Decides which rules apply to a workspace-relative path.
+pub fn scope_for_path(rel: &str) -> FileScope {
+    let determinism_critical = DETERMINISM_CRITICAL_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    // Bench harness code and CLI binaries measure and report real
+    // elapsed time by design; library code must not.
+    let timing_exempt = rel.starts_with("crates/bench/")
+        || rel.contains("/bin/")
+        || rel.ends_with("/main.rs")
+        || rel == "src/main.rs";
+    FileScope {
+        determinism_critical,
+        wall_clock: !timing_exempt,
+        panic_in_library: !timing_exempt,
+    }
+}
+
+/// Walks the workspace's library sources: `crates/*/src/**/*.rs` and
+/// the facade `src/**/*.rs`. Vendored stand-ins, benches, tests,
+/// examples and `target/` are never scanned.
+pub fn source_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, path));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over every workspace source file.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while reading sources.
+pub fn run_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut wire_tokens: Vec<Token> = Vec::new();
+    for (rel, path) in source_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let scope = scope_for_path(&rel);
+        for finding in analyze_file(&rel, &src, scope) {
+            if finding.waived {
+                report.waived.push(finding);
+            } else {
+                if finding.rule == Rule::PanicInLibrary {
+                    *report.panic_counts.entry(rel.clone()).or_insert(0) += 1;
+                }
+                report.findings.push(finding);
+            }
+        }
+        if WIRE_LAYOUT_FILES.contains(&rel.as_str()) {
+            wire_tokens.extend(strip_test_code(lex(&src).tokens));
+        }
+    }
+    report.wire = observe_wire(&wire_tokens);
+    Ok(report)
+}
+
+/// Fingerprints the persist-layer token stream and extracts the
+/// format-version constants.
+pub fn observe_wire(tokens: &[Token]) -> WireObservation {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for t in tokens {
+        for b in t.text.bytes().chain([0x1f]) {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    WireObservation {
+        fingerprint: format!("{hash:016x}"),
+        journal_version: const_value(tokens, "JOURNAL_VERSION"),
+        checkpoint_version: const_value(tokens, "CHECKPOINT_VERSION"),
+    }
+}
+
+/// Extracts `const NAME: ... = <int>;` from the token stream.
+fn const_value(tokens: &[Token], name: &str) -> Option<u64> {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident(name)
+            || !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|c| c.is_ident("const"))
+        {
+            continue;
+        }
+        for u in tokens.iter().skip(i + 1).take(8) {
+            if u.kind == TokenKind::Literal {
+                let digits: String = u.text.chars().take_while(char::is_ascii_digit).collect();
+                return digits.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_policy_matches_the_documented_contract() {
+        let s = scope_for_path("crates/runtime/src/engine.rs");
+        assert!(s.determinism_critical && s.wall_clock && s.panic_in_library);
+
+        let s = scope_for_path("crates/sim/src/experiments/serve.rs");
+        assert!(!s.determinism_critical && s.wall_clock && s.panic_in_library);
+
+        let s = scope_for_path("crates/sim/src/bin/trimcaching_sim.rs");
+        assert!(!s.wall_clock && !s.panic_in_library);
+
+        let s = scope_for_path("crates/bench/src/lib.rs");
+        assert!(!s.wall_clock && !s.panic_in_library);
+
+        let s = scope_for_path("src/lib.rs");
+        assert!(!s.determinism_critical && s.wall_clock);
+    }
+
+    #[test]
+    fn wire_fingerprint_is_sensitive_to_tokens_not_comments() {
+        let a = strip_test_code(lex("const JOURNAL_VERSION: u8 = 1; fn enc(x: u32) {}").tokens);
+        let b = strip_test_code(
+            lex("// layout docs changed\nconst JOURNAL_VERSION: u8 = 1; fn enc(x: u32) {}").tokens,
+        );
+        let c = strip_test_code(lex("const JOURNAL_VERSION: u8 = 1; fn enc(x: u64) {}").tokens);
+        assert_eq!(observe_wire(&a).fingerprint, observe_wire(&b).fingerprint);
+        assert_ne!(observe_wire(&a).fingerprint, observe_wire(&c).fingerprint);
+        assert_eq!(observe_wire(&a).journal_version, Some(1));
+        assert_eq!(observe_wire(&a).checkpoint_version, None);
+    }
+}

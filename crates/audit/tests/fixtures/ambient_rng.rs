@@ -1,0 +1,18 @@
+//! Fixture: ambient-rng findings.
+
+fn ambient_constructors() {
+    let _a = rand::thread_rng(); // finding
+    let _b = StdRng::from_entropy(); // finding
+    let _c = OsRng; // finding
+    let _d: u64 = rand::random(); // finding
+}
+
+fn seeded_is_fine(seed: u64) {
+    let _rng = StdRng::seed_from_u64(seed); // no finding
+    let _forked = StdRng::seed_from_u64(seed ^ 0x9E37_79B9); // no finding
+}
+
+fn waived_with_reason() {
+    // audit:allow(ambient-rng): fixture waiver, one-off tool entropy
+    let _e = rand::thread_rng(); // waived
+}

@@ -1,0 +1,38 @@
+//! Fixture: panic-in-library findings. `unwrap()` in this doc
+//! comment is not a finding.
+
+fn panics_everywhere(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // finding
+    let b = r.expect("boom"); // finding
+    if a + b > 100 {
+        panic!("too big"); // finding
+    }
+    match a {
+        0 => unreachable!(), // finding
+        1 => todo!(), // finding
+        2 => unimplemented!(), // finding
+        n => n,
+    }
+}
+
+fn near_misses_are_fine(x: Option<u32>) -> u32 {
+    // `unwrap_or` / `unwrap_or_else` / `expect_err`-adjacent idents
+    // must not match the rule.
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    a + b
+}
+
+fn waived_invariant(x: Option<u32>) -> u32 {
+    // audit:allow(panic-in-library): fixture waiver, invariant documented
+    x.unwrap() // waived
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        Some(1u32).unwrap();
+        assert!(true);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fixture: unordered-iteration findings. Scanned by the test
+//! harness, never compiled. Mentions of HashMap in this doc comment
+//! must NOT be findings.
+
+use std::collections::{BTreeMap, HashMap, HashSet}; // finding (presence, determinism crate)
+
+struct State {
+    by_user: HashMap<u64, u32>, // finding (presence) + tracked binding
+    ordered: BTreeMap<u64, u32>,
+}
+
+fn iterates_field(s: &State) -> u32 {
+    let mut total = 0;
+    for (_k, v) in s.by_user.iter() {
+        // `by_user.iter()` finding (line of the call above)
+        total += v;
+    }
+    total
+}
+
+fn for_loop_over_tracked() {
+    let mut set = HashSet::new(); // finding (presence) + tracked via `let = HashSet::new()`
+    set.insert(1u32);
+    for x in &set {
+        // flagged at the `for` line above
+        let _ = x;
+    }
+}
+
+fn keys_on_tracked(map: HashMap<String, u64>) -> Vec<String> {
+    map.keys().cloned().collect() // `map.keys()` finding
+}
+
+fn ordered_is_fine(m: &BTreeMap<u64, u32>) -> u32 {
+    m.values().sum() // no finding: BTreeMap iteration is deterministic
+}
+
+fn membership_only(allowed: &HashSet<u64>, x: u64) -> bool {
+    // Presence finding on the signature line mention; `.contains` is
+    // not an iteration method.
+    allowed.contains(&x)
+}
+
+fn strings_do_not_count() {
+    let _s = "HashMap::new() in a string is not a finding";
+    let _r = r#"neither is HashSet in a raw string"#;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+        for (_k, _v) in m.iter() {}
+    }
+}

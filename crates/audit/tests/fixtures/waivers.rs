@@ -1,0 +1,43 @@
+//! Fixture: waiver parsing edge cases.
+
+use std::time::Instant;
+
+fn same_line_waiver() {
+    let _ = Instant::now(); // audit:allow(wall-clock): same-line waiver works
+}
+
+fn line_above_waiver() {
+    // audit:allow(wall-clock): line-above waiver works
+    let _ = Instant::now();
+}
+
+fn waiver_without_reason() {
+    // audit:allow(wall-clock)
+    let _ = Instant::now(); // NOT waived: reason missing -> waiver-syntax
+}
+
+fn waiver_with_empty_reason() {
+    // audit:allow(wall-clock):
+    let _ = Instant::now(); // NOT waived: empty reason -> waiver-syntax
+}
+
+fn unknown_rule_waiver() {
+    // audit:allow(no-such-rule): reason text
+    let _ = Instant::now(); // NOT waived: unknown rule -> waiver-syntax
+}
+
+fn wrong_rule_waiver() {
+    // audit:allow(ambient-rng): waives the wrong rule
+    let _ = Instant::now(); // NOT waived: rule mismatch
+}
+
+fn too_far_waiver() {
+    // audit:allow(wall-clock): two lines above the finding is too far
+
+    let _ = Instant::now(); // NOT waived: waiver only reaches one line down
+}
+
+fn block_comment_waiver() {
+    /* audit:allow(wall-clock): block comments carry waivers too */
+    let _ = Instant::now(); // waived
+}

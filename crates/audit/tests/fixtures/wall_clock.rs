@@ -1,0 +1,37 @@
+//! Fixture: wall-clock findings. `Instant::now` in this doc comment
+//! is not a finding.
+
+use std::time::{Duration, Instant, SystemTime};
+
+fn reads_the_wall_clock() -> Duration {
+    let start = Instant::now(); // finding
+    start.elapsed()
+}
+
+fn reads_system_time() -> SystemTime {
+    SystemTime::now() // finding
+}
+
+fn full_paths_are_caught() {
+    let _ = std::time::Instant::now(); // finding
+}
+
+fn durations_are_fine(d: Duration) -> Duration {
+    // Duration arithmetic is pure; only the `now` constructors read
+    // the machine clock.
+    d + Duration::from_secs(1)
+}
+
+fn waived_with_reason() -> Duration {
+    // audit:allow(wall-clock): fixture waiver, reporting-only timing
+    let start = Instant::now(); // waived
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_timing_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,132 @@
+//! Runs the rule engine over the fixture files in `tests/fixtures/`
+//! and pins the exact (line, waived) set each rule must produce.
+//! Fixtures are scanned as text, never compiled.
+
+use std::path::PathBuf;
+
+use trimcaching_audit::{analyze_file, FileScope, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+const DETERMINISM: FileScope = FileScope {
+    determinism_critical: true,
+    wall_clock: true,
+    panic_in_library: true,
+};
+
+const NON_CRITICAL: FileScope = FileScope {
+    determinism_critical: false,
+    wall_clock: true,
+    panic_in_library: true,
+};
+
+/// Lines of active (non-waived) findings for `rule`.
+fn active_lines(findings: &[Finding], rule: Rule) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.waived)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Lines of waived findings for `rule`.
+fn waived_lines(findings: &[Finding], rule: Rule) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.waived)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn unordered_iteration_in_a_determinism_critical_crate() {
+    let src = fixture("unordered_iteration.rs");
+    let findings = analyze_file("crates/runtime/src/fixture.rs", &src, DETERMINISM);
+    assert_eq!(
+        active_lines(&findings, Rule::UnorderedIteration),
+        vec![5, 8, 14, 22, 24, 30, 31, 38],
+        "presence + iteration findings, one per line, tests exempt"
+    );
+    // Comments, strings and BTree iteration must stay silent, and
+    // nothing else fires on this fixture.
+    assert!(active_lines(&findings, Rule::WallClock).is_empty());
+    assert!(active_lines(&findings, Rule::WaiverSyntax).is_empty());
+}
+
+#[test]
+fn unordered_iteration_outside_critical_crates_flags_only_iteration() {
+    let src = fixture("unordered_iteration.rs");
+    let findings = analyze_file("crates/sim/src/fixture.rs", &src, NON_CRITICAL);
+    // Presence alone (use statement, struct field, membership-only
+    // set) is allowed outside determinism-critical crates; explicit
+    // iteration is still flagged.
+    assert_eq!(
+        active_lines(&findings, Rule::UnorderedIteration),
+        vec![14, 24, 31]
+    );
+}
+
+#[test]
+fn wall_clock_constructors_are_flagged_and_waivable() {
+    let src = fixture("wall_clock.rs");
+    let findings = analyze_file("crates/scenario/src/fixture.rs", &src, DETERMINISM);
+    assert_eq!(active_lines(&findings, Rule::WallClock), vec![7, 12, 16]);
+    assert_eq!(waived_lines(&findings, Rule::WallClock), vec![27]);
+    assert!(active_lines(&findings, Rule::WaiverSyntax).is_empty());
+}
+
+#[test]
+fn wall_clock_scope_can_be_disabled_for_bench_and_cli() {
+    let src = fixture("wall_clock.rs");
+    let scope = FileScope {
+        wall_clock: false,
+        ..NON_CRITICAL
+    };
+    let findings = analyze_file("crates/bench/src/fixture.rs", &src, scope);
+    assert!(active_lines(&findings, Rule::WallClock).is_empty());
+}
+
+#[test]
+fn ambient_rng_constructors_are_flagged_seeded_ones_are_not() {
+    let src = fixture("ambient_rng.rs");
+    let findings = analyze_file("crates/runtime/src/fixture.rs", &src, DETERMINISM);
+    assert_eq!(active_lines(&findings, Rule::AmbientRng), vec![4, 5, 6, 7]);
+    assert_eq!(waived_lines(&findings, Rule::AmbientRng), vec![17]);
+}
+
+#[test]
+fn panic_family_is_counted_with_near_misses_and_tests_exempt() {
+    let src = fixture("panic_in_library.rs");
+    let findings = analyze_file("crates/modellib/src/fixture.rs", &src, DETERMINISM);
+    assert_eq!(
+        active_lines(&findings, Rule::PanicInLibrary),
+        vec![5, 6, 8, 11, 12, 13]
+    );
+    assert_eq!(waived_lines(&findings, Rule::PanicInLibrary), vec![28]);
+}
+
+#[test]
+fn waiver_reach_reason_and_rule_matching() {
+    let src = fixture("waivers.rs");
+    let findings = analyze_file("crates/scenario/src/fixture.rs", &src, DETERMINISM);
+    // Same-line, line-above and block-comment waivers suppress; a
+    // missing/empty reason, an unknown rule, the wrong rule, or a
+    // two-line gap do not.
+    assert_eq!(
+        active_lines(&findings, Rule::WallClock),
+        vec![16, 21, 26, 31, 37]
+    );
+    assert_eq!(waived_lines(&findings, Rule::WallClock), vec![6, 11, 42]);
+    // Each malformed waiver is itself a finding with a pointer to the
+    // required syntax.
+    assert_eq!(
+        active_lines(&findings, Rule::WaiverSyntax),
+        vec![15, 20, 25]
+    );
+}

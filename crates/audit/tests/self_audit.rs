@@ -1,0 +1,128 @@
+//! The audit, applied to the workspace that ships it: the acceptance
+//! contract of ISSUE 7. The determinism-critical crates must be free
+//! of unordered-iteration / wall-clock / ambient-rng findings (modulo
+//! waivers that carry written reasons), the committed baseline must
+//! ratchet cleanly, and the wire fingerprint must match the pin.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use trimcaching_audit::{run_workspace, Baseline, Rule};
+
+fn workspace_root() -> PathBuf {
+    // crates/audit -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_strict_findings() {
+    let report = run_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_scanned >= 90,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+    let strict: Vec<_> = report.strict_findings().collect();
+    assert!(
+        strict.is_empty(),
+        "strict audit findings in the workspace:\n{}",
+        strict
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule.name(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_waiver_in_the_workspace_carries_a_reason() {
+    // parse_waivers already rejects reason-less waivers as findings;
+    // this pins that the workspace's committed waivers all survive
+    // that bar (zero waiver-syntax findings) while some waivers exist
+    // (the placement solver timing sites).
+    let report = run_workspace(&workspace_root()).expect("scan workspace");
+    assert!(report.findings.iter().all(|f| f.rule != Rule::WaiverSyntax));
+    assert!(
+        !report.waived.is_empty(),
+        "expected the audited wall-clock waivers in crates/placement"
+    );
+    assert!(report.waived.iter().any(|f| f.rule == Rule::WallClock));
+}
+
+#[test]
+fn committed_baseline_ratchets_cleanly_and_pins_the_wire_format() {
+    let root = workspace_root();
+    let report = run_workspace(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("audit-baseline.json"))
+        .expect("audit-baseline.json is committed at the workspace root");
+    let baseline = Baseline::from_json(&text).expect("baseline parses");
+
+    let (violations, _improvements) = baseline.ratchet(&report.panic_counts);
+    assert!(
+        violations.is_empty(),
+        "panic-in-library ratchet violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {}: {} found, {} pinned", v.file, v.count, v.pinned))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    assert_eq!(
+        report.wire.fingerprint, baseline.wire.fingerprint,
+        "persist layout changed: bump the format version and refresh \
+         audit-baseline.json with --update-baseline"
+    );
+    assert_eq!(
+        report.wire.journal_version,
+        Some(baseline.wire.journal_version)
+    );
+    assert_eq!(
+        report.wire.checkpoint_version,
+        Some(baseline.wire.checkpoint_version)
+    );
+}
+
+#[test]
+fn determinism_critical_crates_are_free_of_unordered_collections() {
+    // Stronger than "no findings": not a single HashMap/HashSet token
+    // survives in the five crates whose traces must be byte-identical
+    // (waivers included — there are none to waive).
+    let report = run_workspace(&workspace_root()).expect("scan workspace");
+    let offenders: Vec<_> = report
+        .findings
+        .iter()
+        .chain(report.waived.iter())
+        .filter(|f| f.rule == Rule::UnorderedIteration)
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "unordered collections present: {:?}",
+        offenders
+    );
+}
+
+#[test]
+fn ratchet_counts_match_a_fresh_scan_exactly() {
+    // The committed baseline must be exactly the current debt (not a
+    // stale over-pin), so that any newly introduced panic fails CI
+    // rather than hiding in slack.
+    let root = workspace_root();
+    let report = run_workspace(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("audit-baseline.json")).expect("baseline");
+    let baseline = Baseline::from_json(&text).expect("parses");
+    let live: BTreeMap<String, u64> = report
+        .panic_counts
+        .iter()
+        .filter(|(_, &n)| n > 0)
+        .map(|(f, &n)| (f.clone(), n))
+        .collect();
+    assert_eq!(
+        live, baseline.panic_counts,
+        "baseline drifted from the live scan: run --update-baseline"
+    );
+}

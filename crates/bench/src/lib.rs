@@ -1,4 +1,5 @@
 //! Benchmark-only crate: all content lives in `benches/`.
+#![forbid(unsafe_code)]
 //!
 //! Each bench target regenerates one table or figure of the TrimCaching
 //! evaluation; see `DESIGN.md` (experiment index) and `EXPERIMENTS.md` in

@@ -11,7 +11,7 @@
 //! * union ("deduplicated") sizes of arbitrary model sets, which is what
 //!   the storage constraint of P1.1 charges a server for.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -235,7 +235,7 @@ impl ModelLibrary {
     where
         It: IntoIterator<Item = ModelId>,
     {
-        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut seen: BTreeSet<BlockId> = BTreeSet::new();
         let mut total = 0u64;
         for id in models {
             if let Some(model) = self.models.get(id.index()) {
@@ -258,7 +258,7 @@ impl ModelLibrary {
     ///
     /// Returns [`ModelLibError::IndexOutOfRange`] for unknown models.
     pub fn overlap_size_bytes(&self, a: ModelId, b: ModelId) -> Result<u64, ModelLibError> {
-        let blocks_a: HashSet<BlockId> = self.model(a)?.blocks().iter().copied().collect();
+        let blocks_a: BTreeSet<BlockId> = self.model(a)?.blocks().iter().copied().collect();
         let mut total = 0u64;
         for &j in self.model(b)?.blocks() {
             if blocks_a.contains(&j) {
@@ -331,7 +331,7 @@ impl ModelLibrary {
 #[derive(Debug, Default)]
 pub struct ModelLibraryBuilder {
     blocks: Vec<ParameterBlock>,
-    block_by_label: HashMap<String, BlockId>,
+    block_by_label: BTreeMap<String, BlockId>,
     models: Vec<Model>,
 }
 

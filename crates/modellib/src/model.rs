@@ -56,7 +56,7 @@ impl Model {
         task: impl Into<String>,
         blocks: Vec<BlockId>,
     ) -> Self {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let blocks = blocks
             .into_iter()
             .filter(|b| seen.insert(*b))

@@ -35,6 +35,7 @@ impl PlacementAlgorithm for TrimCachingGen {
     }
 
     fn place(&self, scenario: &Scenario) -> Result<PlacementOutcome, PlacementError> {
+        // audit:allow(wall-clock): measures solver wall time for PlacementOutcome reporting; never enters simulated time or traces
         let start = Instant::now();
         let (placement, evaluations) = greedy_place(scenario, StorageRule::Shared)?;
         Ok(PlacementOutcome::new(

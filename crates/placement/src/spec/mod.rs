@@ -111,6 +111,7 @@ impl PlacementAlgorithm for TrimCachingSpec {
 
     fn place(&self, scenario: &Scenario) -> Result<PlacementOutcome, PlacementError> {
         self.validate()?;
+        // audit:allow(wall-clock): measures solver wall time for PlacementOutcome reporting; never enters simulated time or traces
         let start = Instant::now();
         let library = scenario.library();
         let analysis =

@@ -157,6 +157,7 @@ pub fn library_scaling(config: &RunConfig) -> Result<ExperimentTable, SimError> 
         let scenario = topology.generate(&library, config.monte_carlo.seed, 0)?;
         let mut cells = Vec::new();
         for algorithm in &algorithms {
+            // audit:allow(wall-clock): times the placement solve for the ablation's runtime column; reporting only, never simulated time
             let start = Instant::now();
             let outcome = algorithm.place(&scenario)?;
             let elapsed = start

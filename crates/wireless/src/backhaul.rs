@@ -6,7 +6,7 @@
 //! mesh and also supports per-link overrides so ablation experiments can
 //! study heterogeneous backhauls.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -17,8 +17,10 @@ use crate::error::WirelessError;
 pub struct Backhaul {
     num_servers: usize,
     default_rate_bps: f64,
-    /// Overrides for specific ordered pairs `(from, to)`.
-    overrides: HashMap<(usize, usize), f64>,
+    /// Overrides for specific ordered pairs `(from, to)`. Ordered so
+    /// that any future iteration (serialisation, link sweeps) visits
+    /// links in a deterministic order.
+    overrides: BTreeMap<(usize, usize), f64>,
 }
 
 impl Backhaul {
@@ -39,7 +41,7 @@ impl Backhaul {
         Ok(Self {
             num_servers,
             default_rate_bps,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         })
     }
 

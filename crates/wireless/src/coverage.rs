@@ -347,7 +347,9 @@ impl CoverageMap {
 #[derive(Debug, Clone)]
 struct ServerGrid {
     cell_m: f64,
-    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+    /// Ordered by cell coordinate so bucket iteration (if ever added)
+    /// is deterministic; lookups stay `O(log cells)`.
+    buckets: std::collections::BTreeMap<(i64, i64), Vec<u32>>,
 }
 
 impl ServerGrid {
@@ -359,8 +361,8 @@ impl ServerGrid {
     }
 
     fn build(servers: &[Point], cell_m: f64) -> Self {
-        let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
-            std::collections::HashMap::new();
+        let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<u32>> =
+            std::collections::BTreeMap::new();
         for (m, sp) in servers.iter().enumerate() {
             buckets
                 .entry(Self::cell_of(*sp, cell_m))
