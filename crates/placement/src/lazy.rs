@@ -29,7 +29,9 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use trimcaching_modellib::ModelId;
-use trimcaching_scenario::{DemandView, HitRatioObjective, Scenario, ServerId, StorageTracker};
+use trimcaching_scenario::{
+    DemandView, EligibilityView, HitRatioObjective, Scenario, ServerId, StorageTracker,
+};
 
 use crate::error::PlacementError;
 use crate::outcome::{PlacementAlgorithm, PlacementOutcome};
@@ -138,6 +140,30 @@ impl TrimCachingGenLazy {
         demand: &dyn DemandView,
     ) -> Result<PlacementOutcome, PlacementError> {
         let objective = scenario.objective_with_demand(demand)?;
+        self.place_with_objective(scenario, &objective)
+    }
+
+    /// [`Self::place_with_demand`] over an *explicit eligibility view*
+    /// instead of the scenario's own — the failure-aware re-placement
+    /// entry point: a controller passes the scenario eligibility wrapped
+    /// in a [`MaskedEligibility`](trimcaching_scenario::MaskedEligibility)
+    /// hiding the servers currently down, and the greedy never places a
+    /// model on (or counts hits from) a dead server. Capacities and
+    /// block sharing still come from the scenario. Passing the
+    /// scenario's own eligibility reproduces
+    /// [`Self::place_with_demand`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] when the demand's or eligibility's
+    /// dimensions disagree, or the scenario is inconsistent.
+    pub fn place_with_demand_on(
+        &self,
+        scenario: &Scenario,
+        demand: &dyn DemandView,
+        eligibility: &dyn EligibilityView,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        let objective = HitRatioObjective::from_views(demand, eligibility)?;
         self.place_with_objective(scenario, &objective)
     }
 

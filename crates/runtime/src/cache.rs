@@ -153,6 +153,27 @@ impl<'lib> ServerCache<'lib> {
             .collect()
     }
 
+    /// The models with fills currently in flight, in ascending id order
+    /// — the deterministic iteration order fault handling aborts and
+    /// retries them in.
+    pub fn pending_models(&self) -> Vec<ModelId> {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| ModelId(i))
+            .collect()
+    }
+
+    /// Last access time of `model` in simulated seconds
+    /// (`f64::NEG_INFINITY` = never accessed or unknown).
+    pub fn last_access_s(&self, model: ModelId) -> f64 {
+        self.last_access_s
+            .get(model.index())
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
     /// Cache insertions performed so far (instant inserts and fills).
     pub fn insertions(&self) -> u64 {
         self.insertions
@@ -280,6 +301,38 @@ impl<'lib> ServerCache<'lib> {
         self.pending[model.index()] = false;
         self.pending_eta_s[model.index()] = f64::NEG_INFINITY;
         Ok(())
+    }
+
+    /// Aborts a pending fill (the server or its link went down before
+    /// the transfer completed): releases the tracker reservation and
+    /// un-marks blocks the dead transfer would have delivered, returning
+    /// the bytes freed. Blocks still referenced by other resident models
+    /// or fills stay put — but note a server failure aborts *every*
+    /// pending fill on that server, so blocks pinned only by doomed
+    /// sibling fills are released as the loop reaches them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no fill of `model` is in flight.
+    pub fn abort_fill(&mut self, model: ModelId) -> Result<u64, RuntimeError> {
+        if !self.is_pending(model) {
+            return Err(RuntimeError::Internal {
+                reason: format!(
+                    "abort_fill on model {} with no fill in flight",
+                    model.index()
+                ),
+            });
+        }
+        let freed = self.tracker.remove(model)?;
+        self.pending[model.index()] = false;
+        self.pending_eta_s[model.index()] = f64::NEG_INFINITY;
+        for &b in self.library().model(model).map_err(to_runtime)?.blocks() {
+            if self.tracker.block_refcount(b) == 0 {
+                self.block_arrived[b.index()] = false;
+                self.block_eta_s[b.index()] = f64::NEG_INFINITY;
+            }
+        }
+        Ok(freed)
     }
 
     /// Inserts `model` instantly (capacity is the caller's
@@ -530,6 +583,32 @@ mod tests {
         cache.complete_fill(ModelId(0)).unwrap();
         assert_eq!(cache.cached_models(), vec![ModelId(0), ModelId(2)]);
         assert_eq!(cache.pending_eta_s(ModelId(0)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn aborting_a_fill_releases_its_reservation_and_wire_state() {
+        let lib = library();
+        let mut cache = ServerCache::new(&lib, 200);
+        assert!(cache.abort_fill(ModelId(0)).is_err(), "nothing in flight");
+        cache.start_fill(ModelId(0), 4.0, true).unwrap();
+        assert_eq!(cache.pending_models(), vec![ModelId(0)]);
+        assert_eq!(cache.abort_fill(ModelId(0)).unwrap(), 110);
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(!cache.is_pending(ModelId(0)));
+        assert_eq!(cache.pending_eta_s(ModelId(0)), f64::NEG_INFINITY);
+        // The shared block is no longer "on the wire": a fresh fill
+        // plan moves every byte again.
+        let plan = cache.fill_plan(ModelId(1)).unwrap();
+        assert_eq!(plan.missing_bytes, 120);
+        assert_eq!(plan.join_eta_s, f64::NEG_INFINITY);
+        // Aborting one of two sibling fills keeps shared blocks pinned
+        // by the survivor; aborting the survivor releases them.
+        cache.start_fill(ModelId(0), 4.0, true).unwrap();
+        cache.start_fill(ModelId(1), 5.0, true).unwrap();
+        cache.abort_fill(ModelId(0)).unwrap();
+        assert!(cache.fill_plan(ModelId(0)).unwrap().join_eta_s > 0.0);
+        cache.abort_fill(ModelId(1)).unwrap();
+        assert_eq!(cache.used_bytes(), 0);
     }
 
     #[test]

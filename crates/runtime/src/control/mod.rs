@@ -45,7 +45,7 @@ use crate::metrics::{LatencyHistogram, ServeMetrics};
 
 pub use drift::{DriftConfig, DriftDetector, DriftVerdict, ReplanReason};
 pub use estimator::DemandEstimator;
-pub use planner::plan_target;
+pub use planner::{plan_target, plan_target_masked};
 pub use reconcile::{diff, next_victim, ReconcilePlan, ServerDelta};
 
 /// Configuration of the online re-placement controller.

@@ -11,7 +11,7 @@
 //! not where they were at warm-start time.
 
 use trimcaching_placement::TrimCachingGenLazy;
-use trimcaching_scenario::{DemandEstimate, Placement, Scenario};
+use trimcaching_scenario::{DemandEstimate, MaskedEligibility, Placement, Scenario};
 
 use crate::error::RuntimeError;
 
@@ -31,6 +31,34 @@ pub fn plan_target(
         .map(|outcome| outcome.placement)
         .map_err(|e| RuntimeError::Control {
             reason: format!("re-placement solve failed: {e}"),
+        })
+}
+
+/// [`plan_target`] with a failure mask: servers flagged in `down` are
+/// hidden from the eligibility the solver sees, so the plan routes no
+/// demand toward (and places no model on) a server that cannot serve.
+/// With no server down this is exactly [`plan_target`] — including the
+/// fast path that skips the masking adaptor entirely, keeping healthy
+/// re-plans bit-identical to the unmasked planner.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Control`] when the solver rejects the
+/// instance.
+pub fn plan_target_masked(
+    scenario: &Scenario,
+    estimate: &DemandEstimate,
+    down: &[bool],
+) -> Result<Placement, RuntimeError> {
+    if !down.iter().any(|&d| d) {
+        return plan_target(scenario, estimate);
+    }
+    let masked = MaskedEligibility::new(scenario.eligibility(), down);
+    TrimCachingGenLazy::new()
+        .place_with_demand_on(scenario, estimate, &masked)
+        .map(|outcome| outcome.placement)
+        .map_err(|e| RuntimeError::Control {
+            reason: format!("failure-masked re-placement solve failed: {e}"),
         })
 }
 
@@ -85,5 +113,24 @@ mod tests {
         let wrong = DemandEstimate::new(vec![vec![1.0; i + 2]; k]).unwrap();
         let err = plan_target(&s, &wrong).unwrap_err();
         assert!(matches!(err, RuntimeError::Control { .. }));
+    }
+
+    #[test]
+    fn masked_planning_avoids_down_servers() {
+        let s = scenario();
+        let (k, i) = (s.num_users(), s.num_models());
+        let estimate = DemandEstimate::new(vec![vec![1.0; i]; k]).unwrap();
+        // No mask: bit-identical to the unmasked planner.
+        let plain = plan_target(&s, &estimate).unwrap();
+        let unmasked = plan_target_masked(&s, &estimate, &[false, false]).unwrap();
+        assert_eq!(plain, unmasked);
+        // Server 0 down: nothing may be placed there.
+        let masked = plan_target_masked(&s, &estimate, &[true, false]).unwrap();
+        assert_eq!(
+            masked.models_on(ServerId(0)).unwrap(),
+            Vec::<ModelId>::new(),
+            "a down server must receive no placement"
+        );
+        assert!(s.satisfies_capacities(&masked));
     }
 }

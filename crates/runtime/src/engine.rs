@@ -48,9 +48,10 @@ use trimcaching_scenario::{LatencyEvaluator, Placement, Scenario, UserId};
 use trimcaching_wireless::geometry::DeploymentArea;
 
 use crate::cache::ServerCache;
-use crate::control::{plan_target, reconcile, ControlConfig, Controller, ReplanReason};
+use crate::control::{plan_target_masked, reconcile, ControlConfig, Controller, ReplanReason};
 use crate::error::RuntimeError;
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultConfig, FaultKind, RecoveryMode};
 use crate::metrics::{RequestOutcome, ServeMetrics};
 use crate::persist::checkpoint::{CheckpointSaver, CheckpointState, MobilityState};
 use crate::persist::journal::{recover_journal, JournalHeader, JournalWriter};
@@ -110,6 +111,14 @@ pub struct ServeConfig {
     pub control: Option<ControlConfig>,
     /// RNG seed; identical seeds give identical runs.
     pub seed: u64,
+    /// Deterministic fault injection (`None` = the fault-free horizon
+    /// every pre-faults run assumed). When set, the engine replays the
+    /// schedule's server/link transitions as ordinary events, fails
+    /// requests over along the eligibility candidates, aborts and
+    /// retries in-flight fills with seeded-jitter backoff, masks down
+    /// servers out of re-planning and re-replicates lost blocks on
+    /// recovery.
+    pub faults: Option<FaultConfig>,
     /// Durable-run persistence (`None` = in-memory only). When set, the
     /// engine journals every served event, writes slot-boundary
     /// checkpoints of its full state, and can be resumed byte-identically
@@ -133,6 +142,7 @@ impl ServeConfig {
             congestion_aware: true,
             control: None,
             seed: 2024,
+            faults: None,
             persist: None,
         }
     }
@@ -198,6 +208,15 @@ impl ServeConfig {
         self
     }
 
+    /// Enables deterministic fault injection: the schedule's server and
+    /// link transitions fire as ordinary events on the deterministic
+    /// queue, and the config's degradation knobs (failover, retry
+    /// backoff, recovery mode) govern how the serve path degrades.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Enables durable-run persistence: an append-only journal of
     /// served events plus slot-boundary checkpoints in
     /// `persist.dir`, from which the run can be resumed or forked.
@@ -239,6 +258,9 @@ impl ServeConfig {
         }
         if let Some(control) = &self.control {
             control.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
         }
         if let Some(persist) = &self.persist {
             persist.validate()?;
@@ -355,6 +377,16 @@ pub struct ServeEngine<'a> {
     /// Durable-run journal/checkpoint plumbing, present when
     /// [`ServeConfig::persist`] is set.
     persist: Option<PersistState>,
+    /// Per-server down mask driven by the fault schedule (all `false`
+    /// for fault-free runs — the serve path is shared).
+    server_down: Vec<bool>,
+    /// How many servers are currently down (degraded mode when > 0);
+    /// kept as a counter so the per-request check is O(1).
+    down_servers: usize,
+    /// The most recent placement the caches were reconciled towards
+    /// (warm start or re-plan) — the target recovered servers self-heal
+    /// back to.
+    last_target: Option<Placement>,
     /// Run state restored from a checkpoint, consumed by the next
     /// [`ServeEngine::run`] or [`ServeEngine::run_until`] call.
     resume_state: Option<RunState>,
@@ -385,10 +417,14 @@ impl<'a> ServeEngine<'a> {
             .map(|_| BackhaulLink::new(config.cloud_ingest_bps, config.congestion_aware))
             .collect::<Result<Vec<_>, _>>()?;
         let primary = primary_servers(scenario)?;
+        if let Some(faults) = &config.faults {
+            faults.validate_servers(scenario.num_servers())?;
+        }
         let controller = config
             .control
             .map(|c| Controller::new(c, scenario.num_users(), scenario.num_models()))
             .transpose()?;
+        let num_servers = scenario.num_servers();
         Ok(Self {
             scenario,
             policy,
@@ -402,6 +438,9 @@ impl<'a> ServeEngine<'a> {
             controller,
             scheduled: Vec::new(),
             persist: None,
+            server_down: vec![false; num_servers],
+            down_servers: 0,
+            last_target: None,
             resume_state: None,
         })
     }
@@ -478,6 +517,9 @@ impl<'a> ServeEngine<'a> {
                 }
             }
         }
+        // The warm-start placement is the reference recovered servers
+        // self-heal towards until a re-plan supersedes it.
+        self.last_target = Some(placement.clone());
         Ok(())
     }
 
@@ -507,6 +549,11 @@ impl<'a> ServeEngine<'a> {
         }
         for (index, (at_s, _)) in self.scheduled.iter().enumerate() {
             queue.push(*at_s, EventKind::ScheduledReconcile { index });
+        }
+        if let Some(faults) = &self.config.faults {
+            for (index, spec) in faults.timeline.iter().enumerate() {
+                queue.push(spec.at_s, EventKind::FaultTransition { index });
+            }
         }
 
         if let Some(pc) = self.config.persist.clone() {
@@ -548,7 +595,11 @@ impl<'a> ServeEngine<'a> {
                 Some(event) if event.time_s <= stop_s => {}
                 _ => break,
             }
-            let event = state.queue.pop().expect("peeked event exists");
+            // Peeked above; a concurrent mutation is impossible, but a
+            // missing event is a clean loop exit, not a panic.
+            let Some(event) = state.queue.pop() else {
+                break;
+            };
             match event.kind {
                 EventKind::Request { user } => {
                     let model = self.workload.draw_model(user, event.time_s, &mut state.rng);
@@ -559,8 +610,18 @@ impl<'a> ServeEngine<'a> {
                         .push(event.time_s + gap, EventKind::Request { user });
                 }
                 EventKind::TransferComplete { server, model } => {
-                    self.caches[server].complete_fill(model)?;
-                    self.metrics.fills_completed += 1;
+                    // Fills aborted by a server failure leave their
+                    // completion events behind (a binary heap cannot
+                    // retract). A live fill's pending ETA is exactly the
+                    // time its completion event was pushed at, so an
+                    // event that no longer matches is a stale tombstone
+                    // and is ignored.
+                    if self.caches[server].is_pending(model)
+                        && self.caches[server].pending_eta_s(model) == event.time_s
+                    {
+                        self.caches[server].complete_fill(model)?;
+                        self.metrics.fills_completed += 1;
+                    }
                 }
                 EventKind::ControlTick => {
                     self.control_tick(event.time_s, &mut state.queue)?;
@@ -573,11 +634,29 @@ impl<'a> ServeEngine<'a> {
                         controller.note_replan(event.time_s);
                     }
                 }
+                EventKind::FaultTransition { index } => {
+                    self.apply_fault(index, event.time_s, &mut state.rng, &mut state.queue)?;
+                }
+                EventKind::RetryFill {
+                    server,
+                    model,
+                    attempt,
+                } => {
+                    self.retry_fill(
+                        server,
+                        model,
+                        attempt,
+                        event.time_s,
+                        &mut state.rng,
+                        &mut state.queue,
+                    )?;
+                }
                 EventKind::MobilitySlot => {
-                    let mobility = state
-                        .mobility
-                        .as_mut()
-                        .expect("mobility events only scheduled when mobility is on");
+                    let Some(mobility) = state.mobility.as_mut() else {
+                        return Err(RuntimeError::Internal {
+                            reason: "a mobility slot fired but mobility is off".into(),
+                        });
+                    };
                     mobility.step(&mut state.rng);
                     // Incremental snapshot evolution: only the moved
                     // users' rows (and the rows of users sharing a
@@ -626,22 +705,29 @@ impl<'a> ServeEngine<'a> {
             let path = p.config.checkpoint_path();
             let every_s = p.config.checkpoint_every_s;
             let fsync = p.config.fsync;
-            self.persist
-                .as_mut()
-                .expect("persistence is on")
-                .writer
-                .flush()?;
-            let checkpoint = Checkpoint {
-                state: self.capture(due, state),
+            let journal_offset = match self.persist.as_mut() {
+                Some(p) => {
+                    p.writer.flush()?;
+                    p.journal_position()
+                }
+                // Unreachable (checked at the top of the loop), but a
+                // clean return beats a panic in the serving path.
+                None => return Ok(()),
             };
-            let p = self.persist.as_mut().expect("persistence is on");
-            p.saver.save(path, checkpoint, fsync)?;
-            p.next_checkpoint_s = due + every_s;
+            let checkpoint = Checkpoint {
+                state: self.capture(due, state, journal_offset),
+            };
+            if let Some(p) = self.persist.as_mut() {
+                p.saver.save(path, checkpoint, fsync)?;
+                p.next_checkpoint_s = due + every_s;
+            }
         }
     }
 
     /// Captures the complete mutable engine state at boundary `time_s`.
-    fn capture(&self, time_s: f64, state: &RunState) -> CheckpointState {
+    /// `journal_offset` is the journal position the checkpoint records
+    /// (read by the caller, who owns the persist plumbing).
+    fn capture(&self, time_s: f64, state: &RunState, journal_offset: u64) -> CheckpointState {
         let (events, next_seq) = state.queue.snapshot();
         let (rate_hz, starts_s, phases) = self.workload.raw_parts();
         let mut config = self.config.clone();
@@ -667,11 +753,10 @@ impl<'a> ServeEngine<'a> {
                 slot_seconds: m.slot_seconds(),
                 users: m.users().to_vec(),
             }),
-            journal_offset: self
-                .persist
-                .as_ref()
-                .expect("capture only runs under persistence")
-                .journal_position(),
+            server_down: self.server_down.clone(),
+            link_degrades: self.links.iter().map(|l| l.degrade_factor()).collect(),
+            last_target: self.last_target.clone(),
+            journal_offset,
         }
     }
 
@@ -887,6 +972,24 @@ impl<'a> ServeEngine<'a> {
         engine.metrics = state.metrics.clone();
         engine.controller = state.controller.clone().map(Controller::restore);
         engine.scheduled = state.scheduled.clone();
+        if state.server_down.len() != scenario.num_servers()
+            || state.link_degrades.len() != scenario.num_servers()
+        {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "checkpoint fault state covers {} servers but the scenario has {}",
+                    state.server_down.len(),
+                    scenario.num_servers()
+                ),
+            }
+            .into());
+        }
+        engine.server_down = state.server_down.clone();
+        engine.down_servers = state.server_down.iter().filter(|&&d| d).count();
+        for (link, &degrade) in engine.links.iter_mut().zip(state.link_degrades.iter()) {
+            link.set_degrade_factor(degrade);
+        }
+        engine.last_target = state.last_target.clone();
         let mobility = match &state.mobility {
             Some(m) => Some(MobilityModel::new(
                 m.users.clone(),
@@ -923,21 +1026,64 @@ impl<'a> ServeEngine<'a> {
         let eligibility = current.eligibility();
 
         // Lowest-latency eligible server overall, and among caches
-        // holding the model. Only candidate servers of the request class
-        // are probed — at city scale that is a handful instead of all M.
+        // holding the model — both fault-obliviously (what a static
+        // client would target) and over up servers only (what failover
+        // can actually reach). Only candidate servers of the request
+        // class are probed — at city scale that is a handful instead of
+        // all M. For fault-free runs the masks never diverge and the
+        // path reduces to the original selection.
         let mut best_any: Option<(f64, usize)> = None;
         let mut best_hit: Option<(f64, usize)> = None;
+        let mut best_up_any: Option<(f64, usize)> = None;
+        let mut best_up_hit: Option<(f64, usize)> = None;
         for m in eligibility.servers_for(user, model) {
             let latency = evaluator.latency_s(m, user, model)?;
+            let holds = self.caches[m].contains(model);
             if best_any.is_none_or(|(best, _)| latency < best) {
                 best_any = Some((latency, m));
             }
-            if self.caches[m].contains(model) && best_hit.is_none_or(|(best, _)| latency < best) {
+            if holds && best_hit.is_none_or(|(best, _)| latency < best) {
                 best_hit = Some((latency, m));
+            }
+            if !self.server_down[m] {
+                if best_up_any.is_none_or(|(best, _)| latency < best) {
+                    best_up_any = Some((latency, m));
+                }
+                if holds && best_up_hit.is_none_or(|(best, _)| latency < best) {
+                    best_up_hit = Some((latency, m));
+                }
             }
         }
 
-        let (outcome, recorded_latency, block_hits, block_requests) = match (best_hit, best_any) {
+        // The server a fault-oblivious client would target: the serving
+        // decision of the no-fault engine.
+        let oblivious_target = best_hit.or(best_any).map(|(_, m)| m);
+        let failover = self.config.faults.as_ref().is_some_and(|f| f.failover);
+        let (chosen_hit, chosen_any, failed) = if failover {
+            // Candidates exist but every one of them is down: the
+            // request fails. Otherwise serve from the best *up* server.
+            let failed = best_up_any.is_none() && best_any.is_some();
+            (best_up_hit, best_up_any, failed)
+        } else {
+            // Static client: if the fault-oblivious target is down, the
+            // request simply fails — no retry along the candidate list.
+            match oblivious_target {
+                Some(m) if self.server_down[m] => (None, None, true),
+                _ => (best_hit, best_any, false),
+            }
+        };
+        if failed {
+            self.metrics.requests_failed += 1;
+        } else if failover && chosen_any.is_some() {
+            if let Some(m) = oblivious_target {
+                if self.server_down[m] {
+                    self.metrics.requests_failed_over += 1;
+                }
+            }
+        }
+
+        let (outcome, recorded_latency, block_hits, block_requests) = match (chosen_hit, chosen_any)
+        {
             (Some((latency, m)), _) => {
                 self.caches[m].record_access(model, now_s);
                 let (arrived, needed) = self.count_block_residency(m, model)?;
@@ -957,6 +1103,14 @@ impl<'a> ServeEngine<'a> {
             (None, None) => (RequestOutcome::Rejected, None, 0, 0),
         };
         self.metrics.record(now_s, outcome, recorded_latency);
+        if self.down_servers > 0 {
+            // Degraded mode: at least one server is down — track the
+            // served tail separately so the failover path's latency
+            // cost is visible.
+            if let Some(latency) = recorded_latency {
+                self.metrics.latency_degraded.record(latency);
+            }
+        }
         if let Some(p) = self.persist.as_mut() {
             p.note_served(&ServedRecord {
                 time_s: now_s,
@@ -980,35 +1134,37 @@ impl<'a> ServeEngine<'a> {
     /// re-plan over the estimated demand and stage it through the
     /// reconciler. Always schedules the next tick.
     fn control_tick(&mut self, now_s: f64, queue: &mut EventQueue) -> Result<(), RuntimeError> {
-        let controller = self
-            .controller
-            .as_mut()
-            .expect("control ticks only scheduled when control is on");
+        // Ticks are only scheduled when control is on; if the controller
+        // is somehow gone, dropping the tick chain is the safe recovery.
+        let Some(controller) = self.controller.as_mut() else {
+            return Ok(());
+        };
         let tick_s = controller.config().tick_s;
         let decision = controller.tick(now_s, &self.metrics);
+        let estimate = if decision.replan.is_some() {
+            Some(controller.estimate()?)
+        } else {
+            None
+        };
         self.metrics.control_ticks += 1;
         if let Some(after_s) = decision.recovered_after_s {
             self.metrics.recoveries += 1;
             self.metrics.recovery_seconds += after_s;
         }
-        if let Some(reason) = decision.replan {
+        if let (Some(reason), Some(estimate)) = (decision.replan, estimate) {
             // Plan against the *current* snapshot (mobility included)
-            // and the demand the controller actually observed.
-            let estimate = self
-                .controller
-                .as_ref()
-                .expect("controller present")
-                .estimate()?;
-            let target = plan_target(&self.current, &estimate)?;
+            // and the demand the controller actually observed — with
+            // down servers masked out of the eligibility view, so the
+            // planner never spends budget on capacity that cannot serve.
+            let target = plan_target_masked(&self.current, &estimate, &self.server_down)?;
             self.metrics.replans_triggered += 1;
             if reason == ReplanReason::Drift {
                 self.metrics.replans_drift += 1;
             }
             self.reconcile_to_target(&target, now_s, queue)?;
-            self.controller
-                .as_mut()
-                .expect("controller present")
-                .note_replan(now_s);
+            if let Some(controller) = self.controller.as_mut() {
+                controller.note_replan(now_s);
+            }
         }
         queue.push(now_s + tick_s, EventKind::ControlTick);
         Ok(())
@@ -1029,6 +1185,11 @@ impl<'a> ServeEngine<'a> {
     ) -> Result<(), RuntimeError> {
         let plan = reconcile::diff(target, &self.caches)?;
         for (m, delta) in plan.servers.iter().enumerate() {
+            if self.server_down[m] {
+                // A down server cannot receive fills; it converges on
+                // recovery via the self-healing pass instead.
+                continue;
+            }
             for &model in &delta.fills {
                 let standalone_bytes = self
                     .scenario
@@ -1058,6 +1219,234 @@ impl<'a> ServeEngine<'a> {
                 self.metrics.reconcile_fills_started += 1;
                 self.metrics.reconcile_bytes_moved += wire_bytes;
             }
+        }
+        self.last_target = Some(target.clone());
+        Ok(())
+    }
+
+    /// Re-replicates one recovered server towards `target` through the
+    /// ordinary staged fill pipeline — the self-healing pass run at
+    /// [`FaultKind::ServerUp`]. Only `server`'s delta is staged; the
+    /// rest of the fleet is untouched.
+    fn reconcile_server_to_target(
+        &mut self,
+        server: usize,
+        target: &Placement,
+        now_s: f64,
+        queue: &mut EventQueue,
+    ) -> Result<(), RuntimeError> {
+        let plan = reconcile::diff(target, &self.caches)?;
+        let Some(delta) = plan.servers.get(server) else {
+            return Ok(());
+        };
+        for &model in &delta.fills {
+            let standalone_bytes = self
+                .scenario
+                .library()
+                .model_size_bytes(model)
+                .map_err(trimcaching_scenario::ScenarioError::from)?;
+            if standalone_bytes > self.caches[server].capacity_bytes() {
+                continue;
+            }
+            while !self.caches[server].fits(model)? {
+                match reconcile::next_victim(&self.caches[server].view(), &delta.eviction_pool) {
+                    Some(victim) => {
+                        self.caches[server].evict(victim)?;
+                        self.metrics.evictions += 1;
+                        self.metrics.reconcile_evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+            if !self.caches[server].fits(model)? {
+                continue;
+            }
+            let (_, wire_bytes) = self.start_fill_pipeline(server, model, now_s, queue)?;
+            self.metrics.reconcile_fills_started += 1;
+            self.metrics.reconcile_bytes_moved += wire_bytes;
+        }
+        Ok(())
+    }
+
+    /// Applies one fault-schedule transition. Transitions are
+    /// idempotent — a `ServerDown` for a server already down (or a
+    /// `ServerUp` for one already up) is a no-op, so overlapping
+    /// schedule entries cannot corrupt the mask.
+    fn apply_fault(
+        &mut self,
+        index: usize,
+        now_s: f64,
+        rng: &mut StdRng,
+        queue: &mut EventQueue,
+    ) -> Result<(), RuntimeError> {
+        let (spec, recovery) = match self.config.faults.as_ref() {
+            Some(fc) => match fc.timeline.get(index) {
+                Some(spec) => (*spec, fc.recovery),
+                None => {
+                    return Err(RuntimeError::Internal {
+                        reason: format!(
+                            "fault event {index} is outside the schedule of {} entries",
+                            fc.timeline.len()
+                        ),
+                    });
+                }
+            },
+            None => return Ok(()),
+        };
+        match spec.kind {
+            FaultKind::ServerDown { server } => {
+                if self.server_down[server] {
+                    return Ok(());
+                }
+                self.server_down[server] = true;
+                self.down_servers += 1;
+                self.metrics.faults_injected += 1;
+                // The server died mid-transfer: everything on its link
+                // is lost and every pending fill is unwound, then
+                // re-queued with capped seeded-jitter backoff (ascending
+                // model order keeps the jitter draws deterministic).
+                let aborted = self.caches[server].pending_models();
+                self.links[server].clear_inflight();
+                for model in aborted {
+                    self.caches[server].abort_fill(model)?;
+                    self.metrics.fills_aborted += 1;
+                    let delay = self.retry_delay(1, rng);
+                    queue.push(
+                        now_s + delay,
+                        EventKind::RetryFill {
+                            server,
+                            model,
+                            attempt: 1,
+                        },
+                    );
+                }
+            }
+            FaultKind::ServerUp { server } => {
+                if !self.server_down[server] {
+                    return Ok(());
+                }
+                self.server_down[server] = false;
+                self.down_servers -= 1;
+                self.metrics.faults_recovered += 1;
+                self.apply_recovery_loss(server, recovery)?;
+                // Self-heal: re-replicate what the recovered server
+                // should hold (per the last reconciliation target) as
+                // ordinary staged fills over its backhaul link.
+                if let Some(target) = self.last_target.clone() {
+                    self.reconcile_server_to_target(server, &target, now_s, queue)?;
+                }
+            }
+            FaultKind::LinkDegraded { server, factor } => {
+                self.metrics.faults_injected += 1;
+                self.links[server].set_degrade_factor(factor);
+            }
+            FaultKind::LinkRestored { server } => {
+                self.metrics.faults_recovered += 1;
+                self.links[server].set_degrade_factor(1.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// The seeded-jitter backoff delay before retry `attempt`.
+    fn retry_delay(&self, attempt: u32, rng: &mut StdRng) -> f64 {
+        use rand::Rng;
+        match self.config.faults.as_ref() {
+            Some(fc) => fc.retry_delay_s(attempt, rng.gen_range(0.0..1.0)),
+            None => 0.0,
+        }
+    }
+
+    /// Applies the configured cache-survival semantics when `server`
+    /// comes back up. Partial recovery keeps the most recently used
+    /// fraction (ties broken by ascending model id), so the loss is a
+    /// pure function of cache state — no RNG draw.
+    fn apply_recovery_loss(
+        &mut self,
+        server: usize,
+        recovery: RecoveryMode,
+    ) -> Result<(), RuntimeError> {
+        let lost: Vec<ModelId> = match recovery {
+            RecoveryMode::Intact => Vec::new(),
+            RecoveryMode::Cold => self.caches[server].cached_models(),
+            RecoveryMode::Partial { keep_fraction } => {
+                let mut ranked = self.caches[server].cached_models();
+                ranked.sort_by(|a, b| {
+                    self.caches[server]
+                        .last_access_s(*b)
+                        .total_cmp(&self.caches[server].last_access_s(*a))
+                        .then_with(|| a.index().cmp(&b.index()))
+                });
+                let keep = ((ranked.len() as f64) * keep_fraction).floor() as usize;
+                ranked.split_off(keep)
+            }
+        };
+        for model in lost {
+            self.caches[server].evict(model)?;
+            self.metrics.evictions += 1;
+            self.metrics.models_lost += 1;
+        }
+        Ok(())
+    }
+
+    /// One retry of a fill aborted by a failure: while the server is
+    /// still down the retry re-arms with the next backoff step (until
+    /// the attempt cap); once it is up the fill goes back through the
+    /// ordinary admission path — the policy may well decline a model
+    /// whose demand has moved on.
+    fn retry_fill(
+        &mut self,
+        server: usize,
+        model: ModelId,
+        attempt: u32,
+        now_s: f64,
+        rng: &mut StdRng,
+        queue: &mut EventQueue,
+    ) -> Result<(), RuntimeError> {
+        let Some(fc) = self.config.faults.as_ref() else {
+            return Ok(());
+        };
+        let max_retries = fc.max_fill_retries;
+        self.metrics.fill_retries += 1;
+        if self.server_down[server] {
+            if attempt < max_retries {
+                let delay = self.retry_delay(attempt + 1, rng);
+                queue.push(
+                    now_s + delay,
+                    EventKind::RetryFill {
+                        server,
+                        model,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        if self.caches[server].contains(model) || self.caches[server].is_pending(model) {
+            return Ok(());
+        }
+        let standalone_bytes = self
+            .scenario
+            .library()
+            .model_size_bytes(model)
+            .map_err(trimcaching_scenario::ScenarioError::from)?;
+        if standalone_bytes > self.caches[server].capacity_bytes() {
+            return Ok(());
+        }
+        if !self.policy.admits(self.caches[server].view(), model) {
+            return Ok(());
+        }
+        while !self.caches[server].fits(model)? {
+            match self.policy.victim(self.caches[server].view(), model) {
+                Some(victim) => {
+                    self.caches[server].evict(victim)?;
+                    self.metrics.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        if self.caches[server].fits(model)? {
+            self.start_fill_pipeline(server, model, now_s, queue)?;
         }
         Ok(())
     }
@@ -1310,7 +1699,11 @@ pub fn serve_ensemble(
                     .with_seed(config.seed.wrapping_add(index as u64));
                 let outcome = serve(scenario, policy, initial, &run_config);
                 let failed = outcome.is_err();
-                results.lock().expect("no poisoned runs")[index] = Some(outcome);
+                // A poisoned lock only means another worker panicked
+                // after writing its slot — the data inside is still a
+                // plain `Vec` of per-run slots, so recover it rather
+                // than propagating the panic across all runs.
+                results.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(outcome);
                 if failed {
                     break;
                 }
@@ -1320,9 +1713,15 @@ pub fn serve_ensemble(
 
     results
         .into_inner()
-        .expect("no poisoned runs")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
-        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(RuntimeError::Internal {
+                    reason: "an ensemble run slot was never claimed by a worker".into(),
+                })
+            })
+        })
         .collect()
 }
 
@@ -1410,6 +1809,151 @@ mod tests {
             serve(&s, &Lru, None, &config).unwrap().metrics,
             c.metrics,
             "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_and_fault_free_behavior_is_unchanged() {
+        use crate::faults::{FaultConfig, FaultKind, FaultSpec, RecoveryMode};
+        let s = scenario(12, 0.5);
+        let plain = ServeConfig::smoke().with_seed(5);
+        let baseline = serve(&s, &Lru, None, &plain).unwrap();
+        // An empty fault schedule must not perturb the trace at all.
+        let with_empty = plain.clone().with_faults(FaultConfig::new(Vec::new()));
+        let empty_run = serve(&s, &Lru, None, &with_empty).unwrap();
+        assert_eq!(baseline.metrics, empty_run.metrics);
+        assert_eq!(baseline.final_caches, empty_run.final_caches);
+        // A real outage is deterministic and fully accounted.
+        let faults = FaultConfig::new(vec![
+            FaultSpec {
+                at_s: 10.0,
+                kind: FaultKind::ServerDown { server: 0 },
+            },
+            FaultSpec {
+                at_s: 40.0,
+                kind: FaultKind::ServerUp { server: 0 },
+            },
+        ])
+        .with_recovery(RecoveryMode::Cold);
+        let config = plain.with_faults(faults);
+        let a = serve(&s, &Lru, None, &config).unwrap();
+        let b = serve(&s, &Lru, None, &config).unwrap();
+        assert_eq!(a, b, "same-seed faulty runs must be byte-identical");
+        assert_eq!(a.metrics.faults_injected, 1);
+        assert_eq!(a.metrics.faults_recovered, 1);
+        assert!((0.0..=1.0).contains(&a.metrics.availability()));
+    }
+
+    #[test]
+    fn failover_sustains_higher_availability_than_the_static_baseline() {
+        use crate::faults::{FaultConfig, FaultKind, FaultSpec};
+        let s = scenario(16, 0.5);
+        let outage = vec![
+            FaultSpec {
+                at_s: 5.0,
+                kind: FaultKind::ServerDown { server: 0 },
+            },
+            FaultSpec {
+                at_s: 50.0,
+                kind: FaultKind::ServerUp { server: 0 },
+            },
+        ];
+        let base = ServeConfig::smoke().with_seed(11);
+        let static_run = serve(
+            &s,
+            &Lru,
+            None,
+            &base
+                .clone()
+                .with_faults(FaultConfig::new(outage.clone()).with_failover(false)),
+        )
+        .unwrap();
+        let failover_run = serve(
+            &s,
+            &Lru,
+            None,
+            &base.with_faults(FaultConfig::new(outage).with_failover(true)),
+        )
+        .unwrap();
+        assert!(
+            static_run.metrics.requests_failed > 0,
+            "a 45 s outage of half the topology must fail some static requests"
+        );
+        assert!(
+            failover_run.metrics.availability() >= static_run.metrics.availability(),
+            "failover may not lose availability: {} < {}",
+            failover_run.metrics.availability(),
+            static_run.metrics.availability()
+        );
+        assert!(
+            failover_run.metrics.requests_failed_over > 0,
+            "dual-covered users must actually fail over"
+        );
+        assert!(
+            failover_run.metrics.latency_degraded.count() > 0,
+            "requests served during the outage populate the degraded histogram"
+        );
+    }
+
+    #[test]
+    fn downed_server_aborts_fills_and_recovery_restores_the_target() {
+        use crate::faults::{FaultConfig, FaultKind, FaultSpec, RecoveryMode};
+        let s = scenario(12, 0.5);
+        let faults = FaultConfig::new(vec![
+            FaultSpec {
+                at_s: 8.0,
+                kind: FaultKind::ServerDown { server: 0 },
+            },
+            FaultSpec {
+                at_s: 30.0,
+                kind: FaultKind::ServerUp { server: 0 },
+            },
+        ])
+        .with_recovery(RecoveryMode::Cold);
+        // Warm-start so the recovering server has a target to re-replicate.
+        let mut placement = s.empty_placement();
+        placement.place(ServerId(0), ModelId(0)).unwrap();
+        placement.place(ServerId(1), ModelId(1)).unwrap();
+        let config = ServeConfig::smoke().with_seed(3).with_faults(faults);
+        let report = serve(&s, &Lru, Some(&placement), &config).unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.faults_recovered, 1);
+        assert!(
+            m.models_lost > 0,
+            "cold recovery of a warm server must lose models"
+        );
+        assert!(
+            m.reconcile_fills_started > 0,
+            "self-healing re-replication stages fills on recovery"
+        );
+    }
+
+    #[test]
+    fn link_degradation_stretches_transfers_and_restores() {
+        use crate::faults::{FaultConfig, FaultKind, FaultSpec};
+        let s = scenario(12, 0.3);
+        let base = ServeConfig::smoke().with_seed(9);
+        let degraded = base.clone().with_faults(FaultConfig::new(vec![
+            FaultSpec {
+                at_s: 0.0,
+                kind: FaultKind::LinkDegraded {
+                    server: 0,
+                    factor: 0.05,
+                },
+            },
+            FaultSpec {
+                at_s: 55.0,
+                kind: FaultKind::LinkRestored { server: 0 },
+            },
+        ]));
+        let healthy = serve(&s, &Lru, None, &base).unwrap();
+        let throttled = serve(&s, &Lru, None, &degraded).unwrap();
+        assert_eq!(throttled.metrics.faults_injected, 1);
+        assert_eq!(throttled.metrics.faults_recovered, 1);
+        assert!(
+            throttled.metrics.transfer_seconds >= healthy.metrics.transfer_seconds,
+            "a 20x slower link cannot speed transfers up"
         );
     }
 

@@ -25,6 +25,15 @@ pub enum RuntimeError {
     /// The durable-run persistence layer failed (journal or checkpoint
     /// I/O, corruption, or a resume that diverged from its journal).
     Persist(crate::persist::PersistError),
+    /// An internal engine invariant was violated — state the engine
+    /// itself maintains turned out inconsistent (e.g. a fault abort on
+    /// a fill that is not in flight). Surfaced as an error instead of a
+    /// panic so a caller embedding the engine can fail one run, not the
+    /// process.
+    Internal {
+        /// Description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -38,6 +47,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "re-placement control error: {reason}")
             }
             RuntimeError::Persist(e) => write!(f, "persistence error: {e}"),
+            RuntimeError::Internal { reason } => {
+                write!(f, "internal engine invariant violated: {reason}")
+            }
         }
     }
 }
@@ -47,7 +59,9 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Scenario(e) => Some(e),
             RuntimeError::Persist(e) => Some(e),
-            RuntimeError::InvalidConfig { .. } | RuntimeError::Control { .. } => None,
+            RuntimeError::InvalidConfig { .. }
+            | RuntimeError::Control { .. }
+            | RuntimeError::Internal { .. } => None,
         }
     }
 }

@@ -47,6 +47,26 @@ pub enum EventKind {
         /// Index into the engine's scheduled-reconcile list.
         index: usize,
     },
+    /// One entry of the fault schedule fires: a server crashes or
+    /// recovers, or a backhaul link degrades or is restored. The index
+    /// refers into the configured `FaultConfig` timeline, which is part
+    /// of the checkpointed configuration — an `Eq`-safe handle instead
+    /// of inline fault payloads.
+    FaultTransition {
+        /// Index into `FaultConfig::timeline`.
+        index: usize,
+    },
+    /// A fill aborted by a server failure retries: if the server is
+    /// still down the retry re-arms with exponential backoff, otherwise
+    /// the fill goes back through the ordinary admission path.
+    RetryFill {
+        /// The server whose fill is retried.
+        server: usize,
+        /// The model whose fill was aborted.
+        model: ModelId,
+        /// 1-based attempt number (drives the backoff exponent).
+        attempt: u32,
+    },
 }
 
 /// One scheduled event.

@@ -40,6 +40,13 @@
 //!   backhaul pipeline — reconfiguration cost shows up in backhaul
 //!   bytes and tail latency like everything else (enable with
 //!   [`ServeConfig::with_control`]);
+//! * [`faults`] — **deterministic fault injection**: a seeded schedule
+//!   of server crashes/recoveries and link degradations replayed as
+//!   ordinary events, with serve-path failover along the sorted
+//!   eligibility candidates, abort-and-retry of in-flight fills under
+//!   capped seeded-jitter backoff, failure-masked re-planning and
+//!   self-healing re-replication on recovery (enable with
+//!   [`ServeConfig::with_faults`]);
 //! * [`metrics`] — streaming metrics: windowed hit-ratio trace,
 //!   hit/miss/rejected counts, backhaul bytes moved, block hit ratio,
 //!   transfer-queue depth, re-plan/reconciliation counters with
@@ -89,6 +96,7 @@ pub mod control;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod persist;
 pub mod policy;
@@ -105,6 +113,7 @@ pub use engine::{
 };
 pub use error::RuntimeError;
 pub use event::{Event, EventKind, EventQueue};
+pub use faults::{FaultConfig, FaultKind, FaultSpec, RecoveryMode};
 pub use metrics::{LatencyHistogram, RequestOutcome, ServeMetrics, WindowPoint};
 pub use persist::{
     read_journal, recompute_metrics, Checkpoint, JournalHeader, PersistConfig, PersistError,

@@ -226,8 +226,32 @@ pub struct ServeMetrics {
     /// [`ServeMetrics::recoveries`]; mean recovery time =
     /// [`ServeMetrics::mean_recovery_s`].
     pub recovery_seconds: f64,
+    /// Fault transitions applied that *degraded* the system (server
+    /// crashes, link degradations).
+    pub faults_injected: u64,
+    /// Fault transitions applied that *restored* the system (server and
+    /// link recoveries).
+    pub faults_recovered: u64,
+    /// Requests that failed because their serving target was down and
+    /// no failover saved them — the numerator of unavailability. Failed
+    /// requests also count as rejected (they were not served), so this
+    /// is the fault-specific slice of the rejections.
+    pub requests_failed: u64,
+    /// Requests served by a failover candidate after their
+    /// fault-oblivious target turned out to be down.
+    pub requests_failed_over: u64,
+    /// In-flight fills aborted by a server failure.
+    pub fills_aborted: u64,
+    /// Retry events fired for aborted fills (attempts that found the
+    /// server still down and re-armed count too).
+    pub fill_retries: u64,
+    /// Resident models lost to cold or partial cache recovery.
+    pub models_lost: u64,
     /// Latency histogram over all *served* requests (hits and misses).
     pub latency: LatencyHistogram,
+    /// Latency histogram over requests served while at least one server
+    /// was down — the degraded-mode tail the failover path is judged on.
+    pub latency_degraded: LatencyHistogram,
     /// Completed hit-ratio windows in time order.
     windows: Vec<WindowPoint>,
     window_s: f64,
@@ -276,7 +300,15 @@ impl ServeMetrics {
             reconcile_evictions: 0,
             recoveries: 0,
             recovery_seconds: 0.0,
+            faults_injected: 0,
+            faults_recovered: 0,
+            requests_failed: 0,
+            requests_failed_over: 0,
+            fills_aborted: 0,
+            fill_retries: 0,
+            models_lost: 0,
             latency: LatencyHistogram::new(),
+            latency_degraded: LatencyHistogram::new(),
             windows: Vec::new(),
             window_s,
             window_end_s: window_s,
@@ -389,6 +421,25 @@ impl ServeMetrics {
         }
     }
 
+    /// Availability: the fraction of requests that did *not* fail
+    /// because of an injected fault (`1.0` for an empty or fault-free
+    /// run). Capacity rejections are a modelling outcome, not an
+    /// outage, so they do not count against availability.
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            1.0 - self.requests_failed as f64 / self.requests as f64
+        }
+    }
+
+    /// 95th-percentile service latency over requests served while at
+    /// least one server was down (`None` when the run never degraded or
+    /// served nothing while degraded).
+    pub fn degraded_p95_latency_s(&self) -> Option<f64> {
+        self.latency_degraded.quantile_s(0.95)
+    }
+
     /// Fraction of requests that were served at all (hit or cloud fetch).
     pub fn served_ratio(&self) -> f64 {
         if self.requests == 0 {
@@ -497,6 +548,24 @@ mod tests {
         m.recoveries = 2;
         m.recovery_seconds = 30.0;
         assert_eq!(m.mean_recovery_s(), 15.0);
+    }
+
+    #[test]
+    fn availability_and_degraded_tail_read_from_fault_counters() {
+        let mut m = ServeMetrics::new(10.0);
+        assert_eq!(m.availability(), 1.0, "empty run is fully available");
+        assert_eq!(m.degraded_p95_latency_s(), None);
+        for _ in 0..8 {
+            m.record(1.0, RequestOutcome::Hit, Some(0.1));
+        }
+        // Two fault-failed requests: recorded as rejections, plus the
+        // fault-specific counter.
+        m.record(2.0, RequestOutcome::Rejected, None);
+        m.record(2.5, RequestOutcome::Rejected, None);
+        m.requests_failed = 2;
+        assert!((m.availability() - 0.8).abs() < 1e-12);
+        m.latency_degraded.record(0.5);
+        assert!(m.degraded_p95_latency_s().unwrap() > 0.4);
     }
 
     #[test]

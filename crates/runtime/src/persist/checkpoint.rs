@@ -32,12 +32,19 @@ use crate::control::{ControlConfig, ControllerSnapshot, DriftConfig};
 use crate::engine::{FillGranularity, ServeConfig};
 use crate::event::Event;
 use crate::event::EventKind;
+use crate::faults::{FaultConfig, FaultKind, FaultSpec, RecoveryMode};
 use crate::metrics::{LatencyHistogram, ServeMetrics, WindowPoint};
 
 /// Checkpoint file magic: "TrimCaching CheckPoint".
 pub(crate) const CHECKPOINT_MAGIC: [u8; 4] = *b"TCKP";
 /// Checkpoint format version this build reads and writes.
-pub(crate) const CHECKPOINT_VERSION: u8 = 1;
+///
+/// Version 2 added the fault-state section: the per-server down mask,
+/// link degradation factors, the last reconciliation target, the fault
+/// schedule in the config, the fault counters (and degraded-mode
+/// latency histogram) in the metrics, and the `FaultTransition` /
+/// `RetryFill` event kinds.
+pub(crate) const CHECKPOINT_VERSION: u8 = 2;
 
 /// Mobility kinematics captured alongside the radio snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +96,14 @@ pub(crate) struct CheckpointState {
     pub scheduled: Vec<(f64, Placement)>,
     /// Mobility kinematics, when mobility is on.
     pub mobility: Option<MobilityState>,
+    /// Per-server down mask at the boundary (all false when fault
+    /// injection is off).
+    pub server_down: Vec<bool>,
+    /// Per-server backhaul link degradation factors (1.0 = nominal).
+    pub link_degrades: Vec<f64>,
+    /// The placement the engine last reconciled toward — the target
+    /// self-healing re-replication restores a recovering server to.
+    pub last_target: Option<Placement>,
     /// Journal length in bytes at the boundary: records at or before
     /// this offset are already reflected in the checkpoint.
     pub journal_offset: u64,
@@ -326,7 +341,109 @@ fn encode_config(e: &mut Encoder, c: &ServeConfig) {
         }
         None => e.put_bool(false),
     }
+    match &c.faults {
+        Some(fc) => {
+            e.put_bool(true);
+            encode_fault_config(e, fc);
+        }
+        None => e.put_bool(false),
+    }
     e.put_u64(c.seed);
+}
+
+fn encode_fault_config(e: &mut Encoder, fc: &FaultConfig) {
+    match fc.recovery {
+        RecoveryMode::Intact => e.put_u8(0),
+        RecoveryMode::Cold => e.put_u8(1),
+        RecoveryMode::Partial { keep_fraction } => {
+            e.put_u8(2);
+            e.put_f64(keep_fraction);
+        }
+    }
+    e.put_bool(fc.failover);
+    e.put_u32(fc.max_fill_retries);
+    e.put_f64(fc.retry_backoff_s);
+    e.put_f64(fc.retry_backoff_cap_s);
+    e.put_f64(fc.retry_jitter);
+    e.put_seq_len(fc.timeline.len());
+    for spec in &fc.timeline {
+        e.put_f64(spec.at_s);
+        match spec.kind {
+            FaultKind::ServerDown { server } => {
+                e.put_u8(0);
+                e.put_u64(server as u64);
+            }
+            FaultKind::ServerUp { server } => {
+                e.put_u8(1);
+                e.put_u64(server as u64);
+            }
+            FaultKind::LinkDegraded { server, factor } => {
+                e.put_u8(2);
+                e.put_u64(server as u64);
+                e.put_f64(factor);
+            }
+            FaultKind::LinkRestored { server } => {
+                e.put_u8(3);
+                e.put_u64(server as u64);
+            }
+        }
+    }
+}
+
+fn decode_fault_config(d: &mut Decoder<'_>) -> Result<FaultConfig, PersistError> {
+    let recovery = match d.get_u8()? {
+        0 => RecoveryMode::Intact,
+        1 => RecoveryMode::Cold,
+        2 => RecoveryMode::Partial {
+            keep_fraction: d.get_f64()?,
+        },
+        other => {
+            return Err(PersistError::Corrupt {
+                context: format!("checkpoint: unknown recovery mode tag {other}"),
+            })
+        }
+    };
+    let failover = d.get_bool()?;
+    let max_fill_retries = d.get_u32()?;
+    let retry_backoff_s = d.get_f64()?;
+    let retry_backoff_cap_s = d.get_f64()?;
+    let retry_jitter = d.get_f64()?;
+    let n = d.get_seq_len()?;
+    let timeline = (0..n)
+        .map(|_| {
+            let at_s = d.get_f64()?;
+            let kind = match d.get_u8()? {
+                0 => FaultKind::ServerDown {
+                    server: d.get_u64()? as usize,
+                },
+                1 => FaultKind::ServerUp {
+                    server: d.get_u64()? as usize,
+                },
+                2 => FaultKind::LinkDegraded {
+                    server: d.get_u64()? as usize,
+                    factor: d.get_f64()?,
+                },
+                3 => FaultKind::LinkRestored {
+                    server: d.get_u64()? as usize,
+                },
+                other => {
+                    return Err(PersistError::Corrupt {
+                        context: format!("checkpoint: unknown fault kind tag {other}"),
+                    })
+                }
+            };
+            Ok(FaultSpec { at_s, kind })
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(FaultConfig {
+        timeline,
+        recovery,
+        failover,
+        max_fill_retries,
+        retry_backoff_s,
+        retry_backoff_cap_s,
+        retry_jitter,
+    })
 }
 
 fn decode_config(d: &mut Decoder<'_>) -> Result<ServeConfig, PersistError> {
@@ -349,6 +466,11 @@ fn decode_config(d: &mut Decoder<'_>) -> Result<ServeConfig, PersistError> {
     } else {
         None
     };
+    let faults = if d.get_bool()? {
+        Some(decode_fault_config(d)?)
+    } else {
+        None
+    };
     let seed = d.get_u64()?;
     Ok(ServeConfig {
         duration_s,
@@ -361,6 +483,7 @@ fn decode_config(d: &mut Decoder<'_>) -> Result<ServeConfig, PersistError> {
         cloud_ingest_bps,
         congestion_aware,
         control,
+        faults,
         seed,
         persist: None,
     })
@@ -405,6 +528,20 @@ fn encode_event(e: &mut Encoder, event: &Event) {
             e.put_u8(4);
             e.put_u64(index as u64);
         }
+        EventKind::FaultTransition { index } => {
+            e.put_u8(5);
+            e.put_u64(index as u64);
+        }
+        EventKind::RetryFill {
+            server,
+            model,
+            attempt,
+        } => {
+            e.put_u8(6);
+            e.put_u64(server as u64);
+            e.put_u64(model.0 as u64);
+            e.put_u32(attempt);
+        }
     }
 }
 
@@ -423,6 +560,14 @@ fn decode_event(d: &mut Decoder<'_>) -> Result<Event, PersistError> {
         3 => EventKind::ControlTick,
         4 => EventKind::ScheduledReconcile {
             index: d.get_u64()? as usize,
+        },
+        5 => EventKind::FaultTransition {
+            index: d.get_u64()? as usize,
+        },
+        6 => EventKind::RetryFill {
+            server: d.get_u64()? as usize,
+            model: ModelId(d.get_u64()? as usize),
+            attempt: d.get_u32()?,
         },
         other => {
             return Err(PersistError::Corrupt {
@@ -503,12 +648,20 @@ fn encode_metrics(e: &mut Encoder, m: &ServeMetrics) {
         m.reconcile_bytes_moved,
         m.reconcile_evictions,
         m.recoveries,
+        m.faults_injected,
+        m.faults_recovered,
+        m.requests_failed,
+        m.requests_failed_over,
+        m.fills_aborted,
+        m.fill_retries,
+        m.models_lost,
     ] {
         e.put_u64(v);
     }
     e.put_f64(m.transfer_seconds);
     e.put_f64(m.recovery_seconds);
     encode_histogram(e, &m.latency);
+    encode_histogram(e, &m.latency_degraded);
     let (windows, window_s, window_end_s, window_requests, window_hits, last_event_s) =
         m.window_state();
     e.put_seq_len(windows.len());
@@ -525,13 +678,14 @@ fn encode_metrics(e: &mut Encoder, m: &ServeMetrics) {
 }
 
 fn decode_metrics(d: &mut Decoder<'_>) -> Result<ServeMetrics, PersistError> {
-    let mut counters = [0u64; 24];
+    let mut counters = [0u64; 31];
     for c in &mut counters {
         *c = d.get_u64()?;
     }
     let transfer_seconds = d.get_f64()?;
     let recovery_seconds = d.get_f64()?;
     let latency = decode_histogram(d)?;
+    let latency_degraded = decode_histogram(d)?;
     let n = d.get_seq_len()?;
     let windows = (0..n)
         .map(|_| {
@@ -578,10 +732,18 @@ fn decode_metrics(d: &mut Decoder<'_>) -> Result<ServeMetrics, PersistError> {
         m.reconcile_bytes_moved,
         m.reconcile_evictions,
         m.recoveries,
+        m.faults_injected,
+        m.faults_recovered,
+        m.requests_failed,
+        m.requests_failed_over,
+        m.fills_aborted,
+        m.fill_retries,
+        m.models_lost,
     ] = counters;
     m.transfer_seconds = transfer_seconds;
     m.recovery_seconds = recovery_seconds;
     m.latency = latency;
+    m.latency_degraded = latency_degraded;
     m.restore_window_state(
         windows,
         window_s,
@@ -794,6 +956,15 @@ pub(crate) fn encode_state(s: &CheckpointState) -> Vec<u8> {
         }
         None => e.put_bool(false),
     }
+    e.put_bool_slice(&s.server_down);
+    e.put_f64_slice(&s.link_degrades);
+    match &s.last_target {
+        Some(p) => {
+            e.put_bool(true);
+            encode_placement(&mut e, p);
+        }
+        None => e.put_bool(false),
+    }
     e.put_u64(s.journal_offset);
     e.into_bytes()
 }
@@ -876,6 +1047,13 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
     } else {
         None
     };
+    let server_down = d.get_bool_vec()?;
+    let link_degrades = d.get_f64_vec()?;
+    let last_target = if d.get_bool()? {
+        Some(decode_placement(&mut d)?)
+    } else {
+        None
+    };
     let journal_offset = d.get_u64()?;
     d.finish()?;
     Ok(CheckpointState {
@@ -896,6 +1074,9 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
         controller,
         scheduled,
         mobility,
+        server_down,
+        link_degrades,
+        last_target,
         journal_offset,
     })
 }
@@ -915,14 +1096,47 @@ mod tests {
         metrics.record(1.0, RequestOutcome::Hit, Some(0.125));
         metrics.record(12.0, RequestOutcome::MissServed, Some(0.5));
         metrics.bytes_downloaded = 1024;
+        metrics.faults_injected = 2;
+        metrics.faults_recovered = 1;
+        metrics.requests_failed = 3;
+        metrics.requests_failed_over = 4;
+        metrics.fills_aborted = 1;
+        metrics.fill_retries = 5;
+        metrics.models_lost = 2;
+        metrics.latency_degraded.record(0.75);
         let mut placement = Placement::empty(2, 3);
         placement.place(ServerId(1), ModelId(2)).unwrap();
+        let mut target = Placement::empty(2, 3);
+        target.place(ServerId(0), ModelId(1)).unwrap();
+        let faults = crate::faults::FaultConfig::new(vec![
+            crate::faults::FaultSpec {
+                at_s: 40.0,
+                kind: crate::faults::FaultKind::ServerDown { server: 1 },
+            },
+            crate::faults::FaultSpec {
+                at_s: 55.0,
+                kind: crate::faults::FaultKind::LinkDegraded {
+                    server: 0,
+                    factor: 0.5,
+                },
+            },
+            crate::faults::FaultSpec {
+                at_s: 70.0,
+                kind: crate::faults::FaultKind::ServerUp { server: 1 },
+            },
+            crate::faults::FaultSpec {
+                at_s: 80.0,
+                kind: crate::faults::FaultKind::LinkRestored { server: 0 },
+            },
+        ])
+        .with_recovery(crate::faults::RecoveryMode::Partial { keep_fraction: 0.5 });
         CheckpointState {
             time_s: 30.0,
             policy: "lru".into(),
             config: ServeConfig {
                 control: Some(ControlConfig::paper_defaults()),
                 mobility_slot_s: 5.0,
+                faults: Some(faults),
                 ..ServeConfig::smoke()
             },
             rng: [1, 2, 3, u64::MAX],
@@ -955,8 +1169,22 @@ mod tests {
                     seq: 12,
                     kind: EventKind::ScheduledReconcile { index: 0 },
                 },
+                Event {
+                    time_s: 40.0,
+                    seq: 13,
+                    kind: EventKind::FaultTransition { index: 0 },
+                },
+                Event {
+                    time_s: 41.5,
+                    seq: 14,
+                    kind: EventKind::RetryFill {
+                        server: 1,
+                        model: ModelId(2),
+                        attempt: 3,
+                    },
+                },
             ],
-            next_seq: 13,
+            next_seq: 15,
             positions: vec![Point::new(1.0, 2.0), Point::new(-0.0, 999.5)],
             primary: vec![Some(0), None],
             caches: vec![CacheSnapshot {
@@ -986,6 +1214,9 @@ mod tests {
                     class: MobilityClass::Bike,
                 }],
             }),
+            server_down: vec![true, false],
+            link_degrades: vec![1.0, 0.5],
+            last_target: Some(target),
             journal_offset: 777,
         }
     }

@@ -377,7 +377,7 @@ pub(crate) fn recover_journal(path: &Path) -> Result<RecoveredJournal, PersistEr
         }
         frames.push((payload.to_vec(), pos as u64));
     }
-    let valid_len = if torn { pos as u64 } else { bytes.len() as u64 };
+    let mut valid_len = if torn { pos as u64 } else { bytes.len() as u64 };
 
     let Some((header_payload, _)) = frames.first() else {
         return Err(PersistError::Corrupt {
@@ -387,9 +387,24 @@ pub(crate) fn recover_journal(path: &Path) -> Result<RecoveredJournal, PersistEr
     let header = decode_header(header_payload)?;
     let mut records = Vec::with_capacity(frames.len() - 1);
     let mut record_ends = Vec::with_capacity(frames.len() - 1);
-    for (payload, end) in &frames[1..] {
-        records.push(decode_served(payload)?);
-        record_ends.push(*end);
+    for (idx, (payload, end)) in frames[1..].iter().enumerate() {
+        match decode_served(payload) {
+            Ok(record) => {
+                records.push(record);
+                record_ends.push(*end);
+            }
+            Err(_) => {
+                // A frame whose length and CRC verify but whose payload
+                // is not a served record is still a torn tail — e.g. a
+                // zero-filled page after a crash parses as a length-0
+                // frame whose CRC (of nothing) happens to match.
+                // Truncate at the frame's start — the end of the
+                // previous frame — and keep every record before it.
+                torn = true;
+                valid_len = frames[idx].1;
+                break;
+            }
+        }
     }
     Ok(RecoveredJournal {
         header,
@@ -521,6 +536,101 @@ mod tests {
         assert_eq!(recovered.valid_len, *recovered.record_ends.last().unwrap());
 
         // Reopening truncates the tail; the file is strict-readable again.
+        let w = JournalWriter::reopen(&path, recovered.valid_len).unwrap();
+        drop(w);
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_torn_exactly_at_the_length_prefix_boundary() {
+        let path = temp_path("torn-at-len.tcj");
+        let mut w = JournalWriter::create(&path, &sample_header()).unwrap();
+        for i in 0..4 {
+            w.append(&sample_record(i)).unwrap();
+        }
+        w.flush().unwrap();
+        let full_len = w.offset();
+        drop(w);
+
+        // Leave exactly 3 bytes of the next record's length prefix: the
+        // tear lands inside the length word itself.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut torn_bytes = bytes.clone();
+        torn_bytes.extend_from_slice(&7u32.to_le_bytes()[..3]);
+        std::fs::write(&path, &torn_bytes).unwrap();
+
+        let recovered = recover_journal(&path).unwrap();
+        assert!(recovered.torn);
+        assert_eq!(recovered.records.len(), 4, "no valid record may be lost");
+        assert_eq!(recovered.valid_len, full_len, "truncate at the tear only");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tail_torn_exactly_at_the_final_crc_byte() {
+        let path = temp_path("torn-at-crc.tcj");
+        let mut w = JournalWriter::create(&path, &sample_header()).unwrap();
+        for i in 0..4 {
+            w.append(&sample_record(i)).unwrap();
+        }
+        w.flush().unwrap();
+        let full_len = w.offset();
+        drop(w);
+        let prev_end = recover_journal(&path)
+            .unwrap()
+            .record_ends
+            .get(2)
+            .copied()
+            .unwrap();
+
+        // Chop exactly the last CRC byte: length and payload of the
+        // final record are complete, its CRC word is one byte short.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full_len - 1).unwrap();
+        drop(file);
+
+        let recovered = recover_journal(&path).unwrap();
+        assert!(recovered.torn);
+        assert_eq!(
+            recovered.records.len(),
+            3,
+            "the complete preceding records survive"
+        );
+        assert_eq!(
+            recovered.valid_len, prev_end,
+            "truncation lands at the torn record's start"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_filled_tail_is_a_torn_record_not_a_hard_error() {
+        let path = temp_path("zero-tail.tcj");
+        let mut w = JournalWriter::create(&path, &sample_header()).unwrap();
+        for i in 0..4 {
+            w.append(&sample_record(i)).unwrap();
+        }
+        w.flush().unwrap();
+        let full_len = w.offset();
+        drop(w);
+
+        // A crash on some filesystems leaves pre-allocated zero pages
+        // after the last real write. A zeroed span parses as length-0
+        // frames whose CRC (of the empty payload) matches — the decode
+        // step must classify them as a torn tail, not destroy the
+        // journal with a hard corruption error.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovered = recover_journal(&path).unwrap();
+        assert!(recovered.torn);
+        assert_eq!(recovered.records.len(), 4, "every real record survives");
+        assert_eq!(recovered.valid_len, full_len);
+
+        // Reopening at the recovered length makes the file strict again.
         let w = JournalWriter::reopen(&path, recovered.valid_len).unwrap();
         drop(w);
         let (_, records) = read_journal(&path).unwrap();

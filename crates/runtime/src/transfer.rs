@@ -39,6 +39,10 @@ pub struct TransferTicket {
 pub struct BackhaulLink {
     nominal_bps: f64,
     congestion_aware: bool,
+    /// Fault-injected rate multiplier in `(0, 1]`; `1.0` = healthy.
+    /// Applies to transfers *started* while degraded — in-flight finish
+    /// times stay frozen, like every other rate decision.
+    degrade: f64,
     /// Finish times of in-flight transfers, ascending.
     inflight: VecDeque<f64>,
 }
@@ -59,6 +63,7 @@ impl BackhaulLink {
         Ok(Self {
             nominal_bps,
             congestion_aware,
+            degrade: 1.0,
             inflight: VecDeque::new(),
         })
     }
@@ -66,6 +71,27 @@ impl BackhaulLink {
     /// The nominal (uncontended) link rate in bits per second.
     pub fn nominal_bps(&self) -> f64 {
         self.nominal_bps
+    }
+
+    /// The fault-injected rate multiplier currently in force
+    /// (`1.0` = healthy).
+    pub fn degrade_factor(&self) -> f64 {
+        self.degrade
+    }
+
+    /// Sets the fault-injected rate multiplier. Transfers already in
+    /// flight keep their frozen finish times; only transfers started
+    /// afterwards see the new rate.
+    pub fn set_degrade_factor(&mut self, factor: f64) {
+        self.degrade = factor;
+    }
+
+    /// Drops every in-flight transfer (the server behind the link went
+    /// down), returning how many were cleared.
+    pub fn clear_inflight(&mut self) -> usize {
+        let cleared = self.inflight.len();
+        self.inflight.clear();
+        cleared
     }
 
     /// Drops transfers that have already finished by `now_s`.
@@ -89,10 +115,11 @@ impl BackhaulLink {
     pub fn begin_transfer(&mut self, now_s: f64, bytes: u64) -> TransferTicket {
         self.prune(now_s);
         let depth = self.inflight.len();
+        let healthy = self.nominal_bps * self.degrade;
         let rate = if self.congestion_aware {
-            self.nominal_bps / (depth + 1) as f64
+            healthy / (depth + 1) as f64
         } else {
-            self.nominal_bps
+            healthy
         };
         let duration_s = bytes as f64 * 8.0 / rate;
         let finish_s = now_s + duration_s;
@@ -168,6 +195,33 @@ mod tests {
         // At 2 s only the large transfer remains in flight.
         assert_eq!(link.depth(2.0), 1);
         assert_eq!(link.depth(5.0), 0);
+    }
+
+    #[test]
+    fn degraded_links_stretch_new_transfers_only() {
+        let mut link = BackhaulLink::new(8.0e9, false).unwrap();
+        let before = link.begin_transfer(0.0, 1_000_000_000); // 1 s healthy
+        assert!((before.finish_s - 1.0).abs() < 1e-12);
+        link.set_degrade_factor(0.25);
+        assert_eq!(link.degrade_factor(), 0.25);
+        // Started while degraded: 4x slower.
+        let during = link.begin_transfer(0.0, 1_000_000_000);
+        assert!((during.finish_s - 4.0).abs() < 1e-9);
+        // The earlier transfer's frozen finish time is untouched.
+        assert_eq!(link.depth(2.0), 1);
+        link.set_degrade_factor(1.0);
+        let after = link.begin_transfer(5.0, 1_000_000_000);
+        assert!((after.finish_s - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clearing_inflight_empties_the_link() {
+        let mut link = BackhaulLink::new(8.0e9, true).unwrap();
+        link.begin_transfer(0.0, 1_000_000_000);
+        link.begin_transfer(0.0, 2_000_000_000);
+        assert_eq!(link.clear_inflight(), 2);
+        assert_eq!(link.depth(0.0), 0);
+        assert_eq!(link.clear_inflight(), 0);
     }
 
     #[test]

@@ -718,6 +718,93 @@ impl EligibilityView for SparseEligibility {
 }
 
 // ---------------------------------------------------------------------------
+// Failure masking
+// ---------------------------------------------------------------------------
+
+/// An [`EligibilityView`] adaptor hiding a set of down servers.
+///
+/// A failure-aware planner re-plans over the same eligibility the
+/// scenario derived, minus the servers currently down: a masked server
+/// serves no user, offers no model and contributes no eligible triple,
+/// exactly as if its coverage had vanished — while the underlying
+/// representation (and every up server's iteration order) stays
+/// untouched, so a plan over an all-up mask is bit-identical to one
+/// over the unmasked view.
+///
+/// `down[m]` marks server `m` as down; servers beyond the mask's length
+/// are treated as up.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskedEligibility<'a> {
+    inner: &'a dyn EligibilityView,
+    down: &'a [bool],
+}
+
+impl<'a> MaskedEligibility<'a> {
+    /// Wraps `inner`, hiding every server whose `down` flag is set.
+    pub fn new(inner: &'a dyn EligibilityView, down: &'a [bool]) -> Self {
+        Self { inner, down }
+    }
+
+    fn is_down(&self, m: usize) -> bool {
+        self.down.get(m).copied().unwrap_or(false)
+    }
+}
+
+impl EligibilityView for MaskedEligibility<'_> {
+    fn num_servers(&self) -> usize {
+        self.inner.num_servers()
+    }
+
+    fn num_users(&self) -> usize {
+        self.inner.num_users()
+    }
+
+    fn num_models(&self) -> usize {
+        self.inner.num_models()
+    }
+
+    fn eligible(&self, m: usize, user: UserId, model: ModelId) -> bool {
+        !self.is_down(m) && self.inner.eligible(m, user, model)
+    }
+
+    fn servers_for(&self, user: UserId, model: ModelId) -> ServersFor<'_> {
+        ServersFor(ServersForInner::Masked {
+            inner: Box::new(self.inner.servers_for(user, model)),
+            down: self.down,
+        })
+    }
+
+    fn users_for(&self, m: usize, model: ModelId) -> UsersFor<'_> {
+        if self.is_down(m) {
+            return UsersFor(UsersForInner::Empty);
+        }
+        self.inner.users_for(m, model)
+    }
+
+    fn server_models(&self, m: usize) -> ServerModels<'_> {
+        if self.is_down(m) {
+            return ServerModels(ServerModelsInner::Empty);
+        }
+        self.inner.server_models(m)
+    }
+
+    fn pairs_for_server(&self, m: usize) -> PairsForServer<'_> {
+        if self.is_down(m) {
+            return PairsForServer(PairsForServerInner::Empty);
+        }
+        self.inner.pairs_for_server(m)
+    }
+
+    fn num_eligible(&self) -> usize {
+        let masked: usize = (0..self.inner.num_servers())
+            .filter(|&m| self.is_down(m))
+            .map(|m| self.inner.pairs_for_server(m).count())
+            .sum();
+        self.inner.num_eligible() - masked
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Iterators
 // ---------------------------------------------------------------------------
 
@@ -734,6 +821,10 @@ enum ServersForInner<'a> {
         next: usize,
     },
     Sparse(std::slice::Iter<'a, u32>),
+    Masked {
+        inner: Box<ServersFor<'a>>,
+        down: &'a [bool],
+    },
     Empty,
 }
 
@@ -758,6 +849,14 @@ impl Iterator for ServersFor<'_> {
                 None
             }
             ServersForInner::Sparse(iter) => iter.next().map(|m| *m as usize),
+            ServersForInner::Masked { inner, down } => {
+                for m in &mut **inner {
+                    if !down.get(m).copied().unwrap_or(false) {
+                        return Some(m);
+                    }
+                }
+                None
+            }
             ServersForInner::Empty => None,
         }
     }
@@ -1317,6 +1416,57 @@ mod tests {
         let err: Result<(), &str> = sparse.replace_user_rows(&[0], |_, _, _| Err("boom"));
         assert!(err.is_err());
         assert_eq!(sparse, before);
+    }
+
+    #[test]
+    fn masked_view_hides_exactly_the_down_servers() {
+        let (dense, sparse) = both();
+        let down = [false, true, false];
+        for view in [&dense as &dyn EligibilityView, &sparse] {
+            let masked = MaskedEligibility::new(view, &down);
+            assert_eq!(masked.num_servers(), view.num_servers());
+            assert_eq!(masked.num_users(), view.num_users());
+            assert_eq!(masked.num_models(), view.num_models());
+            for (m, &is_down) in down.iter().enumerate() {
+                for k in 0..3 {
+                    for i in 0..2 {
+                        let expected = !is_down && view.eligible(m, UserId(k), ModelId(i));
+                        assert_eq!(masked.eligible(m, UserId(k), ModelId(i)), expected);
+                    }
+                }
+                if is_down {
+                    assert_eq!(masked.users_for(m, ModelId(0)).count(), 0);
+                    assert_eq!(masked.server_models(m).count(), 0);
+                    assert_eq!(masked.pairs_for_server(m).count(), 0);
+                } else {
+                    assert_eq!(
+                        masked.pairs_for_server(m).collect::<Vec<_>>(),
+                        view.pairs_for_server(m).collect::<Vec<_>>()
+                    );
+                }
+            }
+            // servers_for skips down servers but keeps ascending order.
+            for k in 0..3 {
+                for i in 0..2 {
+                    let filtered: Vec<usize> = view
+                        .servers_for(UserId(k), ModelId(i))
+                        .filter(|&m| !down[m])
+                        .collect();
+                    let got: Vec<usize> = masked.servers_for(UserId(k), ModelId(i)).collect();
+                    assert_eq!(got, filtered, "servers_for({k},{i})");
+                }
+            }
+            // The triple count drops by exactly the down servers' pairs.
+            let lost: usize = view.pairs_for_server(1).count();
+            assert_eq!(masked.num_eligible(), view.num_eligible() - lost);
+            // An all-up mask is transparent.
+            let all_up = [false; 3];
+            let transparent = MaskedEligibility::new(view, &all_up);
+            assert_eq!(transparent.num_eligible(), view.num_eligible());
+            // A short mask treats the unnamed servers as up.
+            let short = MaskedEligibility::new(view, &down[..1]);
+            assert_eq!(short.num_eligible(), view.num_eligible());
+        }
     }
 
     #[test]

@@ -99,7 +99,8 @@ pub use block_view::BlockPlacement;
 pub use delta::SnapshotDelta;
 pub use demand::{Demand, DemandConfig, DemandEstimate, DemandView};
 pub use eligibility::{
-    Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
+    Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, MaskedEligibility,
+    SparseEligibility,
 };
 pub use entities::{gigabytes, EdgeServer, ServerId, User, UserId};
 pub use error::ScenarioError;
@@ -116,7 +117,8 @@ pub mod prelude {
     pub use crate::delta::SnapshotDelta;
     pub use crate::demand::{Demand, DemandConfig, DemandEstimate, DemandView};
     pub use crate::eligibility::{
-        Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, SparseEligibility,
+        Eligibility, EligibilityRepr, EligibilityTensor, EligibilityView, MaskedEligibility,
+        SparseEligibility,
     };
     pub use crate::entities::{gigabytes, EdgeServer, ServerId, User, UserId};
     pub use crate::error::ScenarioError;

@@ -7,7 +7,7 @@
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
 //!              serve serve-trace serve-blocks serve-adapt serve-adapt-trace
-//!              serve-journal resume fork-ab journal-stats
+//!              serve-journal resume fork-ab journal-stats serve-faults
 //!              replacement replacement-trigger lora-market city-scale
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
-    ablation, adapt, city, durable, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve,
+    ablation, adapt, city, durable, faults, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve,
     RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
@@ -52,7 +52,7 @@ fn print_usage() {
          [--dir DIR]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
          serve serve-trace serve-blocks serve-adapt serve-adapt-trace \
-         serve-journal resume fork-ab journal-stats replacement \
+         serve-journal resume fork-ab journal-stats serve-faults replacement \
          replacement-trigger lora-market city-scale \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
@@ -167,6 +167,7 @@ fn run_experiment(
         "resume" => render_table(durable::resume_run(config, dir)?),
         "fork-ab" => render_table(durable::fork_ab(config, dir)?),
         "journal-stats" => render_table(durable::journal_stats(dir)?),
+        "serve-faults" => render_table(faults::failover_study(config)?),
         "replacement" => render_table(replacement::replacement_study(config)?),
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
@@ -196,6 +197,7 @@ fn run_experiment(
                 "serve-blocks",
                 "serve-adapt",
                 "serve-adapt-trace",
+                "serve-faults",
                 "replacement",
                 "replacement-trigger",
                 "lora-market",

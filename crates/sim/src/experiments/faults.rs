@@ -1,0 +1,166 @@
+//! Fault injection and failover: serving through a scheduled outage
+//! storm over the `runtime::faults` subsystem.
+//!
+//! The study schedules one deterministic outage storm over a quarter of
+//! the edge servers mid-run and serves the identical workload twice:
+//! once with serve-path failover disabled (requests whose fault-oblivious
+//! target is down simply fail) and once with the full fault-tolerance
+//! stack on — failover along the eligibility order, abort-and-retry of
+//! in-flight fills, failure-masked re-planning and self-healing
+//! re-replication when servers come back. Both runs share one seed, so
+//! the comparison isolates exactly the failover machinery.
+//!
+//! Rows: 0 = failover disabled (static), 1 = failover enabled. The
+//! enabled row must dominate on availability *and* hit ratio — the
+//! acceptance bar the integration tests pin.
+
+use trimcaching_runtime::{
+    serve, ControlConfig, FaultConfig, Lru, RecoveryMode, ServeConfig, ServeReport,
+};
+use trimcaching_scenario::Scenario;
+
+use crate::experiments::{LibraryKind, RunConfig};
+use crate::report::{ExperimentTable, Measurement};
+use crate::topology::TopologyConfig;
+use crate::SimError;
+
+/// Simulated run length in seconds.
+const DURATION_S: f64 = 600.0;
+/// Per-user request rate.
+const RATE_HZ: f64 = 0.2;
+/// Fraction of the fleet the storm takes down (≥ 10% by design).
+const DOWN_FRACTION: f64 = 0.25;
+/// When the storm begins.
+const STORM_START_S: f64 = 120.0;
+/// How long each downed server stays down.
+const OUTAGE_S: f64 = 180.0;
+
+/// The fault-study scenario: the paper's footprint with capacity tight
+/// enough that losing a quarter of the fleet visibly moves hit ratio.
+fn fault_scenario(config: &RunConfig) -> Result<Scenario, SimError> {
+    let library = config.build_library(LibraryKind::Special);
+    TopologyConfig::paper_defaults()
+        .with_users(20)
+        .with_capacity_gb(0.25)
+        .generate(&library, config.monte_carlo.seed, 0)
+}
+
+/// The shared outage storm; only the failover switch differs between
+/// the two rows. Partial recovery loses the cold half of each returning
+/// cache, so self-healing re-replication has real work to do.
+fn storm(scenario: &Scenario, config: &RunConfig, failover: bool) -> Result<FaultConfig, SimError> {
+    Ok(FaultConfig::outage_storm(
+        scenario.num_servers(),
+        DOWN_FRACTION,
+        STORM_START_S,
+        OUTAGE_S,
+        config.monte_carlo.seed,
+    )
+    .map_err(SimError::from)?
+    .with_recovery(RecoveryMode::Partial { keep_fraction: 0.5 })
+    .with_failover(failover))
+}
+
+/// One serving run under the storm.
+fn run_under_storm(
+    scenario: &Scenario,
+    config: &RunConfig,
+    failover: bool,
+) -> Result<ServeReport, SimError> {
+    let serve_config = ServeConfig::paper_defaults()
+        .with_duration_s(DURATION_S)
+        .with_request_rate_hz(RATE_HZ)
+        .with_seed(config.monte_carlo.seed)
+        .with_mobility_slot_s(5.0)
+        .with_control(ControlConfig::paper_defaults().with_tick_s(30.0))
+        .with_faults(storm(scenario, config, failover)?);
+    Ok(serve(scenario, &Lru, None, &serve_config)?)
+}
+
+/// The per-row summary cells.
+fn fault_cells(report: &ServeReport) -> Vec<Measurement> {
+    let m = &report.metrics;
+    [
+        m.availability(),
+        m.hit_ratio(),
+        m.requests_failed as f64,
+        m.requests_failed_over as f64,
+        m.fill_retries as f64,
+        m.models_lost as f64,
+        m.degraded_p95_latency_s().unwrap_or(0.0) * 1e3,
+    ]
+    .into_iter()
+    .map(|mean| Measurement { mean, std_dev: 0.0 })
+    .collect()
+}
+
+/// The `serve-faults` study: static vs failover-enabled serving through
+/// the same deterministic outage storm.
+///
+/// # Errors
+///
+/// Propagates topology and runtime errors.
+pub fn failover_study(config: &RunConfig) -> Result<ExperimentTable, SimError> {
+    let scenario = fault_scenario(config)?;
+    let mut table = ExperimentTable::new(
+        "serve-faults",
+        "Fault injection: static vs failover-enabled serving under an \
+         outage storm (rows: 0 = failover off, 1 = failover on)",
+        "Failover",
+        "Metric value",
+        vec![
+            "availability".into(),
+            "hit-ratio".into(),
+            "requests-failed".into(),
+            "requests-failed-over".into(),
+            "fill-retries".into(),
+            "models-lost".into(),
+            "degraded-p95-ms".into(),
+        ],
+    );
+    for (row, failover) in [false, true].into_iter().enumerate() {
+        let report = run_under_storm(&scenario, config, failover)?;
+        table.push_row(row as f64, fault_cells(&report));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_dominates_the_static_baseline_under_the_storm() {
+        let config = RunConfig::smoke();
+        let table = failover_study(&config).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        let stat = &table.rows[0].cells;
+        let over = &table.rows[1].cells;
+        assert!(
+            stat[2].mean > 0.0,
+            "the storm must fail requests without failover"
+        );
+        assert!(
+            over[0].mean > stat[0].mean,
+            "failover must raise availability: {} vs {}",
+            over[0].mean,
+            stat[0].mean
+        );
+        assert!(
+            over[1].mean > stat[1].mean,
+            "failover must raise hit ratio: {} vs {}",
+            over[1].mean,
+            stat[1].mean
+        );
+        assert!(over[3].mean > 0.0, "some requests failed over");
+        assert!(over[5].mean > 0.0, "partial recovery lost models");
+    }
+
+    #[test]
+    fn the_study_is_deterministic() {
+        let config = RunConfig::smoke();
+        let a = failover_study(&config).unwrap();
+        let b = failover_study(&config).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

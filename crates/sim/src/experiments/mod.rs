@@ -15,11 +15,13 @@
 //! | [`adapt`] | adaptive serving under demand drift: static vs oracle replan vs the online re-placement controller |
 //! | [`city`] | city-scale Poisson deployments on the sparse eligibility representation |
 //! | [`durable`] | durable serving via `runtime::persist`: journaled runs, checkpoint resume, A/B forks, offline journal analysis |
+//! | [`faults`] | fault injection via `runtime::faults`: static vs failover-enabled serving through a deterministic outage storm |
 
 pub mod ablation;
 pub mod adapt;
 pub mod city;
 pub mod durable;
+pub mod faults;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;
