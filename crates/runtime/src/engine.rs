@@ -45,7 +45,7 @@ use serde::{Deserialize, Serialize};
 use trimcaching_modellib::ModelId;
 use trimcaching_scenario::mobility::MobilityModel;
 use trimcaching_scenario::{LatencyEvaluator, Placement, Scenario, UserId};
-use trimcaching_wireless::geometry::DeploymentArea;
+use trimcaching_wireless::geometry::{DeploymentArea, Point};
 
 use crate::cache::ServerCache;
 use crate::control::{plan_target_masked, reconcile, ControlConfig, Controller, ReplanReason};
@@ -295,10 +295,40 @@ pub struct ServeReport {
 /// seeded RNG, the pending event queue and (when mobility is on) the
 /// kinematic mobility model. Checkpoints capture it wholesale;
 /// [`ServeEngine::resume`] and [`ServeEngine::fork`] rebuild it.
-struct RunState {
-    rng: StdRng,
-    queue: EventQueue,
-    mobility: Option<MobilityModel>,
+pub(crate) struct RunState {
+    pub(crate) rng: StdRng,
+    pub(crate) queue: EventQueue,
+    pub(crate) mobility: Option<MobilityModel>,
+}
+
+/// Membership of one engine in a region-sharded run: which servers this
+/// shard simulates and which users it currently owns. An engine with no
+/// spec (`shard: None`) is the classic single-threaded engine; a shard
+/// with *all* servers and users behaves identically to it.
+pub(crate) struct ShardSpec {
+    /// Shard id — also the offset added to the run seed for this
+    /// shard's RNG stream.
+    pub(crate) id: usize,
+    /// `owned_users[k]`: this shard owns user `k`'s request stream,
+    /// kinematics and handover accounting. Ownership migrates between
+    /// shards at mobility boundaries as users cross strip borders.
+    pub(crate) owned_users: Vec<bool>,
+    /// `member_servers[m]`: server `m`'s cache, backhaul link and fault
+    /// transitions are simulated by this shard. Static for the run.
+    pub(crate) member_servers: Vec<bool>,
+}
+
+/// Why [`ServeEngine::drive`] stopped pumping events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum DriveStop {
+    /// No pending event fires at or before the requested stop time.
+    Horizon,
+    /// Shard mode only: a mobility boundary fired at the carried time.
+    /// The shard stepped its kinematics and scheduled the next slot,
+    /// but the position update, handover recount and user-ownership
+    /// migration are cross-shard work the coordinator must merge before
+    /// this queue drains any further.
+    MobilityBoundary(f64),
 }
 
 /// Journal and checkpoint plumbing of a durable run.
@@ -390,6 +420,9 @@ pub struct ServeEngine<'a> {
     /// Run state restored from a checkpoint, consumed by the next
     /// [`ServeEngine::run`] or [`ServeEngine::run_until`] call.
     resume_state: Option<RunState>,
+    /// Shard membership when this engine is one region of a sharded
+    /// run; `None` is the classic whole-scenario engine.
+    shard: Option<ShardSpec>,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -442,7 +475,35 @@ impl<'a> ServeEngine<'a> {
             down_servers: 0,
             last_target: None,
             resume_state: None,
+            shard: None,
         })
+    }
+
+    /// Marks this engine as one shard of a sharded run. The spec narrows
+    /// the serve path to member servers and the request/mobility streams
+    /// to owned users; everything else (snapshot, RNG discipline, event
+    /// ordering) is untouched, which is what makes a single all-owning
+    /// shard bit-identical to the classic engine.
+    pub(crate) fn set_shard(&mut self, spec: ShardSpec) {
+        self.shard = Some(spec);
+    }
+
+    /// Mutable access to the shard spec (the coordinator flips ownership
+    /// bits during migration).
+    pub(crate) fn shard_spec_mut(&mut self) -> Option<&mut ShardSpec> {
+        self.shard.as_mut()
+    }
+
+    /// True when this engine simulates server `m` (always, outside shard
+    /// mode).
+    fn is_member(&self, m: usize) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.member_servers[m])
+    }
+
+    /// True when this engine owns user `k`'s streams (always, outside
+    /// shard mode).
+    fn owns_user(&self, k: usize) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.owned_users[k])
     }
 
     /// Replaces the request workload — e.g. with a piecewise
@@ -510,10 +571,15 @@ impl<'a> ServeEngine<'a> {
     ///
     /// Propagates scenario errors for mismatched placements.
     pub fn warm_start(&mut self, placement: &Placement) -> Result<(), RuntimeError> {
-        for (m, cache) in self.caches.iter_mut().enumerate() {
+        for m in 0..self.caches.len() {
+            // In shard mode only member servers are preloaded; the rest
+            // of the placement is other shards' warm start.
+            if !self.is_member(m) {
+                continue;
+            }
             for model in placement.models_on(trimcaching_scenario::ServerId(m))? {
-                if cache.fits(model)? {
-                    cache.preload(model)?;
+                if self.caches[m].fits(model)? {
+                    self.caches[m].preload(model)?;
                 }
             }
         }
@@ -527,7 +593,7 @@ impl<'a> ServeEngine<'a> {
     /// queue and the mobility model — exactly as every pre-persistence
     /// run did (the RNG draw order is part of the determinism contract),
     /// and opens the journal when persistence is configured.
-    fn begin(&mut self) -> Result<RunState, RuntimeError> {
+    pub(crate) fn begin(&mut self) -> Result<RunState, RuntimeError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut queue = EventQueue::new();
         let mobility = if self.config.mobility_slot_s > 0.0 {
@@ -540,9 +606,15 @@ impl<'a> ServeEngine<'a> {
             None
         };
 
+        // Every shard draws the full per-user interarrival sequence (one
+        // draw per user, like the classic engine) but schedules requests
+        // only for the users it owns — identical draw counts keep a
+        // single all-owning shard on the classic RNG stream.
         for k in 0..self.scenario.num_users() {
             let t = self.workload.next_interarrival_s(&mut rng);
-            queue.push(t, EventKind::Request { user: UserId(k) });
+            if self.owns_user(k) {
+                queue.push(t, EventKind::Request { user: UserId(k) });
+            }
         }
         if let Some(controller) = &self.controller {
             queue.push(controller.config().tick_s, EventKind::ControlTick);
@@ -552,7 +624,11 @@ impl<'a> ServeEngine<'a> {
         }
         if let Some(faults) = &self.config.faults {
             for (index, spec) in faults.timeline.iter().enumerate() {
-                queue.push(spec.at_s, EventKind::FaultTransition { index });
+                // A shard replays only the transitions of its member
+                // servers; the rest belong to other shards' timelines.
+                if self.is_member(spec.kind.server()) {
+                    queue.push(spec.at_s, EventKind::FaultTransition { index });
+                }
             }
         }
 
@@ -565,7 +641,11 @@ impl<'a> ServeEngine<'a> {
                 duration_s: self.config.duration_s,
                 granularity: self.config.granularity,
             };
-            let writer = JournalWriter::create(&pc.journal_path(), &header)?;
+            let journal_path = match &self.shard {
+                Some(spec) => pc.journal_shard_path(spec.id),
+                None => pc.journal_path(),
+            };
+            let writer = JournalWriter::create(&journal_path, &header)?;
             self.persist = Some(PersistState {
                 writer,
                 next_checkpoint_s: 0.0,
@@ -588,7 +668,11 @@ impl<'a> ServeEngine<'a> {
     /// Events are only ever *peeked* past the horizon, never popped and
     /// dropped, so a stopped run's queue is byte-identical to the same
     /// moment of an uninterrupted run.
-    fn drive(&mut self, state: &mut RunState, stop_s: f64) -> Result<(), RuntimeError> {
+    pub(crate) fn drive(
+        &mut self,
+        state: &mut RunState,
+        stop_s: f64,
+    ) -> Result<DriveStop, RuntimeError> {
         loop {
             self.write_due_checkpoints(state, stop_s)?;
             match state.queue.peek() {
@@ -602,6 +686,13 @@ impl<'a> ServeEngine<'a> {
             };
             match event.kind {
                 EventKind::Request { user } => {
+                    // A user who migrated to another shard leaves the old
+                    // owner's pending request behind as a tombstone; skip
+                    // it *before* any RNG draw so the shard's stream is
+                    // exactly what its owned users produce.
+                    if !self.owns_user(user.index()) {
+                        continue;
+                    }
                     let model = self.workload.draw_model(user, event.time_s, &mut state.rng);
                     self.serve_request(user, model, event.time_s, &mut state.queue)?;
                     let gap = self.workload.next_interarrival_s(&mut state.rng);
@@ -658,31 +749,49 @@ impl<'a> ServeEngine<'a> {
                         });
                     };
                     mobility.step(&mut state.rng);
-                    // Incremental snapshot evolution: only the moved
-                    // users' rows (and the rows of users sharing a
-                    // reallocated server) are re-derived — bit-identical
-                    // to the full `with_user_positions` rebuild this
-                    // replaced, but O(moved) instead of O(M·K) per slot.
-                    let delta = self.current.update_user_positions(&mobility.positions())?;
-                    self.metrics.snapshot_rebuilds += 1;
-                    self.metrics.users_refreshed += delta.refreshed_users().len() as u64;
-                    // Primary servers are a pure function of a user's
-                    // covering set and rates, both unchanged outside the
-                    // refreshed set — recount handovers from the delta
-                    // instead of re-deriving all K assignments.
-                    for &k in delta.refreshed_users() {
-                        let fresh = primary_server_for(&self.current, k)?;
-                        if self.primary[k] != fresh {
-                            self.metrics.handovers += 1;
-                            self.primary[k] = fresh;
-                        }
-                    }
                     state.queue.push(
                         event.time_s + self.config.mobility_slot_s,
                         EventKind::MobilitySlot,
                     );
+                    if self.shard.is_some() {
+                        // Co-owned users' fresh positions live in *their*
+                        // owners' kinematics: hand control back so the
+                        // coordinator can assemble the global position
+                        // vector and run the merge on every shard.
+                        return Ok(DriveStop::MobilityBoundary(event.time_s));
+                    }
+                    let positions = mobility.positions();
+                    self.apply_slot_positions(&positions)?;
                 }
             }
+        }
+        Ok(DriveStop::Horizon)
+    }
+
+    /// Applies one mobility slot's (globally assembled) positions to the
+    /// radio snapshot: incremental snapshot evolution — only the moved
+    /// users' rows (and the rows of users sharing a reallocated server)
+    /// are re-derived, bit-identical to a full rebuild but O(moved) per
+    /// slot — followed by the handover recount over the refreshed users.
+    /// In shard mode only owned users are counted (each user's handovers
+    /// belong to exactly one shard), but every refreshed user's primary
+    /// is tracked so the assignment survives ownership migration.
+    pub(crate) fn apply_slot_positions(&mut self, positions: &[Point]) -> Result<(), RuntimeError> {
+        let delta = self.current.update_user_positions(positions)?;
+        self.metrics.snapshot_rebuilds += 1;
+        // Primary servers are a pure function of a user's covering set
+        // and rates, both unchanged outside the refreshed set — recount
+        // handovers from the delta instead of re-deriving all K
+        // assignments.
+        for &k in delta.refreshed_users() {
+            let fresh = primary_server_for(&self.current, k)?;
+            if self.owns_user(k) {
+                self.metrics.users_refreshed += 1;
+                if self.primary[k] != fresh {
+                    self.metrics.handovers += 1;
+                }
+            }
+            self.primary[k] = fresh;
         }
         Ok(())
     }
@@ -694,6 +803,12 @@ impl<'a> ServeEngine<'a> {
     /// journal is flushed first so the on-disk journal always covers
     /// the offset the checkpoint records.
     fn write_due_checkpoints(&mut self, state: &RunState, stop_s: f64) -> Result<(), RuntimeError> {
+        // Shards never write checkpoint files of their own: the
+        // coordinator captures every shard at the same boundary and
+        // writes one multi-shard checkpoint.
+        if self.shard.is_some() {
+            return Ok(());
+        }
         loop {
             let Some(p) = self.persist.as_ref() else {
                 return Ok(());
@@ -715,7 +830,7 @@ impl<'a> ServeEngine<'a> {
                 None => return Ok(()),
             };
             let checkpoint = Checkpoint {
-                state: self.capture(due, state, journal_offset),
+                shards: vec![self.capture(due, state, journal_offset)],
             };
             if let Some(p) = self.persist.as_mut() {
                 p.saver.save(path, checkpoint, fsync)?;
@@ -727,9 +842,14 @@ impl<'a> ServeEngine<'a> {
     /// Captures the complete mutable engine state at boundary `time_s`.
     /// `journal_offset` is the journal position the checkpoint records
     /// (read by the caller, who owns the persist plumbing).
-    fn capture(&self, time_s: f64, state: &RunState, journal_offset: u64) -> CheckpointState {
+    pub(crate) fn capture(
+        &self,
+        time_s: f64,
+        state: &RunState,
+        journal_offset: u64,
+    ) -> CheckpointState {
         let (events, next_seq) = state.queue.snapshot();
-        let (rate_hz, starts_s, phases) = self.workload.raw_parts();
+        let (rate_hz, starts_s, phases, user_class) = self.workload.raw_parts();
         let mut config = self.config.clone();
         config.persist = None;
         CheckpointState {
@@ -746,6 +866,7 @@ impl<'a> ServeEngine<'a> {
             workload_rate_hz: rate_hz,
             workload_starts_s: starts_s.to_vec(),
             workload_phases: phases.to_vec(),
+            workload_user_class: user_class.map(<[u32]>::to_vec),
             metrics: self.metrics.clone(),
             controller: self.controller.as_ref().map(|c| c.snapshot()),
             scheduled: self.scheduled.clone(),
@@ -774,6 +895,15 @@ impl<'a> ServeEngine<'a> {
         };
         let horizon = self.config.duration_s;
         self.drive(&mut state, horizon)?;
+        self.finish(horizon)
+    }
+
+    /// The tail of [`ServeEngine::run`]: checks that a resumed run
+    /// re-served its whole journal suffix, flushes persistence, closes
+    /// the metrics windows and builds the report. The sharded
+    /// coordinator calls this per shard after driving them all to the
+    /// horizon.
+    pub(crate) fn finish(mut self, horizon: f64) -> Result<ServeReport, RuntimeError> {
         if let Some(p) = self.persist.as_mut() {
             if !p.verify.is_empty() {
                 return Err(PersistError::Diverged {
@@ -796,6 +926,47 @@ impl<'a> ServeEngine<'a> {
             metrics: self.metrics,
             final_caches: self.caches.iter().map(|c| c.cached_models()).collect(),
         })
+    }
+
+    /// Flushes this shard's journal and captures its state at boundary
+    /// `time_s` — the coordinator assembles the per-shard states into
+    /// one multi-shard checkpoint file.
+    pub(crate) fn capture_for_checkpoint(
+        &mut self,
+        time_s: f64,
+        state: &RunState,
+    ) -> Result<CheckpointState, RuntimeError> {
+        let journal_offset = match self.persist.as_mut() {
+            Some(p) => {
+                p.writer.flush()?;
+                p.journal_position()
+            }
+            None => 0,
+        };
+        Ok(self.capture(time_s, state, journal_offset))
+    }
+
+    /// Flushes the journal without checkpointing (the sharded analogue
+    /// of the flush classic [`ServeEngine::run_until`] does on exit).
+    pub(crate) fn flush_journal(&mut self) -> Result<(), RuntimeError> {
+        if let Some(p) = self.persist.as_mut() {
+            p.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Takes the run state staged by a checkpoint restore, if any — the
+    /// coordinator drives restored shards through it.
+    pub(crate) fn take_resume_state(&mut self) -> Option<RunState> {
+        self.resume_state.take()
+    }
+
+    /// Draws a fresh interarrival gap for a user this shard just took
+    /// ownership of (migration at a mobility boundary) and schedules
+    /// their next request on the shard's queue.
+    pub(crate) fn schedule_user_request(&mut self, state: &mut RunState, user: UserId, now_s: f64) {
+        let gap = self.workload.next_interarrival_s(&mut state.rng);
+        state.queue.push(now_s + gap, EventKind::Request { user });
     }
 
     /// Runs the engine up to simulated time `stop_s` and then drops it —
@@ -848,36 +1019,60 @@ impl<'a> ServeEngine<'a> {
     ) -> Result<Self, RuntimeError> {
         persist.validate()?;
         let cp = Checkpoint::load(&persist.checkpoint_path())?;
-        if cp.state.policy != policy.name() {
+        if cp.num_shards() != 1 {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "checkpoint captures {} shards; resume sharded runs through \
+                     ShardedServeEngine::resume",
+                    cp.num_shards()
+                ),
+            }
+            .into());
+        }
+        let journal_path = persist.journal_path();
+        Self::resume_shard(scenario, policy, persist, &cp.shards[0], &journal_path)
+    }
+
+    /// Rebuilds one engine from an already-decoded checkpoint state plus
+    /// its journal — the shared tail of [`ServeEngine::resume`] (which
+    /// passes the single state of a classic checkpoint) and
+    /// `ShardedServeEngine::resume` (which passes each shard's state and
+    /// per-shard journal).
+    pub(crate) fn resume_shard(
+        scenario: &'a Scenario,
+        policy: &'a dyn EvictionPolicy,
+        persist: PersistConfig,
+        state: &CheckpointState,
+        journal_path: &Path,
+    ) -> Result<Self, RuntimeError> {
+        if state.policy != policy.name() {
             return Err(PersistError::Mismatch {
                 reason: format!(
                     "checkpoint was taken under policy '{}' but resume was asked to run '{}'",
-                    cp.state.policy,
+                    state.policy,
                     policy.name()
                 ),
             }
             .into());
         }
-        let recovered = recover_journal(&persist.journal_path())?;
-        if recovered.header.seed != cp.state.config.seed
-            || recovered.header.policy != cp.state.policy
-        {
+        let recovered = recover_journal(journal_path)?;
+        if recovered.header.seed != state.config.seed || recovered.header.policy != state.policy {
             return Err(PersistError::Mismatch {
                 reason: format!(
                     "journal belongs to seed {} / policy '{}' but the checkpoint is seed {} / policy '{}'",
                     recovered.header.seed,
                     recovered.header.policy,
-                    cp.state.config.seed,
-                    cp.state.policy
+                    state.config.seed,
+                    state.policy
                 ),
             }
             .into());
         }
-        if cp.state.journal_offset > recovered.valid_len {
+        if state.journal_offset > recovered.valid_len {
             return Err(PersistError::Corrupt {
                 context: format!(
                     "checkpoint refers to journal offset {} but only {} valid bytes exist",
-                    cp.state.journal_offset, recovered.valid_len
+                    state.journal_offset, recovered.valid_len
                 ),
             }
             .into());
@@ -887,16 +1082,16 @@ impl<'a> ServeEngine<'a> {
             .iter()
             .copied()
             .zip(recovered.record_ends.iter().copied())
-            .filter(|&(_, end)| end > cp.state.journal_offset)
+            .filter(|&(_, end)| end > state.journal_offset)
             .collect();
         // Reopening truncates any torn tail before appends continue.
-        let writer = JournalWriter::reopen(&persist.journal_path(), recovered.valid_len)?;
-        let mut engine = Self::restore_from(scenario, policy, &cp)?;
+        let writer = JournalWriter::reopen(journal_path, recovered.valid_len)?;
+        let mut engine = Self::restore_state(scenario, policy, state)?;
         engine.persist = Some(PersistState {
             writer,
-            next_checkpoint_s: cp.state.time_s + persist.checkpoint_every_s,
+            next_checkpoint_s: state.time_s + persist.checkpoint_every_s,
             verify,
-            verified_through: cp.state.journal_offset,
+            verified_through: state.journal_offset,
             saver: CheckpointSaver::default(),
             config: persist.clone(),
         });
@@ -921,19 +1116,29 @@ impl<'a> ServeEngine<'a> {
         checkpoint_path: &Path,
     ) -> Result<Self, RuntimeError> {
         let cp = Checkpoint::load(checkpoint_path)?;
-        Self::restore_from(scenario, policy, &cp)
+        if cp.num_shards() != 1 {
+            return Err(PersistError::Mismatch {
+                reason: format!(
+                    "checkpoint captures {} shards; fork a sharded run through \
+                     ShardedServeEngine::resume",
+                    cp.num_shards()
+                ),
+            }
+            .into());
+        }
+        Self::restore_state(scenario, policy, &cp.shards[0])
     }
 
-    /// Rebuilds an engine mid-run from a checkpoint: a fresh engine over
-    /// the original scenario, every mutable layer overwritten with the
-    /// checkpointed state, and the run state (RNG words, event queue,
-    /// mobility kinematics) staged for the next `run`/`run_until` call.
-    fn restore_from(
+    /// Rebuilds an engine mid-run from one shard's checkpoint state: a
+    /// fresh engine over the original scenario, every mutable layer
+    /// overwritten with the checkpointed state, and the run state (RNG
+    /// words, event queue, mobility kinematics) staged for the next
+    /// `run`/`run_until` call.
+    fn restore_state(
         scenario: &'a Scenario,
         policy: &'a dyn EvictionPolicy,
-        cp: &Checkpoint,
+        state: &CheckpointState,
     ) -> Result<Self, RuntimeError> {
-        let state = &cp.state;
         if state.positions.len() != scenario.num_users()
             || state.caches.len() != scenario.num_servers()
         {
@@ -968,6 +1173,7 @@ impl<'a> ServeEngine<'a> {
             state.workload_rate_hz,
             state.workload_starts_s.clone(),
             state.workload_phases.clone(),
+            state.workload_user_class.clone(),
         );
         engine.metrics = state.metrics.clone();
         engine.controller = state.controller.clone().map(Controller::restore);
@@ -1037,6 +1243,11 @@ impl<'a> ServeEngine<'a> {
         let mut best_up_any: Option<(f64, usize)> = None;
         let mut best_up_hit: Option<(f64, usize)> = None;
         for m in eligibility.servers_for(user, model) {
+            // Candidates outside this shard's region are other shards'
+            // capacity — invisible here, like the planner mask.
+            if !self.is_member(m) {
+                continue;
+            }
             let latency = evaluator.latency_s(m, user, model)?;
             let holds = self.caches[m].contains(model);
             if best_any.is_none_or(|(best, _)| latency < best) {
@@ -1156,7 +1367,20 @@ impl<'a> ServeEngine<'a> {
             // and the demand the controller actually observed — with
             // down servers masked out of the eligibility view, so the
             // planner never spends budget on capacity that cannot serve.
-            let target = plan_target_masked(&self.current, &estimate, &self.server_down)?;
+            // In shard mode non-member servers are masked the same way:
+            // they are capacity some other shard's controller plans.
+            let target = match &self.shard {
+                Some(spec) => {
+                    let mask: Vec<bool> = self
+                        .server_down
+                        .iter()
+                        .zip(&spec.member_servers)
+                        .map(|(&down, &member)| down || !member)
+                        .collect();
+                    plan_target_masked(&self.current, &estimate, &mask)?
+                }
+                None => plan_target_masked(&self.current, &estimate, &self.server_down)?,
+            };
             self.metrics.replans_triggered += 1;
             if reason == ReplanReason::Drift {
                 self.metrics.replans_drift += 1;
@@ -1185,9 +1409,10 @@ impl<'a> ServeEngine<'a> {
     ) -> Result<(), RuntimeError> {
         let plan = reconcile::diff(target, &self.caches)?;
         for (m, delta) in plan.servers.iter().enumerate() {
-            if self.server_down[m] {
+            if self.server_down[m] || !self.is_member(m) {
                 // A down server cannot receive fills; it converges on
-                // recovery via the self-healing pass instead.
+                // recovery via the self-healing pass instead. A
+                // non-member server is another shard's to reconcile.
                 continue;
             }
             for &model in &delta.fills {

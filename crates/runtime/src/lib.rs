@@ -58,7 +58,15 @@
 //!   controller), byte-identical resume after a crash
 //!   ([`ServeEngine::resume`]) and A/B forks of one checkpoint under
 //!   different policies ([`ServeEngine::fork`]) — enable with
-//!   [`ServeConfig::with_persist`].
+//!   [`ServeConfig::with_persist`];
+//! * [`shard`] — **region-sharded serving**: the deployment is split
+//!   into vertical strips, each strip a full engine with its own event
+//!   queue, RNG stream, caches and regional controller; shards run on a
+//!   worker-thread pool between mobility boundaries and merge
+//!   deterministically (handover, ownership migration, shared
+//!   checkpoints) so the trace is byte-identical across any thread
+//!   count, and one shard reproduces the classic engine bit for bit
+//!   ([`ShardedServeEngine`]).
 //!
 //! # Example
 //!
@@ -100,6 +108,7 @@ pub mod faults;
 pub mod metrics;
 pub mod persist;
 pub mod policy;
+pub mod shard;
 pub mod transfer;
 pub mod workload;
 
@@ -120,5 +129,6 @@ pub use persist::{
     ServedRecord,
 };
 pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
+pub use shard::{serve_sharded, ShardedServeEngine};
 pub use transfer::{BackhaulLink, TransferTicket};
 pub use workload::{rotate_popularity, PopularityShift, Workload};

@@ -122,6 +122,15 @@ impl LatencyHistogram {
         Self { buckets, count }
     }
 
+    /// Adds `other`'s samples bucket-wise (histograms share the fixed
+    /// layout, so merging is exact).
+    pub(crate) fn merge_from(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`) as the upper edge of the bucket
     /// containing it, or `None` if the histogram is empty.
     pub fn quantile_s(&self, q: f64) -> Option<f64> {
@@ -491,6 +500,94 @@ impl ServeMetrics {
         self.window_requests = window_requests;
         self.window_hits = window_hits;
         self.last_event_s = last_event_s;
+    }
+
+    /// Folds another run's *finished* metrics into this one — how the
+    /// sharded engine assembles its merged report. Counters sum, peaks
+    /// take the max, histograms add bucket-wise and the windowed
+    /// hit-ratio traces merge point-wise by window end (both shards roll
+    /// the same window grid, so equal ends describe the same interval).
+    /// Merging a run into a default-identical copy of itself is the
+    /// identity on the first operand, which is what keeps a one-shard
+    /// merged report equal to the classic report.
+    pub(crate) fn merge_from(&mut self, other: &Self) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.misses_served += other.misses_served;
+        self.rejected += other.rejected;
+        self.bytes_downloaded += other.bytes_downloaded;
+        self.backhaul_bytes_moved += other.backhaul_bytes_moved;
+        self.transfers_started += other.transfers_started;
+        self.fills_completed += other.fills_completed;
+        self.transfer_seconds += other.transfer_seconds;
+        self.peak_transfer_queue_depth = self
+            .peak_transfer_queue_depth
+            .max(other.peak_transfer_queue_depth);
+        self.transfer_queue_depth_sum += other.transfer_queue_depth_sum;
+        self.block_requests += other.block_requests;
+        self.block_hits += other.block_hits;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.snapshot_rebuilds += other.snapshot_rebuilds;
+        self.users_refreshed += other.users_refreshed;
+        self.handovers += other.handovers;
+        self.control_ticks += other.control_ticks;
+        self.replans_triggered += other.replans_triggered;
+        self.replans_drift += other.replans_drift;
+        self.reconcile_fills_started += other.reconcile_fills_started;
+        self.reconcile_bytes_moved += other.reconcile_bytes_moved;
+        self.reconcile_evictions += other.reconcile_evictions;
+        self.recoveries += other.recoveries;
+        self.recovery_seconds += other.recovery_seconds;
+        self.faults_injected += other.faults_injected;
+        self.faults_recovered += other.faults_recovered;
+        self.requests_failed += other.requests_failed;
+        self.requests_failed_over += other.requests_failed_over;
+        self.fills_aborted += other.fills_aborted;
+        self.fill_retries += other.fill_retries;
+        self.models_lost += other.models_lost;
+        self.latency.merge_from(&other.latency);
+        self.latency_degraded.merge_from(&other.latency_degraded);
+        // Two-pointer merge of the window traces: equal window ends sum
+        // their counts, otherwise the earlier window passes through (a
+        // trailing partial window may exist in one trace only).
+        let mut merged = Vec::with_capacity(self.windows.len().max(other.windows.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.windows.len() || j < other.windows.len() {
+            match (self.windows.get(i), other.windows.get(j)) {
+                (Some(a), Some(b)) if a.end_s == b.end_s => {
+                    merged.push(WindowPoint {
+                        end_s: a.end_s,
+                        requests: a.requests + b.requests,
+                        hits: a.hits + b.hits,
+                    });
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a.end_s < b.end_s => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    merged.push(*a);
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    merged.push(*b);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.windows = merged;
+        self.window_end_s = self.window_end_s.max(other.window_end_s);
+        self.window_requests += other.window_requests;
+        self.window_hits += other.window_hits;
+        self.last_event_s = self.last_event_s.max(other.last_event_s);
     }
 
     /// Median service latency, if any request was served.

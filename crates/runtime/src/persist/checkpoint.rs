@@ -44,7 +44,12 @@ pub(crate) const CHECKPOINT_MAGIC: [u8; 4] = *b"TCKP";
 /// schedule in the config, the fault counters (and degraded-mode
 /// latency histogram) in the metrics, and the `FaultTransition` /
 /// `RetryFill` event kinds.
-pub(crate) const CHECKPOINT_VERSION: u8 = 2;
+///
+/// Version 3 made the payload shard-aware — a `u32` shard count
+/// followed by one engine state per shard (a classic single-threaded
+/// run writes shard count 1) — and added the workload's optional
+/// user→class map for clustered demand.
+pub(crate) const CHECKPOINT_VERSION: u8 = 3;
 
 /// Mobility kinematics captured alongside the radio snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,8 +91,11 @@ pub(crate) struct CheckpointState {
     pub workload_rate_hz: f64,
     /// Phase start times of the workload.
     pub workload_starts_s: Vec<f64>,
-    /// Per-phase, per-user cumulative model-popularity distributions.
+    /// Per-phase, per-row cumulative model-popularity distributions
+    /// (one row per user for singleton demand, per class for clustered).
     pub workload_phases: Vec<Vec<Vec<f64>>>,
+    /// The workload's user→class map (`None` for singleton demand).
+    pub workload_user_class: Option<Vec<u32>>,
     /// Cumulative metrics at the boundary.
     pub metrics: ServeMetrics,
     /// Controller state, when the control loop is on.
@@ -111,16 +119,20 @@ pub(crate) struct CheckpointState {
 
 /// A loaded (or about-to-be-written) checkpoint file.
 ///
-/// The state itself is crate-private — consumers go through
-/// [`ServeEngine::resume`] and [`ServeEngine::fork`]; the public
-/// surface exposes identity accessors and the raw byte image for
-/// round-trip testing.
+/// Since format version 3 a checkpoint holds one engine state **per
+/// shard** — a classic single-threaded run writes exactly one. The
+/// states themselves are crate-private — consumers go through
+/// [`ServeEngine::resume`], [`ServeEngine::fork`] and
+/// [`ShardedServeEngine::resume`]; the public surface exposes identity
+/// accessors and the raw byte image for round-trip testing.
 ///
 /// [`ServeEngine::resume`]: crate::engine::ServeEngine::resume
 /// [`ServeEngine::fork`]: crate::engine::ServeEngine::fork
+/// [`ShardedServeEngine::resume`]: crate::shard::ShardedServeEngine::resume
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
-    pub(crate) state: CheckpointState,
+    /// One state per shard, shard-id order; never empty.
+    pub(crate) shards: Vec<CheckpointState>,
 }
 
 impl Checkpoint {
@@ -178,7 +190,12 @@ impl Checkpoint {
     /// and CRC-32 trailer. Encoding is deterministic — the same state
     /// always yields the same bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let payload = encode_state(&self.state);
+        let mut payload_enc = Encoder::new();
+        payload_enc.put_u32(self.shards.len() as u32);
+        for state in &self.shards {
+            encode_state_into(&mut payload_enc, state);
+        }
+        let payload = payload_enc.into_bytes();
         let mut out = Vec::with_capacity(payload.len() + 13);
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.push(CHECKPOINT_VERSION);
@@ -225,24 +242,40 @@ impl Checkpoint {
                 context: "checkpoint: CRC mismatch".into(),
             });
         }
-        Ok(Self {
-            state: decode_state(payload)?,
-        })
+        let mut d = Decoder::new(payload, "checkpoint state");
+        let num_shards = d.get_u32()?;
+        if num_shards == 0 {
+            return Err(PersistError::Corrupt {
+                context: "checkpoint: zero shard count".into(),
+            });
+        }
+        let shards = (0..num_shards)
+            .map(|_| decode_state_from(&mut d))
+            .collect::<Result<Vec<_>, PersistError>>()?;
+        d.finish()?;
+        Ok(Self { shards })
+    }
+
+    /// Number of engine shards this checkpoint captures (1 for a
+    /// classic single-threaded run).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Simulated time of the boundary this checkpoint captures.
     pub fn time_s(&self) -> f64 {
-        self.state.time_s
+        self.shards[0].time_s
     }
 
     /// Name of the eviction policy the checkpointed run was using.
     pub fn policy(&self) -> &str {
-        &self.state.policy
+        &self.shards[0].policy
     }
 
-    /// RNG seed of the checkpointed run.
+    /// RNG seed of the checkpointed run (shard 0's seed for a sharded
+    /// run — the run seed; shard `s` runs on seed + `s`).
     pub fn seed(&self) -> u64 {
-        self.state.config.seed
+        self.shards[0].config.seed
     }
 }
 
@@ -886,17 +919,25 @@ fn class_from_tag(tag: u8) -> Result<MobilityClass, PersistError> {
     }
 }
 
+/// Encodes one engine state as a standalone buffer (test helper; the
+/// file payload concatenates shard states via [`encode_state_into`]).
+#[cfg(test)]
 pub(crate) fn encode_state(s: &CheckpointState) -> Vec<u8> {
     let mut e = Encoder::new();
+    encode_state_into(&mut e, s);
+    e.into_bytes()
+}
+
+pub(crate) fn encode_state_into(e: &mut Encoder, s: &CheckpointState) {
     e.put_f64(s.time_s);
     e.put_str(&s.policy);
-    encode_config(&mut e, &s.config);
+    encode_config(e, &s.config);
     for w in s.rng {
         e.put_u64(w);
     }
     e.put_seq_len(s.events.len());
     for ev in &s.events {
-        encode_event(&mut e, ev);
+        encode_event(e, ev);
     }
     e.put_u64(s.next_seq);
     e.put_seq_len(s.positions.len());
@@ -913,7 +954,7 @@ pub(crate) fn encode_state(s: &CheckpointState) -> Vec<u8> {
     }
     e.put_seq_len(s.caches.len());
     for c in &s.caches {
-        encode_cache(&mut e, c);
+        encode_cache(e, c);
     }
     e.put_seq_len(s.links.len());
     for l in &s.links {
@@ -928,18 +969,28 @@ pub(crate) fn encode_state(s: &CheckpointState) -> Vec<u8> {
             e.put_f64_slice(cdf);
         }
     }
-    encode_metrics(&mut e, &s.metrics);
+    match &s.workload_user_class {
+        Some(map) => {
+            e.put_bool(true);
+            e.put_seq_len(map.len());
+            for &c in map {
+                e.put_u32(c);
+            }
+        }
+        None => e.put_bool(false),
+    }
+    encode_metrics(e, &s.metrics);
     match &s.controller {
         Some(c) => {
             e.put_bool(true);
-            encode_controller(&mut e, c);
+            encode_controller(e, c);
         }
         None => e.put_bool(false),
     }
     e.put_seq_len(s.scheduled.len());
     for (at_s, placement) in &s.scheduled {
         e.put_f64(*at_s);
-        encode_placement(&mut e, placement);
+        encode_placement(e, placement);
     }
     match &s.mobility {
         Some(m) => {
@@ -961,26 +1012,33 @@ pub(crate) fn encode_state(s: &CheckpointState) -> Vec<u8> {
     match &s.last_target {
         Some(p) => {
             e.put_bool(true);
-            encode_placement(&mut e, p);
+            encode_placement(e, p);
         }
         None => e.put_bool(false),
     }
     e.put_u64(s.journal_offset);
-    e.into_bytes()
 }
 
+/// Decodes one engine state from a standalone buffer (test helper).
+#[cfg(test)]
 pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistError> {
     let mut d = Decoder::new(payload, "checkpoint state");
+    let state = decode_state_from(&mut d)?;
+    d.finish()?;
+    Ok(state)
+}
+
+pub(crate) fn decode_state_from(d: &mut Decoder<'_>) -> Result<CheckpointState, PersistError> {
     let time_s = d.get_f64()?;
     let policy = d.get_str()?;
-    let config = decode_config(&mut d)?;
+    let config = decode_config(d)?;
     let mut rng = [0u64; 4];
     for w in &mut rng {
         *w = d.get_u64()?;
     }
     let n = d.get_seq_len()?;
     let events = (0..n)
-        .map(|_| decode_event(&mut d))
+        .map(|_| decode_event(d))
         .collect::<Result<Vec<_>, PersistError>>()?;
     let next_seq = d.get_u64()?;
     let n = d.get_seq_len()?;
@@ -996,7 +1054,7 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
         .collect::<Result<Vec<_>, PersistError>>()?;
     let n = d.get_seq_len()?;
     let caches = (0..n)
-        .map(|_| decode_cache(&mut d))
+        .map(|_| decode_cache(d))
         .collect::<Result<Vec<_>, PersistError>>()?;
     let n = d.get_seq_len()?;
     let links = (0..n)
@@ -1013,9 +1071,19 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
                 .collect::<Result<Vec<_>, PersistError>>()
         })
         .collect::<Result<Vec<_>, PersistError>>()?;
-    let metrics = decode_metrics(&mut d)?;
+    let workload_user_class = if d.get_bool()? {
+        let n = d.get_seq_len()?;
+        Some(
+            (0..n)
+                .map(|_| d.get_u32())
+                .collect::<Result<Vec<_>, PersistError>>()?,
+        )
+    } else {
+        None
+    };
+    let metrics = decode_metrics(d)?;
     let controller = if d.get_bool()? {
-        Some(decode_controller(&mut d)?)
+        Some(decode_controller(d)?)
     } else {
         None
     };
@@ -1023,7 +1091,7 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
     let scheduled = (0..n)
         .map(|_| {
             let at_s = d.get_f64()?;
-            let placement = decode_placement(&mut d)?;
+            let placement = decode_placement(d)?;
             Ok((at_s, placement))
         })
         .collect::<Result<Vec<_>, PersistError>>()?;
@@ -1050,12 +1118,11 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
     let server_down = d.get_bool_vec()?;
     let link_degrades = d.get_f64_vec()?;
     let last_target = if d.get_bool()? {
-        Some(decode_placement(&mut d)?)
+        Some(decode_placement(d)?)
     } else {
         None
     };
     let journal_offset = d.get_u64()?;
-    d.finish()?;
     Ok(CheckpointState {
         time_s,
         policy,
@@ -1070,6 +1137,7 @@ pub(crate) fn decode_state(payload: &[u8]) -> Result<CheckpointState, PersistErr
         workload_rate_hz,
         workload_starts_s,
         workload_phases,
+        workload_user_class,
         metrics,
         controller,
         scheduled,
@@ -1202,6 +1270,7 @@ mod tests {
             workload_rate_hz: 0.2,
             workload_starts_s: vec![0.0, 300.0],
             workload_phases: vec![vec![vec![0.5, 1.0]], vec![vec![0.25, 1.0]]],
+            workload_user_class: Some(vec![0, 0]),
             metrics,
             controller: None,
             scheduled: vec![(90.0, placement)],
@@ -1235,16 +1304,17 @@ mod tests {
     fn file_round_trip_is_atomic_and_crc_guarded() {
         let path = temp_path("roundtrip.tcp");
         let cp = Checkpoint {
-            state: sample_state(),
+            shards: vec![sample_state()],
         };
         cp.save(&path).unwrap();
         // The temp file was renamed away.
         assert!(!path.with_extension("tmp").exists());
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, cp);
+        assert_eq!(loaded.num_shards(), 1);
         assert_eq!(loaded.time_s(), 30.0);
         assert_eq!(loaded.policy(), "lru");
-        assert_eq!(loaded.seed(), cp.state.config.seed);
+        assert_eq!(loaded.seed(), cp.shards[0].config.seed);
 
         // Flip a payload byte: the CRC catches it.
         let mut bytes = cp.to_bytes();
@@ -1260,6 +1330,34 @@ mod tests {
             Err(PersistError::Corrupt { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_shard_checkpoints_round_trip() {
+        let mut second = sample_state();
+        second.config.seed += 1;
+        second.rng = [9, 8, 7, 6];
+        second.journal_offset = 123;
+        let cp = Checkpoint {
+            shards: vec![sample_state(), second],
+        };
+        let loaded = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+        assert_eq!(loaded, cp);
+        assert_eq!(loaded.num_shards(), 2);
+        assert_eq!(loaded.seed(), cp.shards[0].config.seed);
+
+        // A zero shard count is structural corruption.
+        let payload = [0u8; 4];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        bytes.push(CHECKPOINT_VERSION);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl PersistConfig {
         self.dir.join("journal.tcj")
     }
 
+    /// Path of shard `shard`'s append-only journal in a sharded run.
+    /// Each shard journals its own served stream; the shared checkpoint
+    /// file records one journal offset per shard.
+    pub fn journal_shard_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("journal_{shard}.tcj"))
+    }
+
     /// Path of the run's (latest) checkpoint file.
     pub fn checkpoint_path(&self) -> PathBuf {
         self.dir.join("checkpoint.tcp")

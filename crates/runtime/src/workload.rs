@@ -37,9 +37,15 @@ pub struct Workload {
     rate_hz: f64,
     /// Phase start times in seconds, ascending; the first is always 0.
     starts_s: Vec<f64>,
-    /// `phases[p][k]` is the normalised cumulative distribution over
-    /// models for user `k` during phase `p`.
+    /// `phases[p][row]` is the normalised cumulative distribution over
+    /// models for demand row `row` during phase `p`. With singleton
+    /// demand row `k` is user `k`; with clustered demand rows are demand
+    /// classes resolved through `user_class`.
     phases: Vec<Vec<Vec<f64>>>,
+    /// `None`: row `k` is user `k`. `Some(map)`: user `k` draws from row
+    /// `map[k]` — the clustered-demand form whose CDF storage scales
+    /// with the class count instead of the user count.
+    user_class: Option<Vec<u32>>,
 }
 
 impl Workload {
@@ -82,6 +88,7 @@ impl Workload {
             });
         }
         let (num_users, num_models) = (first.num_users(), first.num_models());
+        let user_class = first.user_classes().map(<[u32]>::to_vec);
         let mut starts_s = Vec::with_capacity(segments.len());
         let mut phases = Vec::with_capacity(segments.len());
         for (p, &(start_s, demand)) in segments.iter().enumerate() {
@@ -101,6 +108,11 @@ impl Workload {
                     ),
                 });
             }
+            if demand.user_classes() != user_class.as_deref() {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!("phase {p} does not share phase 0's user-class map"),
+                });
+            }
             starts_s.push(start_s);
             phases.push(cdfs_of(demand)?);
         }
@@ -108,6 +120,7 @@ impl Workload {
             rate_hz,
             starts_s,
             phases,
+            user_class,
         })
     }
 
@@ -118,7 +131,10 @@ impl Workload {
 
     /// Number of users.
     pub fn num_users(&self) -> usize {
-        self.phases[0].len()
+        match &self.user_class {
+            Some(map) => map.len(),
+            None => self.phases[0].len(),
+        }
     }
 
     /// Number of piecewise-stationary phases.
@@ -148,19 +164,29 @@ impl Workload {
     /// Panics if `user` is out of range (the engine only passes users the
     /// workload was built from).
     pub fn draw_model(&self, user: UserId, now_s: f64, rng: &mut StdRng) -> ModelId {
-        let cdf = &self.phases[self.phase_at(now_s)][user.index()];
+        let row = match &self.user_class {
+            Some(map) => map[user.index()] as usize,
+            None => user.index(),
+        };
+        let cdf = &self.phases[self.phase_at(now_s)][row];
         let u: f64 = rng.gen();
         let idx = cdf.partition_point(|&c| c <= u);
         ModelId(idx.min(cdf.len() - 1))
     }
 
-    /// The workload's raw representation `(rate_hz, starts_s, phases)`
-    /// for checkpointing — the CDFs themselves are saved, so a restored
-    /// workload draws bit-identical models without re-deriving anything
-    /// from a `Demand`.
+    /// The workload's raw representation
+    /// `(rate_hz, starts_s, phases, user_class)` for checkpointing — the
+    /// CDFs themselves are saved, so a restored workload draws
+    /// bit-identical models without re-deriving anything from a
+    /// `Demand`.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn raw_parts(&self) -> (f64, &[f64], &[Vec<Vec<f64>>]) {
-        (self.rate_hz, &self.starts_s, &self.phases)
+    pub(crate) fn raw_parts(&self) -> (f64, &[f64], &[Vec<Vec<f64>>], Option<&[u32]>) {
+        (
+            self.rate_hz,
+            &self.starts_s,
+            &self.phases,
+            self.user_class.as_deref(),
+        )
     }
 
     /// Rebuilds a workload from [`Workload::raw_parts`] output.
@@ -168,31 +194,35 @@ impl Workload {
         rate_hz: f64,
         starts_s: Vec<f64>,
         phases: Vec<Vec<Vec<f64>>>,
+        user_class: Option<Vec<u32>>,
     ) -> Self {
         Self {
             rate_hz,
             starts_s,
             phases,
+            user_class,
         }
     }
 }
 
-/// Normalised per-user CDFs of one demand snapshot.
+/// Normalised per-row CDFs of one demand snapshot: one CDF per stored
+/// demand row (per user for singleton demand, per class for clustered),
+/// so the table scales with the class count.
 fn cdfs_of(demand: &Demand) -> Result<Vec<Vec<f64>>, RuntimeError> {
     let num_models = demand.num_models();
-    let mut cdfs = Vec::with_capacity(demand.num_users());
-    for k in 0..demand.num_users() {
+    let mut cdfs = Vec::with_capacity(demand.num_classes());
+    for k in 0..demand.num_classes() {
         let mut row = Vec::with_capacity(num_models);
         let mut acc = 0.0;
         for i in 0..num_models {
             acc += demand
-                .probability(UserId(k), ModelId(i))
+                .class_probability(k, ModelId(i))
                 .map_err(RuntimeError::from)?;
             row.push(acc);
         }
         if acc <= 0.0 {
             return Err(RuntimeError::InvalidConfig {
-                reason: format!("user {k} has zero total request probability"),
+                reason: format!("demand row {k} has zero total request probability"),
             });
         }
         for c in &mut row {
@@ -214,7 +244,7 @@ fn cdfs_of(demand: &Demand) -> Result<Vec<Vec<f64>>, RuntimeError> {
 /// Returns [`RuntimeError::InvalidConfig`] if `perm` is not a
 /// permutation of `0..num_models`.
 pub fn permute_popularity(demand: &Demand, perm: &[usize]) -> Result<Demand, RuntimeError> {
-    let (k, i) = (demand.num_users(), demand.num_models());
+    let (rows, i) = (demand.num_classes(), demand.num_models());
     let mut seen = vec![false; i];
     if perm.len() != i
         || !perm
@@ -225,28 +255,30 @@ pub fn permute_popularity(demand: &Demand, perm: &[usize]) -> Result<Demand, Run
             reason: format!("expected a permutation of 0..{i}, got {perm:?}"),
         });
     }
-    let mut probabilities = Vec::with_capacity(k);
-    let mut deadlines = Vec::with_capacity(k);
-    let mut inference = Vec::with_capacity(k);
-    for user in 0..k {
-        let user = UserId(user);
+    let mut probabilities = Vec::with_capacity(rows);
+    let mut deadlines = Vec::with_capacity(rows);
+    let mut inference = Vec::with_capacity(rows);
+    for row in 0..rows {
         probabilities.push(
             perm.iter()
-                .map(|&src| demand.probability(user, ModelId(src)))
+                .map(|&src| demand.class_probability(row, ModelId(src)))
                 .collect::<Result<Vec<_>, _>>()?,
         );
         deadlines.push(
             (0..i)
-                .map(|m| demand.deadline_s(user, ModelId(m)))
+                .map(|m| demand.class_deadline_s(row, ModelId(m)))
                 .collect::<Result<Vec<_>, _>>()?,
         );
         inference.push(
             (0..i)
-                .map(|m| demand.inference_s(user, ModelId(m)))
+                .map(|m| demand.class_inference_s(row, ModelId(m)))
                 .collect::<Result<Vec<_>, _>>()?,
         );
     }
-    Ok(Demand::new(probabilities, deadlines, inference)?)
+    Ok(match demand.user_classes() {
+        Some(map) => Demand::clustered(probabilities, deadlines, inference, map.to_vec())?,
+        None => Demand::new(probabilities, deadlines, inference)?,
+    })
 }
 
 /// Rotates the popularity columns by `shift` positions: model `i`

@@ -30,15 +30,35 @@ use crate::entities::UserId;
 use crate::error::ScenarioError;
 
 /// Per-user, per-model demand description.
+///
+/// Two storage regimes share one type:
+///
+/// * **singleton** (`user_class == None`) — the original dense form:
+///   row `k` of each matrix belongs to user `k`;
+/// * **clustered** (`user_class == Some(map)`) — row storage is per
+///   *demand class* and `map[k]` names the class of user `k`. A
+///   million-user city only materialises `C × I` rows plus a `K`-length
+///   class map instead of the `K × I` triple.
+///
+/// Every accessor resolves users through the class map, so consumers
+/// (eligibility, latency, objective, workload) are oblivious to the
+/// representation; a clustered demand whose map is the identity is
+/// observationally — and bit-for-bit, including the accumulation order
+/// of [`Demand::total_probability_mass`] — identical to the singleton
+/// form with the same rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Demand {
-    /// `probabilities[k][i]` = `p_{k,i}`. Rows need not be normalised: the
-    /// objective of Eq. (2) divides by the total mass.
+    /// `probabilities[row][i]` = `p_{k,i}` for every user `k` of `row`'s
+    /// class. Rows need not be normalised: the objective of Eq. (2)
+    /// divides by the total mass.
     probabilities: Vec<Vec<f64>>,
-    /// `deadlines_s[k][i]` = `T̄_{k,i}` in seconds.
+    /// `deadlines_s[row][i]` = `T̄_{k,i}` in seconds.
     deadlines_s: Vec<Vec<f64>>,
-    /// `inference_s[k][i]` = `t_{k,i}` in seconds.
+    /// `inference_s[row][i]` = `t_{k,i}` in seconds.
     inference_s: Vec<Vec<f64>>,
+    /// `None`: row `k` is user `k` (singleton). `Some(map)`: user `k`
+    /// reads row `map[k]`.
+    user_class: Option<Vec<u32>>,
 }
 
 impl Demand {
@@ -102,12 +122,89 @@ impl Demand {
             probabilities,
             deadlines_s,
             inference_s,
+            user_class: None,
+        })
+    }
+
+    /// Creates a **clustered** demand description: the matrices hold one
+    /// row per demand class and `user_class[k]` names the class of user
+    /// `k`. With the identity map (`user_class[k] == k` and as many
+    /// classes as users) the result behaves bit-identically to
+    /// [`Demand::new`] over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::DimensionMismatch`] when `user_class` is
+    /// empty or a class index is out of range, plus every validation
+    /// [`Demand::new`] performs on the class matrices.
+    pub fn clustered(
+        probabilities: Vec<Vec<f64>>,
+        deadlines_s: Vec<Vec<f64>>,
+        inference_s: Vec<Vec<f64>>,
+        user_class: Vec<u32>,
+    ) -> Result<Self, ScenarioError> {
+        let base = Self::new(probabilities, deadlines_s, inference_s)?;
+        if user_class.is_empty() {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: "clustered demand needs at least one user".into(),
+            });
+        }
+        let num_classes = base.probabilities.len();
+        if let Some(&bad) = user_class.iter().find(|&&c| c as usize >= num_classes) {
+            return Err(ScenarioError::DimensionMismatch {
+                reason: format!("user class {bad} out of range for {num_classes} classes"),
+            });
+        }
+        Ok(Self {
+            user_class: Some(user_class),
+            ..base
         })
     }
 
     /// Number of users `K`.
     pub fn num_users(&self) -> usize {
+        match &self.user_class {
+            Some(map) => map.len(),
+            None => self.probabilities.len(),
+        }
+    }
+
+    /// Number of distinct demand-class rows actually stored (equals
+    /// [`Demand::num_users`] for singleton demand).
+    pub fn num_classes(&self) -> usize {
         self.probabilities.len()
+    }
+
+    /// The class map: `Some(map)` with `map[k]` naming user `k`'s class
+    /// for clustered demand, `None` for the singleton form.
+    pub fn user_classes(&self) -> Option<&[u32]> {
+        self.user_class.as_deref()
+    }
+
+    /// The matrix row index of `user`, or an error for unknown users.
+    fn row_of(&self, user: UserId) -> Result<usize, ScenarioError> {
+        match &self.user_class {
+            Some(map) => {
+                map.get(user.index())
+                    .map(|&c| c as usize)
+                    .ok_or(ScenarioError::IndexOutOfRange {
+                        entity: "user",
+                        index: user.index(),
+                        len: map.len(),
+                    })
+            }
+            None => {
+                if user.index() < self.probabilities.len() {
+                    Ok(user.index())
+                } else {
+                    Err(ScenarioError::IndexOutOfRange {
+                        entity: "user",
+                        index: user.index(),
+                        len: self.probabilities.len(),
+                    })
+                }
+            }
+        }
     }
 
     /// Number of models `I`.
@@ -142,9 +239,76 @@ impl Demand {
         self.lookup(&self.inference_s, user, model)
     }
 
+    /// Request probability of matrix row `class` (a stored class row for
+    /// clustered demand; user row `class` in the singleton form). Lets
+    /// consumers that build per-row state — e.g. the workload's CDF
+    /// tables — scale with [`Demand::num_classes`] rather than
+    /// [`Demand::num_users`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn class_probability(&self, class: usize, model: ModelId) -> Result<f64, ScenarioError> {
+        self.class_lookup(&self.probabilities, class, model)
+    }
+
+    /// QoS budget of matrix row `class` (see [`Demand::class_probability`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn class_deadline_s(&self, class: usize, model: ModelId) -> Result<f64, ScenarioError> {
+        self.class_lookup(&self.deadlines_s, class, model)
+    }
+
+    /// On-device inference latency of matrix row `class` (see
+    /// [`Demand::class_probability`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] for unknown indices.
+    pub fn class_inference_s(&self, class: usize, model: ModelId) -> Result<f64, ScenarioError> {
+        self.class_lookup(&self.inference_s, class, model)
+    }
+
+    fn class_lookup(
+        &self,
+        matrix: &[Vec<f64>],
+        class: usize,
+        model: ModelId,
+    ) -> Result<f64, ScenarioError> {
+        let row = matrix.get(class).ok_or(ScenarioError::IndexOutOfRange {
+            entity: "demand class",
+            index: class,
+            len: matrix.len(),
+        })?;
+        row.get(model.index())
+            .copied()
+            .ok_or(ScenarioError::IndexOutOfRange {
+                entity: "model",
+                index: model.index(),
+                len: row.len(),
+            })
+    }
+
     /// Total request mass `Σ_k Σ_i p_{k,i}` — the denominator of Eq. (2).
+    ///
+    /// The accumulation order is the element order of the singleton form
+    /// (user-major, model-minor) in both regimes, so a clustered demand
+    /// with the identity class map produces the bit-identical sum.
     pub fn total_probability_mass(&self) -> f64 {
-        self.probabilities.iter().flatten().sum()
+        match &self.user_class {
+            None => self.probabilities.iter().flatten().sum(),
+            Some(map) => {
+                let mut acc = 0.0;
+                for &c in map {
+                    for &p in &self.probabilities[c as usize] {
+                        acc += p;
+                    }
+                }
+                acc
+            }
+        }
     }
 
     fn lookup(
@@ -153,13 +317,7 @@ impl Demand {
         user: UserId,
         model: ModelId,
     ) -> Result<f64, ScenarioError> {
-        let row = matrix
-            .get(user.index())
-            .ok_or(ScenarioError::IndexOutOfRange {
-                entity: "user",
-                index: user.index(),
-                len: matrix.len(),
-            })?;
+        let row = &matrix[self.row_of(user)?];
         row.get(model.index())
             .copied()
             .ok_or(ScenarioError::IndexOutOfRange {
@@ -388,6 +546,48 @@ impl DemandConfig {
             .collect();
         Demand::new(probabilities, deadlines_s, inference_s)
     }
+
+    /// Generates a **clustered** demand description: `num_classes` Zipf
+    /// popularity rows (and deadline/inference rows) are drawn exactly
+    /// like [`DemandConfig::generate`] would draw them for `num_classes`
+    /// users, and the `num_users` users are assigned round-robin
+    /// (`class(k) = k mod num_classes`). Memory and RNG cost scale with
+    /// `num_classes × num_models`, never with `num_users`, which is what
+    /// lets a million-user scenario build without the dense `K × I`
+    /// triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] if the configuration is
+    /// invalid or any count is zero.
+    pub fn generate_clustered<R: Rng + ?Sized>(
+        &self,
+        num_users: usize,
+        num_models: usize,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Result<Demand, ScenarioError> {
+        if num_classes == 0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_classes",
+                value: 0.0,
+            });
+        }
+        if num_users == 0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_users",
+                value: 0.0,
+            });
+        }
+        let rows = self.generate(num_classes, num_models, rng)?;
+        let user_class = (0..num_users).map(|k| (k % num_classes) as u32).collect();
+        Demand::clustered(
+            rows.probabilities,
+            rows.deadlines_s,
+            rows.inference_s,
+            user_class,
+        )
+    }
 }
 
 impl Default for DemandConfig {
@@ -513,6 +713,110 @@ mod tests {
         assert!(DemandEstimate::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
         assert!(DemandEstimate::new(vec![vec![-0.1]]).is_err());
         assert!(DemandEstimate::new(vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn clustered_identity_matches_singleton_bit_for_bit() {
+        let d = small_demand();
+        let c = Demand::clustered(
+            vec![vec![0.5, 0.3], vec![0.2, 0.8]],
+            vec![vec![1.0, 0.7], vec![0.6, 0.9]],
+            vec![vec![0.05, 0.05], vec![0.1, 0.1]],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert_eq!(c.num_users(), d.num_users());
+        assert_eq!(c.num_models(), d.num_models());
+        assert_eq!(c.num_classes(), 2);
+        assert_eq!(c.user_classes(), Some(&[0u32, 1][..]));
+        assert_eq!(d.user_classes(), None);
+        for k in 0..2 {
+            for i in 0..2 {
+                let (u, m) = (UserId(k), ModelId(i));
+                assert_eq!(
+                    c.probability(u, m).unwrap().to_bits(),
+                    d.probability(u, m).unwrap().to_bits()
+                );
+                assert_eq!(c.deadline_s(u, m).unwrap(), d.deadline_s(u, m).unwrap());
+                assert_eq!(c.inference_s(u, m).unwrap(), d.inference_s(u, m).unwrap());
+            }
+        }
+        assert_eq!(
+            c.total_probability_mass().to_bits(),
+            d.total_probability_mass().to_bits()
+        );
+    }
+
+    #[test]
+    fn clustered_users_share_class_rows() {
+        let c = Demand::clustered(
+            vec![vec![0.9, 0.1], vec![0.4, 0.6]],
+            vec![vec![1.0, 1.0], vec![0.5, 0.5]],
+            vec![vec![0.05, 0.05], vec![0.02, 0.02]],
+            vec![0, 1, 0, 1, 0],
+        )
+        .unwrap();
+        assert_eq!(c.num_users(), 5);
+        assert_eq!(c.num_classes(), 2);
+        // Users 0, 2, 4 read class 0; users 1, 3 read class 1.
+        assert_eq!(c.probability(UserId(4), ModelId(0)).unwrap(), 0.9);
+        assert_eq!(c.probability(UserId(3), ModelId(1)).unwrap(), 0.6);
+        assert_eq!(c.deadline_s(UserId(1), ModelId(0)).unwrap(), 0.5);
+        // Mass counts every *user*, not every stored row:
+        // 3 × (0.9 + 0.1) + 2 × (0.4 + 0.6) = 5.
+        assert!((c.total_probability_mass() - 5.0).abs() < 1e-12);
+        // Out-of-range users still error.
+        assert!(c.probability(UserId(5), ModelId(0)).is_err());
+    }
+
+    #[test]
+    fn clustered_construction_validates_the_class_map() {
+        let rows = (
+            vec![vec![0.5, 0.5]],
+            vec![vec![1.0, 1.0]],
+            vec![vec![0.05, 0.05]],
+        );
+        // Empty map.
+        assert!(Demand::clustered(rows.0.clone(), rows.1.clone(), rows.2.clone(), vec![]).is_err());
+        // Class index out of range.
+        assert!(
+            Demand::clustered(rows.0.clone(), rows.1.clone(), rows.2.clone(), vec![0, 1]).is_err()
+        );
+        // Matrix validation still applies.
+        assert!(
+            Demand::clustered(vec![vec![-1.0]], vec![vec![1.0]], vec![vec![0.1]], vec![0]).is_err()
+        );
+    }
+
+    #[test]
+    fn generate_clustered_scales_with_classes_not_users() {
+        let cfg = DemandConfig::paper_defaults();
+        let d = cfg
+            .generate_clustered(10_000, 6, 4, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(d.num_users(), 10_000);
+        assert_eq!(d.num_classes(), 4);
+        // Round-robin assignment.
+        assert_eq!(d.user_classes().unwrap()[6], 2);
+        // Rows are drawn exactly as `generate` draws them for 4 users.
+        let reference = cfg.generate(4, 6, &mut StdRng::seed_from_u64(3)).unwrap();
+        for c in 0..4 {
+            for i in 0..6 {
+                assert_eq!(
+                    d.probability(UserId(c), ModelId(i)).unwrap().to_bits(),
+                    reference
+                        .probability(UserId(c), ModelId(i))
+                        .unwrap()
+                        .to_bits()
+                );
+            }
+        }
+        assert!(cfg
+            .generate_clustered(0, 6, 4, &mut StdRng::seed_from_u64(3))
+            .is_err());
+        assert!(cfg
+            .generate_clustered(10, 6, 0, &mut StdRng::seed_from_u64(3))
+            .is_err());
     }
 
     #[test]

@@ -142,10 +142,12 @@ impl EligibilityTensor {
     where
         F: FnMut(usize, usize, usize) -> bool,
     {
-        Self::try_from_fn(num_servers, num_users, num_models, |m, k, i| {
+        match Self::try_from_fn(num_servers, num_users, num_models, |m, k, i| {
             Ok::<bool, std::convert::Infallible>(f(m, k, i))
-        })
-        .expect("infallible closure")
+        }) {
+            Ok(tensor) => tensor,
+            Err(infallible) => match infallible {},
+        }
     }
 
     /// Builds a tensor from a fallible closure, propagating the first
@@ -490,7 +492,8 @@ impl SparseEligibility {
             return Ok(());
         }
         debug_assert!(
-            users.windows(2).all(|w| w[0] < w[1]) && *users.last().unwrap() < self.num_users,
+            users.windows(2).all(|w| w[0] < w[1])
+                && users.last().is_some_and(|&last| last < self.num_users),
             "users must be ascending, deduplicated and in range"
         );
         let i_count = self.num_models;
@@ -537,7 +540,9 @@ impl SparseEligibility {
                             deltas.push((mn as usize * i_count + i, k as u32, true));
                             b += 1;
                         }
-                        (None, None) => unreachable!("loop condition"),
+                        // Both exhausted — the loop condition is about to
+                        // fail anyway; no panic machinery needed.
+                        (None, None) => break,
                     }
                 }
             }

@@ -166,6 +166,30 @@ impl MobilityModel {
         self.users.iter().map(|u| u.position).collect()
     }
 
+    /// Replaces user `k`'s kinematic state — how a region-sharded run
+    /// hands a migrating user's kinematics from its old owner shard to
+    /// its new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::IndexOutOfRange`] when `k` is not a user
+    /// of this model.
+    ///
+    /// [`ScenarioError::IndexOutOfRange`]: crate::ScenarioError::IndexOutOfRange
+    pub fn set_user(&mut self, k: usize, user: MobileUser) -> Result<(), crate::ScenarioError> {
+        match self.users.get_mut(k) {
+            Some(slot) => {
+                *slot = user;
+                Ok(())
+            }
+            None => Err(crate::ScenarioError::IndexOutOfRange {
+                entity: "mobility user",
+                index: k,
+                len: self.users.len(),
+            }),
+        }
+    }
+
     /// Advances the simulation by one slot: each user draws a fresh
     /// acceleration and angular velocity, updates speed and heading, then
     /// moves for one slot and reflects off the area border.

@@ -84,6 +84,20 @@ impl<'a> HitRatioObjective<'a> {
         })
     }
 
+    /// Builds the evaluator without re-checking dimensions. Only for
+    /// callers that already validated the views against each other —
+    /// [`crate::Scenario`] does so at construction and can therefore
+    /// hand out objectives without a panic or error path.
+    pub(crate) fn from_validated_views(
+        demand: &'a dyn DemandView,
+        eligibility: &'a dyn EligibilityView,
+    ) -> Self {
+        Self {
+            demand,
+            eligibility,
+        }
+    }
+
     /// The eligibility view the objective evaluates against.
     pub fn view(&self) -> &'a dyn EligibilityView {
         self.eligibility

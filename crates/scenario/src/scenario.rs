@@ -147,8 +147,9 @@ impl Scenario {
 
     /// The hit-ratio objective under the expected-rate eligibility.
     pub fn objective(&self) -> HitRatioObjective<'_> {
-        HitRatioObjective::new(&self.demand, &self.eligibility)
-            .expect("scenario components are validated at construction")
+        // Demand/eligibility dimensions were cross-checked when the
+        // scenario was built, so no fallible path is needed here.
+        HitRatioObjective::from_validated_views(&self.demand, &self.eligibility)
     }
 
     /// The hit-ratio objective under this scenario's eligibility but an

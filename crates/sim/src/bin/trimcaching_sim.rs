@@ -4,11 +4,13 @@
 //! ```text
 //! trimcaching-sim <experiment> [--paper|--fast] [--topologies N]
 //!                 [--realisations N] [--csv] [--out FILE] [--dir DIR]
+//!                 [--shards N] [--threads N]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
 //!              serve serve-trace serve-blocks serve-adapt serve-adapt-trace
 //!              serve-journal resume fork-ab journal-stats serve-faults
 //!              replacement replacement-trigger lora-market city-scale
+//!              serve-sharded serve-sharded-xl
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -24,6 +26,12 @@
 //! checkpoint files, then `resume`, `fork-ab` and `journal-stats`
 //! operate on them. They run one deterministic study run each and are
 //! not part of `all`.
+//!
+//! The sharded subcommands (`serve-sharded`, `serve-sharded-xl`) drive
+//! the region-sharded engine: `--shards` caps the shard-count sweep and
+//! `--threads` sizes the worker pool (`0` = all cores). Both verify
+//! byte-identity across worker-thread counts; `serve-sharded-xl` is the
+//! million-user acceptance run and is deliberately not part of `all`.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -31,7 +39,7 @@ use std::process::ExitCode;
 
 use trimcaching_sim::experiments::{
     ablation, adapt, city, durable, faults, fig1, fig4, fig5, fig6, fig7, lora, replacement, serve,
-    RunConfig,
+    sharded, RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
 use trimcaching_sim::SimError;
@@ -43,17 +51,19 @@ struct Options {
     csv: bool,
     out: Option<String>,
     dir: PathBuf,
+    shards: usize,
+    threads: usize,
 }
 
 fn print_usage() {
     eprintln!(
         "usage: trimcaching-sim <experiment> [--paper|--fast] [--topologies N] \
          [--realisations N] [--models-per-backbone N] [--seed N] [--csv] [--out FILE] \
-         [--dir DIR]\n\
+         [--dir DIR] [--shards N] [--threads N]\n\
          experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7 \
          serve serve-trace serve-blocks serve-adapt serve-adapt-trace \
          serve-journal resume fork-ab journal-stats serve-faults replacement \
-         replacement-trigger lora-market city-scale \
+         replacement-trigger lora-market city-scale serve-sharded serve-sharded-xl \
          ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
@@ -65,6 +75,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv = false;
     let mut out = None;
     let mut dir = PathBuf::from("target/durable");
+    let mut shards = 4usize;
+    let mut threads = 0usize;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -82,7 +94,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             | "--models-per-backbone"
             | "--seed"
             | "--out"
-            | "--dir" => {
+            | "--dir"
+            | "--shards"
+            | "--threads" => {
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("missing value for {arg}"))?;
@@ -108,6 +122,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     }
                     "--out" => out = Some(value.clone()),
                     "--dir" => dir = PathBuf::from(value),
+                    "--shards" => {
+                        shards = value
+                            .parse()
+                            .map_err(|_| format!("invalid shard count {value}"))?;
+                    }
+                    "--threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| format!("invalid thread count {value}"))?;
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -123,6 +147,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         csv,
         out,
         dir,
+        shards,
+        threads,
     })
 }
 
@@ -132,6 +158,8 @@ fn run_experiment(
     config: &RunConfig,
     csv: bool,
     dir: &Path,
+    shards: usize,
+    threads: usize,
 ) -> Result<String, SimError> {
     let render_table = |t: trimcaching_sim::ExperimentTable| {
         if csv {
@@ -172,6 +200,8 @@ fn run_experiment(
         "replacement-trigger" => render_table(replacement::trigger_sweep(config)?),
         "lora-market" => render_table(lora::capacity_sweep(config)?),
         "city-scale" => render_table(city::city_scale_study(config)?),
+        "serve-sharded" => render_table(sharded::sharded_scaling_study(config, shards, threads)?),
+        "serve-sharded-xl" => render_table(sharded::sharded_xl_study(config, threads)?),
         "ablation-epsilon" => render_table(ablation::epsilon_sweep(config)?),
         "ablation-sharing" => render_table(ablation::sharing_depth_sweep(config)?),
         "ablation-zipf" => render_table(ablation::zipf_sweep(config)?),
@@ -211,7 +241,7 @@ fn run_experiment(
                 "ablation-shadowing",
             ] {
                 eprintln!("[trimcaching-sim] running {exp} ...");
-                out.push_str(&run_experiment(exp, config, csv, dir)?);
+                out.push_str(&run_experiment(exp, config, csv, dir, shards, threads)?);
             }
             out
         }
@@ -238,6 +268,8 @@ fn main() -> ExitCode {
         &options.config,
         options.csv,
         &options.dir,
+        options.shards,
+        options.threads,
     ) {
         Ok(rendered) => {
             if let Some(path) = options.out {

@@ -16,6 +16,7 @@
 //! | [`city`] | city-scale Poisson deployments on the sparse eligibility representation |
 //! | [`durable`] | durable serving via `runtime::persist`: journaled runs, checkpoint resume, A/B forks, offline journal analysis |
 //! | [`faults`] | fault injection via `runtime::faults`: static vs failover-enabled serving through a deterministic outage storm |
+//! | [`sharded`] | region-sharded serving via `runtime::shard`: thread-count determinism, shard-count throughput sweep, million-user acceptance |
 
 pub mod ablation;
 pub mod adapt;
@@ -30,6 +31,7 @@ pub mod fig7;
 pub mod lora;
 pub mod replacement;
 pub mod serve;
+pub mod sharded;
 
 use serde::{Deserialize, Serialize};
 

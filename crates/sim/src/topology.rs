@@ -177,6 +177,12 @@ pub struct CityScaleConfig {
     pub capacity_gb: f64,
     /// Demand generation parameters.
     pub demand: DemandConfig,
+    /// Number of clustered demand classes (`None` = dense singleton
+    /// demand, one row per user). With `Some(c)` the demand matrices
+    /// hold `c` Zipf rows and users are assigned round-robin, so memory
+    /// scales with `c × I` instead of `K × I` — the knob that lets a
+    /// million-user city build at all.
+    pub demand_classes: Option<usize>,
     /// Radio parameters.
     pub radio: RadioParams,
     /// Effective per-transfer edge-to-edge throughput in bits per second
@@ -215,6 +221,7 @@ impl CityScaleConfig {
             num_users: 5_000,
             capacity_gb: 1.0,
             demand: DemandConfig::paper_defaults(),
+            demand_classes: None,
             radio,
             backhaul_rate_bps: 2.0e8,
             repr: EligibilityRepr::Sparse,
@@ -248,6 +255,14 @@ impl CityScaleConfig {
     /// Sets the eligibility representation.
     pub fn with_repr(mut self, repr: EligibilityRepr) -> Self {
         self.repr = repr;
+        self
+    }
+
+    /// Switches demand generation to `classes` clustered Zipf rows with
+    /// round-robin user assignment (memory `classes × I` instead of
+    /// `K × I`).
+    pub fn with_demand_classes(mut self, classes: usize) -> Self {
+        self.demand_classes = Some(classes);
         self
     }
 
@@ -308,9 +323,17 @@ impl CityScaleConfig {
             })
             .collect::<Result<_, _>>()?;
         let users = area.sample_uniform_n(self.num_users, &mut rng);
-        let demand = self
-            .demand
-            .generate(self.num_users, library.num_models(), &mut rng)?;
+        let demand = match self.demand_classes {
+            Some(classes) => self.demand.generate_clustered(
+                self.num_users,
+                library.num_models(),
+                classes,
+                &mut rng,
+            )?,
+            None => self
+                .demand
+                .generate(self.num_users, library.num_models(), &mut rng)?,
+        };
         let scenario = Scenario::builder()
             .library(library.clone())
             .servers(servers)

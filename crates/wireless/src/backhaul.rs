@@ -47,7 +47,14 @@ impl Backhaul {
 
     /// The 10 Gbps mesh used in the paper's evaluation.
     pub fn paper_default(num_servers: usize) -> Self {
-        Self::uniform(num_servers, 10.0e9).expect("10 Gbps is a valid rate")
+        // Same construction as `uniform(num_servers, 10.0e9)`, which can
+        // only reject non-finite or non-positive rates — built directly
+        // so the constant-rate path has no panic machinery at all.
+        Self {
+            num_servers,
+            default_rate_bps: 10.0e9,
+            overrides: BTreeMap::new(),
+        }
     }
 
     /// Number of edge servers connected by this backhaul.
