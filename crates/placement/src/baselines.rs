@@ -174,7 +174,7 @@ mod tests {
 
     #[test]
     fn top_popularity_is_feasible_and_nonempty() {
-        let scenario = paper_like_scenario(3, 12, 12, 0.6, 2, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.6, 2, true).unwrap();
         let outcome = TopPopularity::new().place(&scenario).unwrap();
         assert_eq!(outcome.algorithm, "top-popularity");
         assert!(!outcome.placement.is_empty());
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn random_placement_is_feasible_and_deterministic_per_seed() {
-        let scenario = paper_like_scenario(3, 12, 12, 0.6, 5, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.6, 5, true).unwrap();
         let a = RandomPlacement::new(42).place(&scenario).unwrap();
         let b = RandomPlacement::new(42).place(&scenario).unwrap();
         assert_eq!(a.placement, b.placement);
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn greedy_dominates_both_baselines() {
         for seed in [1_u64, 3, 8] {
-            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, true);
+            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, true).unwrap();
             let gen = TrimCachingGen::new().place(&scenario).unwrap();
             let pop = TopPopularity::new().place(&scenario).unwrap();
             let rnd = RandomPlacement::new(seed).place(&scenario).unwrap();
@@ -222,7 +222,7 @@ mod tests {
     fn every_server_caches_the_same_top_models_under_popularity() {
         // With identical capacities the popularity baseline replicates the
         // same prefix of the popularity ranking on every server.
-        let scenario = paper_like_scenario(3, 12, 12, 0.6, 7, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.6, 7, true).unwrap();
         let outcome = TopPopularity::new().place(&scenario).unwrap();
         let first = outcome.placement.models_on(ServerId(0)).unwrap();
         for m in 1..scenario.num_servers() {
@@ -232,7 +232,7 @@ mod tests {
 
     #[test]
     fn tiny_capacity_yields_empty_placements() {
-        let scenario = paper_like_scenario(2, 6, 6, 0.001, 9, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.001, 9, true).unwrap();
         assert!(TopPopularity::new()
             .place(&scenario)
             .unwrap()

@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn gamma_bracket_is_ordered_and_admits_algorithm_placements() {
         for seed in [1_u64, 4, 9] {
-            let scenario = paper_like_scenario(3, 10, 12, 0.5, seed, true);
+            let scenario = paper_like_scenario(3, 10, 12, 0.5, seed, true).unwrap();
             let bound = gamma_bound(&scenario).unwrap();
             assert!(
                 bound.lower <= bound.upper,
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn gamma_is_zero_when_nothing_fits() {
-        let scenario = paper_like_scenario(2, 6, 6, 0.0001, 3, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.0001, 3, true).unwrap();
         let bound = gamma_bound(&scenario).unwrap();
         assert_eq!(bound.lower, 0);
         assert_eq!(bound.upper, 0);
@@ -184,7 +184,7 @@ mod tests {
         // On exhaustively solvable instances the greedy must clear the
         // U(X*)/Γ floor (using the Γ upper bound only weakens the floor).
         for seed in [2_u64, 6] {
-            let scenario = tiny_scenario(6, 0.2, seed);
+            let scenario = tiny_scenario(6, 0.2, seed).unwrap();
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
             let gen = TrimCachingGen::new().place(&scenario).unwrap();
             let bound = gamma_bound(&scenario).unwrap();
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn theorem2_holds_empirically_on_tiny_instances() {
         for seed in [2_u64, 6] {
-            let scenario = tiny_scenario(6, 0.2, seed);
+            let scenario = tiny_scenario(6, 0.2, seed).unwrap();
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
             let spec = TrimCachingSpec::new()
                 .with_epsilon(0.1)

@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn exhaustive_is_at_least_as_good_as_every_heuristic() {
         for seed in [1_u64, 2, 3] {
-            let scenario = tiny_scenario(6, 0.15, seed);
+            let scenario = tiny_scenario(6, 0.15, seed).unwrap();
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
             assert!(scenario.satisfies_capacities(&optimal.placement));
             for heuristic in [
@@ -326,7 +326,7 @@ mod tests {
         // guarantee and the "close to optimal" observation.
         let mut ratios = Vec::new();
         for seed in [5_u64, 6, 7, 8] {
-            let scenario = tiny_scenario(6, 0.15, seed);
+            let scenario = tiny_scenario(6, 0.15, seed).unwrap();
             let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
             let spec = TrimCachingSpec::new()
                 .with_epsilon(0.0)
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn enumeration_budget_is_enforced() {
-        let scenario = tiny_scenario(9, 1.0, 4);
+        let scenario = tiny_scenario(9, 1.0, 4).unwrap();
         let err = ExhaustiveSearch::new()
             .with_max_enumerations(2)
             .place(&scenario);
@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn heuristics_are_much_faster_than_exhaustive_search() {
-        let scenario = tiny_scenario(9, 0.2, 9);
+        let scenario = tiny_scenario(9, 0.2, 9).unwrap();
         let optimal = ExhaustiveSearch::new().place(&scenario).unwrap();
         let gen = TrimCachingGen::new().place(&scenario).unwrap();
         // Work measured in candidate evaluations: the greedy performs far

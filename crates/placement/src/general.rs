@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn gen_produces_feasible_placements_under_shared_storage() {
-        let scenario = paper_like_scenario(3, 12, 12, 0.5, 4, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.5, 4, true).unwrap();
         let outcome = TrimCachingGen::new().place(&scenario).unwrap();
         assert_eq!(outcome.algorithm, "trimcaching-gen");
         assert!(outcome.hit_ratio > 0.0);
@@ -69,7 +69,7 @@ mod tests {
         // The headline qualitative claim of Figs. 4-5: exploiting shared
         // parameters never hurts and typically helps.
         for seed in [1_u64, 2, 3] {
-            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, true);
+            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, true).unwrap();
             let gen = TrimCachingGen::new().place(&scenario).unwrap();
             let ind = IndependentCaching::new().place(&scenario).unwrap();
             assert!(
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn gen_beats_or_matches_independent_caching_general_case() {
         for seed in [11_u64, 12] {
-            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, false);
+            let scenario = paper_like_scenario(4, 15, 15, 0.5, seed, false).unwrap();
             let gen = TrimCachingGen::new().place(&scenario).unwrap();
             let ind = IndependentCaching::new().place(&scenario).unwrap();
             assert!(
@@ -99,8 +99,8 @@ mod tests {
     #[test]
     fn hit_ratio_is_monotone_in_capacity() {
         let alg = TrimCachingGen::new();
-        let small = paper_like_scenario(3, 12, 12, 0.3, 21, true);
-        let large = paper_like_scenario(3, 12, 12, 1.5, 21, true);
+        let small = paper_like_scenario(3, 12, 12, 0.3, 21, true).unwrap();
+        let large = paper_like_scenario(3, 12, 12, 1.5, 21, true).unwrap();
         let u_small = alg.place(&small).unwrap().hit_ratio;
         let u_large = alg.place(&large).unwrap().hit_ratio;
         assert!(u_large >= u_small - 1e-12);
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn zero_feasible_additions_terminate_immediately() {
-        let scenario = paper_like_scenario(2, 6, 6, 0.001, 5, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.001, 5, true).unwrap();
         let outcome = TrimCachingGen::new().place(&scenario).unwrap();
         assert!(outcome.placement.is_empty());
         assert_eq!(outcome.hit_ratio, 0.0);

@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn shared_rule_packs_at_least_as_many_models_as_independent() {
-        let scenario = paper_like_scenario(3, 10, 12, 0.4, 101, true);
+        let scenario = paper_like_scenario(3, 10, 12, 0.4, 101, true).unwrap();
         let (shared, _) = greedy_place(&scenario, StorageRule::Shared).unwrap();
         let (independent, _) = greedy_place(&scenario, StorageRule::Independent).unwrap();
         assert!(
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn both_rules_respect_their_capacity_accounting() {
-        let scenario = paper_like_scenario(3, 10, 12, 0.4, 7, true);
+        let scenario = paper_like_scenario(3, 10, 12, 0.4, 7, true).unwrap();
         let (shared, _) = greedy_place(&scenario, StorageRule::Shared).unwrap();
         assert!(scenario.satisfies_capacities(&shared));
         let (independent, _) = greedy_place(&scenario, StorageRule::Independent).unwrap();
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn greedy_counts_evaluations() {
-        let scenario = paper_like_scenario(2, 6, 9, 0.5, 3, true);
+        let scenario = paper_like_scenario(2, 6, 9, 0.5, 3, true).unwrap();
         let (_, evals) = greedy_place(&scenario, StorageRule::Shared).unwrap();
         assert!(evals > 0);
     }

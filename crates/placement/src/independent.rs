@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn baseline_produces_feasible_nonempty_placements() {
-        let scenario = paper_like_scenario(3, 12, 12, 0.6, 2, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.6, 2, true).unwrap();
         let outcome = IndependentCaching::new().place(&scenario).unwrap();
         assert_eq!(outcome.algorithm, "independent-caching");
         assert!(outcome.hit_ratio > 0.0);
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn tiny_capacity_yields_empty_placement() {
         // 1 MB servers cannot hold any ~50 MB model.
-        let scenario = paper_like_scenario(2, 6, 6, 0.001, 3, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.001, 3, true).unwrap();
         let outcome = IndependentCaching::new().place(&scenario).unwrap();
         assert!(outcome.placement.is_empty());
         assert_eq!(outcome.hit_ratio, 0.0);
@@ -81,8 +81,8 @@ mod tests {
 
     #[test]
     fn hit_ratio_is_monotone_in_capacity() {
-        let small = paper_like_scenario(3, 12, 12, 0.3, 9, true);
-        let large = paper_like_scenario(3, 12, 12, 1.2, 9, true);
+        let small = paper_like_scenario(3, 12, 12, 0.3, 9, true).unwrap();
+        let large = paper_like_scenario(3, 12, 12, 1.2, 9, true).unwrap();
         let alg = IndependentCaching::new();
         let u_small = alg.place(&small).unwrap().hit_ratio;
         let u_large = alg.place(&large).unwrap().hit_ratio;

@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn lazy_greedy_matches_eager_greedy_exactly() {
         for (seed, special) in [(1_u64, true), (5, true), (9, false), (13, false)] {
-            let scenario = paper_like_scenario(4, 12, 12, 0.5, seed, special);
+            let scenario = paper_like_scenario(4, 12, 12, 0.5, seed, special).unwrap();
             let eager = TrimCachingGen::new().place(&scenario).unwrap();
             let lazy = TrimCachingGenLazy::new().place(&scenario).unwrap();
             assert_eq!(
@@ -290,7 +290,7 @@ mod tests {
 
     #[test]
     fn lazy_greedy_needs_no_more_evaluations_than_eager() {
-        let scenario = paper_like_scenario(4, 15, 18, 0.75, 3, true);
+        let scenario = paper_like_scenario(4, 15, 18, 0.75, 3, true).unwrap();
         let eager = TrimCachingGen::new().place(&scenario).unwrap();
         let lazy = TrimCachingGenLazy::new().place(&scenario).unwrap();
         assert!(
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn lazy_greedy_respects_shared_capacity() {
         for seed in [2_u64, 7, 11] {
-            let scenario = paper_like_scenario(3, 10, 12, 0.4, seed, true);
+            let scenario = paper_like_scenario(3, 10, 12, 0.4, seed, true).unwrap();
             let outcome = TrimCachingGenLazy::new().place(&scenario).unwrap();
             assert!(scenario.satisfies_capacities(&outcome.placement));
             assert!((0.0..=1.0).contains(&outcome.hit_ratio));
@@ -320,7 +320,7 @@ mod tests {
         // A tight capacity forces the greedy to defer large models whose
         // shared prefix has not been paid for yet; the lazy variant must
         // still end up with the same packing as the eager variant.
-        let scenario = tiny_scenario(9, 0.25, 17);
+        let scenario = tiny_scenario(9, 0.25, 17).unwrap();
         let eager = TrimCachingGen::new().place(&scenario).unwrap();
         let lazy = TrimCachingGenLazy::new().place(&scenario).unwrap();
         assert_eq!(eager.placement, lazy.placement);
@@ -328,7 +328,7 @@ mod tests {
 
     #[test]
     fn ground_truth_demand_view_reproduces_place_exactly() {
-        let scenario = paper_like_scenario(4, 12, 12, 0.5, 21, true);
+        let scenario = paper_like_scenario(4, 12, 12, 0.5, 21, true).unwrap();
         let direct = TrimCachingGenLazy::new().place(&scenario).unwrap();
         let via_view = TrimCachingGenLazy::new()
             .place_with_demand(&scenario, scenario.demand())
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn estimated_demand_steers_the_solver() {
         use trimcaching_scenario::DemandEstimate;
-        let scenario = paper_like_scenario(3, 10, 12, 0.25, 8, true);
+        let scenario = paper_like_scenario(3, 10, 12, 0.25, 8, true).unwrap();
         let truth = TrimCachingGenLazy::new().place(&scenario).unwrap();
         // An estimate that concentrates all observed demand on one model
         // still yields a feasible placement — and one that caches that
@@ -384,7 +384,7 @@ mod tests {
 
     #[test]
     fn empty_capacity_yields_empty_placement() {
-        let scenario = paper_like_scenario(2, 6, 6, 0.001, 4, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.001, 4, true).unwrap();
         let outcome = TrimCachingGenLazy::new().place(&scenario).unwrap();
         assert!(outcome.placement.is_empty());
         assert_eq!(outcome.hit_ratio, 0.0);

@@ -226,7 +226,7 @@ mod tests {
         assert!(cfg.validate().is_err());
         assert_eq!(TrimCachingSpec::default(), TrimCachingSpec::new());
         // An invalid configuration is also rejected by place().
-        let scenario = tiny_scenario(6, 0.3, 1);
+        let scenario = tiny_scenario(6, 0.3, 1).unwrap();
         assert!(TrimCachingSpec::new()
             .with_epsilon(2.0)
             .place(&scenario)
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn spec_produces_feasible_placements() {
-        let scenario = paper_like_scenario(3, 12, 12, 0.5, 8, true);
+        let scenario = paper_like_scenario(3, 12, 12, 0.5, 8, true).unwrap();
         let outcome = TrimCachingSpec::new().place(&scenario).unwrap();
         assert_eq!(outcome.algorithm, "trimcaching-spec");
         assert!(outcome.hit_ratio > 0.0);
@@ -248,7 +248,7 @@ mod tests {
         // Fig. 4's qualitative ordering: Spec >= Gen >= Independent, up to
         // small numerical slack from the DP rounding.
         for seed in [3_u64, 4, 5] {
-            let scenario = paper_like_scenario(4, 16, 15, 0.4, seed, true);
+            let scenario = paper_like_scenario(4, 16, 15, 0.4, seed, true).unwrap();
             let spec = TrimCachingSpec::new().place(&scenario).unwrap();
             let gen = TrimCachingGen::new().place(&scenario).unwrap();
             let ind = IndependentCaching::new().place(&scenario).unwrap();
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn smaller_epsilon_never_hurts_much() {
-        let scenario = paper_like_scenario(3, 10, 9, 0.3, 17, true);
+        let scenario = paper_like_scenario(3, 10, 9, 0.3, 17, true).unwrap();
         let coarse = TrimCachingSpec::new()
             .with_epsilon(0.5)
             .place(&scenario)
@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn tight_budget_is_reported_as_instance_too_large() {
-        let scenario = paper_like_scenario(2, 8, 9, 0.4, 2, true);
+        let scenario = paper_like_scenario(2, 8, 9, 0.4, 2, true).unwrap();
         let err = TrimCachingSpec::new()
             .with_max_combinations(2)
             .place(&scenario);
@@ -292,7 +292,7 @@ mod tests {
 
     #[test]
     fn empty_capacity_yields_empty_placement() {
-        let scenario = paper_like_scenario(2, 6, 6, 0.001, 3, true);
+        let scenario = paper_like_scenario(2, 6, 6, 0.001, 3, true).unwrap();
         let outcome = TrimCachingSpec::new().place(&scenario).unwrap();
         assert!(outcome.placement.is_empty());
         assert_eq!(outcome.hit_ratio, 0.0);
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn spec_handles_the_general_case_library_too() {
         // Slower (more sharing groups) but still correct on small instances.
-        let scenario = paper_like_scenario(2, 8, 9, 0.4, 6, false);
+        let scenario = paper_like_scenario(2, 8, 9, 0.4, 6, false).unwrap();
         let outcome = TrimCachingSpec::new().place(&scenario).unwrap();
         assert!(scenario.satisfies_capacities(&outcome.placement));
         let gen = TrimCachingGen::new().place(&scenario).unwrap();

@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn objective_is_submodular_on_paper_like_scenarios() {
-        let scenario = paper_like_scenario(3, 10, 9, 0.5, 31, true);
+        let scenario = paper_like_scenario(3, 10, 9, 0.5, 31, true).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let report = check_objective_submodularity(&scenario, 200, &mut rng);
         assert!(report.holds(), "violations: {report:?}");
@@ -178,7 +178,7 @@ mod tests {
     fn storage_is_submodular_on_both_library_kinds() {
         let mut rng = StdRng::seed_from_u64(2);
         for special in [true, false] {
-            let scenario = paper_like_scenario(2, 6, 12, 0.5, 33, special);
+            let scenario = paper_like_scenario(2, 6, 12, 0.5, 33, special).unwrap();
             let report = check_storage_submodularity(&scenario, 200, &mut rng);
             assert!(report.holds(), "special={special}: {report:?}");
         }
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn objective_is_monotone() {
-        let scenario = paper_like_scenario(3, 10, 9, 0.5, 35, true);
+        let scenario = paper_like_scenario(3, 10, 9, 0.5, 35, true).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let report = check_objective_monotonicity(&scenario, 100, &mut rng);
         assert!(report.holds(), "violations: {report:?}");

@@ -11,7 +11,8 @@ use trimcaching_wireless::geometry::DeploymentArea;
 /// `num_servers` servers and `num_users` users dropped uniformly in 1 km²,
 /// a special- or general-case library of roughly `num_models` models
 /// (split over the three backbone families), identical capacities of
-/// `capacity_gb`, and Zipf demand.
+/// `capacity_gb`, and Zipf demand. Errors propagate so tests unwrap at
+/// the call site, where the failing fixture is named in the panic.
 pub(crate) fn paper_like_scenario(
     num_servers: usize,
     num_users: usize,
@@ -19,7 +20,7 @@ pub(crate) fn paper_like_scenario(
     capacity_gb: f64,
     seed: u64,
     special_case: bool,
-) -> Scenario {
+) -> Result<Scenario, ScenarioError> {
     let per_backbone = (num_models / 3).max(1);
     let library = if special_case {
         SpecialCaseBuilder::paper_setup()
@@ -39,9 +40,8 @@ pub(crate) fn paper_like_scenario(
                 area.sample_uniform(&mut rng),
                 gigabytes(capacity_gb),
             )
-            .expect("positive capacity")
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     // Drop each user near a random server so that even small test
     // topologies have meaningful coverage (the full uniform drop of the
     // paper is exercised by the simulation crate's topology generator).
@@ -54,21 +54,23 @@ pub(crate) fn paper_like_scenario(
             area.clamp(anchor.translated(radius * angle.cos(), radius * angle.sin()))
         })
         .collect();
-    let demand = DemandConfig::paper_defaults()
-        .generate(num_users, library.num_models(), &mut rng)
-        .expect("valid demand configuration");
+    let demand =
+        DemandConfig::paper_defaults().generate(num_users, library.num_models(), &mut rng)?;
     Scenario::builder()
         .library(library)
         .servers(servers)
         .users_at(&users)
         .demand(demand)
         .build()
-        .expect("fixture scenario is consistent")
 }
 
 /// A very small scenario (2 servers, clustered users) suitable for the
 /// exhaustive search, mirroring the reduced 400 m setup of Fig. 6.
-pub(crate) fn tiny_scenario(num_models: usize, capacity_gb: f64, seed: u64) -> Scenario {
+pub(crate) fn tiny_scenario(
+    num_models: usize,
+    capacity_gb: f64,
+    seed: u64,
+) -> Result<Scenario, ScenarioError> {
     let per_backbone = (num_models / 3).max(1);
     let library = SpecialCaseBuilder::paper_setup()
         .models_per_backbone(per_backbone)
@@ -80,24 +82,19 @@ pub(crate) fn tiny_scenario(num_models: usize, capacity_gb: f64, seed: u64) -> S
             ServerId(0),
             trimcaching_wireless::geometry::Point::new(120.0, 200.0),
             gigabytes(capacity_gb),
-        )
-        .unwrap(),
+        )?,
         EdgeServer::new(
             ServerId(1),
             trimcaching_wireless::geometry::Point::new(280.0, 200.0),
             gigabytes(capacity_gb),
-        )
-        .unwrap(),
+        )?,
     ];
     let users: Vec<_> = (0..6).map(|_| area.sample_uniform(&mut rng)).collect();
-    let demand = DemandConfig::paper_defaults()
-        .generate(6, library.num_models(), &mut rng)
-        .unwrap();
+    let demand = DemandConfig::paper_defaults().generate(6, library.num_models(), &mut rng)?;
     Scenario::builder()
         .library(library)
         .servers(servers)
         .users_at(&users)
         .demand(demand)
         .build()
-        .unwrap()
 }

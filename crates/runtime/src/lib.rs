@@ -131,4 +131,6 @@ pub use persist::{
 pub use policy::{CostAwareLfu, EvictionPolicy, Lfu, Lru};
 pub use shard::{serve_sharded, ShardedServeEngine};
 pub use transfer::{BackhaulLink, TransferTicket};
-pub use workload::{rotate_popularity, PopularityShift, Workload};
+pub use workload::{
+    permute_popularity, rotate_popularity, spike_popularity, PopularityShift, Workload,
+};

@@ -509,8 +509,10 @@ impl ServeMetrics {
     /// the same window grid, so equal ends describe the same interval).
     /// Merging a run into a default-identical copy of itself is the
     /// identity on the first operand, which is what keeps a one-shard
-    /// merged report equal to the classic report.
-    pub(crate) fn merge_from(&mut self, other: &Self) {
+    /// merged report equal to the classic report. Public so offline
+    /// consumers (per-shard journal replay) can reassemble the same
+    /// merged metrics the live sharded run reported.
+    pub fn merge_from(&mut self, other: &Self) {
         self.requests += other.requests;
         self.hits += other.hits;
         self.misses_served += other.misses_served;

@@ -51,6 +51,7 @@ use crate::error::RuntimeError;
 use crate::persist::checkpoint::{CheckpointSaver, CheckpointState};
 use crate::persist::{Checkpoint, PersistConfig};
 use crate::policy::EvictionPolicy;
+use crate::workload::Workload;
 
 /// The static strip partition of a scenario: which servers belong to
 /// which shard, and the geometry deciding which strip a coordinate (and
@@ -210,6 +211,24 @@ impl<'a> ShardedServeEngine<'a> {
     pub fn warm_start(&mut self, placement: &Placement) -> Result<(), RuntimeError> {
         for shard in &mut self.shards {
             shard.engine.warm_start(placement)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces every shard's request-generation workload, exactly like
+    /// [`ServeEngine::set_workload`]: each shard samples its *own*
+    /// users from the shared workload, so piecewise shifts, flash
+    /// crowds and tides apply city-wide.
+    ///
+    /// [`ServeEngine::set_workload`]: crate::ServeEngine::set_workload
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::InvalidConfig`] for a workload whose
+    /// user count differs from the scenario's.
+    pub fn set_workload(&mut self, workload: Workload) -> Result<(), RuntimeError> {
+        for shard in &mut self.shards {
+            shard.engine.set_workload(workload.clone())?;
         }
         Ok(())
     }

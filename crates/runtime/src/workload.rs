@@ -295,6 +295,154 @@ pub fn rotate_popularity(demand: &Demand, shift: usize) -> Result<Demand, Runtim
     permute_popularity(demand, &perm)
 }
 
+/// Rebuilds `demand` with one *hot* model boosted: every row adds
+/// `boost` times its own total mass to the hot model's probability and
+/// is then rescaled back to its original mass, so the hot model ends up
+/// holding at least `boost / (1 + boost)` of every row while the total
+/// request mass — the denominator of Eq. (2) — is bit-for-bit
+/// unchanged. Deadlines and inference latencies stay with the model
+/// slot, exactly like [`permute_popularity`]: only what users *ask for*
+/// spikes.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InvalidConfig`] for an out-of-range hot
+/// model or a non-positive/non-finite boost.
+pub fn spike_popularity(demand: &Demand, hot: ModelId, boost: f64) -> Result<Demand, RuntimeError> {
+    let (rows, i) = (demand.num_classes(), demand.num_models());
+    if hot.index() >= i {
+        return Err(RuntimeError::InvalidConfig {
+            reason: format!("hot model {} out of range for {i} models", hot.index()),
+        });
+    }
+    if !(boost.is_finite() && boost > 0.0) {
+        return Err(RuntimeError::InvalidConfig {
+            reason: format!("spike boost must be positive and finite, got {boost}"),
+        });
+    }
+    let mut probabilities = Vec::with_capacity(rows);
+    let mut deadlines = Vec::with_capacity(rows);
+    let mut inference = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let mut p: Vec<f64> = (0..i)
+            .map(|m| demand.class_probability(row, ModelId(m)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mass: f64 = p.iter().sum();
+        if mass > 0.0 {
+            p[hot.index()] += boost * mass;
+            let scale = 1.0 / (1.0 + boost);
+            for v in &mut p {
+                *v *= scale;
+            }
+        }
+        probabilities.push(p);
+        deadlines.push(
+            (0..i)
+                .map(|m| demand.class_deadline_s(row, ModelId(m)))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+        inference.push(
+            (0..i)
+                .map(|m| demand.class_inference_s(row, ModelId(m)))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    }
+    Ok(match demand.user_classes() {
+        Some(map) => Demand::clustered(probabilities, deadlines, inference, map.to_vec())?,
+        None => Demand::new(probabilities, deadlines, inference)?,
+    })
+}
+
+impl Workload {
+    /// Builds a **flash-crowd** workload: stationary `base` demand with
+    /// one transient hot spike — from `spike_start_s` for `spike_s`
+    /// seconds every row concentrates an extra `boost / (1 + boost)`
+    /// share of its mass on `hot` (see [`spike_popularity`]), then the
+    /// stream relaxes back to `base`. The classic "everyone suddenly
+    /// wants the new model" stress case for eviction and re-placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a non-positive spike
+    /// start or length, and propagates [`spike_popularity`] and
+    /// [`Workload::piecewise`] errors.
+    pub fn flash_crowd(
+        base: &Demand,
+        rate_hz: f64,
+        spike_start_s: f64,
+        spike_s: f64,
+        hot: ModelId,
+        boost: f64,
+    ) -> Result<Self, RuntimeError> {
+        if !(spike_start_s.is_finite()
+            && spike_start_s > 0.0
+            && spike_s.is_finite()
+            && spike_s > 0.0)
+        {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!(
+                    "flash crowd needs a positive spike start and length, \
+                     got start {spike_start_s} s / length {spike_s} s"
+                ),
+            });
+        }
+        let spiked = spike_popularity(base, hot, boost)?;
+        Self::piecewise(
+            &[
+                (0.0, base),
+                (spike_start_s, &spiked),
+                (spike_start_s + spike_s, base),
+            ],
+            rate_hz,
+        )
+    }
+
+    /// Builds a **diurnal-tide** workload: popularity rotates through
+    /// the library and returns to `base` once per period, for `cycles`
+    /// periods. Each period of `period_s` seconds is cut into
+    /// `phases_per_cycle` equal phases; phase `j` of a cycle rotates
+    /// the popularity columns by `⌊I · j / phases_per_cycle⌋` (see
+    /// [`rotate_popularity`]), so phase `0` of every cycle is exactly
+    /// `base` — the periodic day/night demand swing of a diurnal
+    /// serving profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a non-positive
+    /// period or zero phases/cycles, and propagates
+    /// [`rotate_popularity`] and [`Workload::piecewise`] errors.
+    pub fn diurnal_tide(
+        base: &Demand,
+        rate_hz: f64,
+        period_s: f64,
+        phases_per_cycle: usize,
+        cycles: usize,
+    ) -> Result<Self, RuntimeError> {
+        if !(period_s.is_finite() && period_s > 0.0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: format!("tide period must be positive and finite, got {period_s}"),
+            });
+        }
+        if phases_per_cycle == 0 || cycles == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "a tide needs at least one phase per cycle and one cycle".into(),
+            });
+        }
+        let i = base.num_models();
+        let phase_s = period_s / phases_per_cycle as f64;
+        let phases: Vec<Demand> = (0..phases_per_cycle)
+            .map(|j| rotate_popularity(base, i * j / phases_per_cycle))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut segments = Vec::with_capacity(phases_per_cycle * cycles);
+        for c in 0..cycles {
+            for (j, phase) in phases.iter().enumerate() {
+                segments.push(((c * phases_per_cycle + j) as f64 * phase_s, phase));
+            }
+        }
+        Self::piecewise(&segments, rate_hz)
+    }
+}
+
 /// Deterministic piecewise-Zipf schedule generator: `epochs` phases of
 /// `epoch_s` seconds each; phase 0 is the base demand and every later
 /// phase permutes the base popularity columns with a fresh seeded
@@ -532,5 +680,114 @@ mod tests {
         // Degenerate configs are rejected.
         assert!(PopularityShift::new(0.0, 2, 1).phases(&base).is_err());
         assert!(PopularityShift::new(10.0, 0, 1).phases(&base).is_err());
+    }
+
+    #[test]
+    fn spike_concentrates_mass_and_preserves_row_totals() {
+        let base = demand(3, 6);
+        let hot = ModelId(2);
+        let spiked = spike_popularity(&base, hot, 3.0).unwrap();
+        for row in 0..base.num_classes() {
+            let before: f64 = (0..6)
+                .map(|m| base.class_probability(row, ModelId(m)).unwrap())
+                .sum();
+            let after: f64 = (0..6)
+                .map(|m| spiked.class_probability(row, ModelId(m)).unwrap())
+                .sum();
+            assert!(
+                (before - after).abs() < 1e-12,
+                "row {row}: mass {before} -> {after}"
+            );
+            // boost/(1+boost) = 3/4 of the row now sits on the hot model.
+            let hot_share = spiked.class_probability(row, hot).unwrap() / after;
+            assert!(hot_share >= 0.75, "row {row}: hot share {hot_share:.3}");
+            // Latency columns travel with the model slot, untouched.
+            for m in 0..6 {
+                assert_eq!(
+                    base.class_deadline_s(row, ModelId(m)).unwrap(),
+                    spiked.class_deadline_s(row, ModelId(m)).unwrap()
+                );
+            }
+        }
+        // Out-of-range hot model and degenerate boosts are rejected.
+        assert!(spike_popularity(&base, ModelId(6), 1.0).is_err());
+        assert!(spike_popularity(&base, hot, 0.0).is_err());
+        assert!(spike_popularity(&base, hot, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn flash_crowd_spikes_then_relaxes() {
+        let base = demand(2, 5);
+        let hot = ModelId(1);
+        let w = Workload::flash_crowd(&base, 1.0, 100.0, 50.0, hot, 4.0).unwrap();
+        assert_eq!(w.num_phases(), 3);
+        assert_eq!(w.phase_at(99.9), 0);
+        assert_eq!(w.phase_at(100.0), 1);
+        assert_eq!(w.phase_at(150.0), 2);
+        // During the spike nearly all draws hit the hot model.
+        let mut rng = StdRng::seed_from_u64(17);
+        let draws = 4_000;
+        let hot_in_spike = (0..draws)
+            .filter(|_| w.draw_model(UserId(0), 120.0, &mut rng) == hot)
+            .count();
+        assert!(
+            hot_in_spike as f64 / draws as f64 > 0.7,
+            "hot share in spike: {}",
+            hot_in_spike as f64 / draws as f64
+        );
+        // Before and after, the stream is the stationary base demand.
+        let stationary = Workload::from_demand(&base, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(23);
+        let mut b = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            assert_eq!(
+                w.draw_model(UserId(1), 10.0, &mut a),
+                stationary.draw_model(UserId(1), 10.0, &mut b)
+            );
+            assert_eq!(
+                w.draw_model(UserId(1), 200.0, &mut a),
+                stationary.draw_model(UserId(1), 200.0, &mut b)
+            );
+        }
+        // Degenerate windows are rejected.
+        assert!(Workload::flash_crowd(&base, 1.0, 0.0, 50.0, hot, 4.0).is_err());
+        assert!(Workload::flash_crowd(&base, 1.0, 100.0, 0.0, hot, 4.0).is_err());
+    }
+
+    #[test]
+    fn diurnal_tide_cycles_back_to_base_every_period() {
+        let base = demand(2, 8);
+        let w = Workload::diurnal_tide(&base, 1.0, 400.0, 4, 2).unwrap();
+        assert_eq!(w.num_phases(), 8);
+        // Phase boundaries land on period_s / phases_per_cycle grid.
+        assert_eq!(w.phase_at(0.0), 0);
+        assert_eq!(w.phase_at(99.9), 0);
+        assert_eq!(w.phase_at(100.0), 1);
+        assert_eq!(w.phase_at(400.0), 4);
+        // Phase 0 of the second cycle draws exactly like phase 0 of the
+        // first — the tide returns to base once per period.
+        let mut a = StdRng::seed_from_u64(31);
+        let mut b = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            assert_eq!(
+                w.draw_model(UserId(0), 10.0, &mut a),
+                w.draw_model(UserId(0), 410.0, &mut b)
+            );
+        }
+        // Midday is a genuine rotation: half-library shift of base.
+        let noon = rotate_popularity(&base, 4).unwrap();
+        let stationary = Workload::from_demand(&noon, 1.0).unwrap();
+        let mut c = StdRng::seed_from_u64(37);
+        let mut d = StdRng::seed_from_u64(37);
+        for _ in 0..200 {
+            assert_eq!(
+                w.draw_model(UserId(1), 250.0, &mut c),
+                stationary.draw_model(UserId(1), 250.0, &mut d)
+            );
+        }
+        // Degenerate tides are rejected.
+        assert!(Workload::diurnal_tide(&base, 1.0, 0.0, 4, 2).is_err());
+        assert!(Workload::diurnal_tide(&base, 1.0, 400.0, 0, 2).is_err());
+        assert!(Workload::diurnal_tide(&base, 1.0, 400.0, 4, 0).is_err());
     }
 }

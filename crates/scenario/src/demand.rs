@@ -588,6 +588,47 @@ impl DemandConfig {
             user_class,
         )
     }
+
+    /// Generates a clustered demand description with an **explicit**
+    /// user→class map instead of the round-robin assignment of
+    /// [`DemandConfig::generate_clustered`]: `num_classes` Zipf rows are
+    /// drawn exactly the same way, but each user `k` requests from class
+    /// `user_class[k]`. This is how *correlated regional popularity* is
+    /// built — the caller derives the map from user positions (one class
+    /// per region), so neighbours share a demand profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] for a zero class or user
+    /// count, and propagates [`Demand::clustered`] errors for class
+    /// indices out of range.
+    pub fn generate_clustered_mapped<R: Rng + ?Sized>(
+        &self,
+        num_models: usize,
+        num_classes: usize,
+        user_class: Vec<u32>,
+        rng: &mut R,
+    ) -> Result<Demand, ScenarioError> {
+        if num_classes == 0 {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_classes",
+                value: 0.0,
+            });
+        }
+        if user_class.is_empty() {
+            return Err(ScenarioError::InvalidValue {
+                name: "num_users",
+                value: 0.0,
+            });
+        }
+        let rows = self.generate(num_classes, num_models, rng)?;
+        Demand::clustered(
+            rows.probabilities,
+            rows.deadlines_s,
+            rows.inference_s,
+            user_class,
+        )
+    }
 }
 
 impl Default for DemandConfig {

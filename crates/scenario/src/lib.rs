@@ -105,7 +105,7 @@ pub use eligibility::{
 pub use entities::{gigabytes, EdgeServer, ServerId, User, UserId};
 pub use error::ScenarioError;
 pub use latency::{LatencyEvaluator, RateMatrix};
-pub use mobility::{MobilityClass, MobilityModel};
+pub use mobility::{CommuterFlow, MobilityClass, MobilityModel};
 pub use objective::HitRatioObjective;
 pub use placement::Placement;
 pub use scenario::{Scenario, ScenarioBuilder};
@@ -122,7 +122,7 @@ pub mod prelude {
     };
     pub use crate::entities::{gigabytes, EdgeServer, ServerId, User, UserId};
     pub use crate::error::ScenarioError;
-    pub use crate::mobility::{MobilityClass, MobilityModel};
+    pub use crate::mobility::{CommuterFlow, MobilityClass, MobilityModel};
     pub use crate::objective::HitRatioObjective;
     pub use crate::placement::Placement;
     pub use crate::scenario::{Scenario, ScenarioBuilder};

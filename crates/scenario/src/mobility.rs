@@ -15,7 +15,8 @@
 
 use std::f64::consts::PI;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use trimcaching_wireless::geometry::{DeploymentArea, Point};
@@ -231,6 +232,164 @@ impl MobilityModel {
     }
 }
 
+/// Directed commuter mobility: every user owns a *home* anchor in the
+/// western residential band of the area (`x ∈ [0, 0.4·side]`) and a
+/// *work* anchor in the eastern business band (`x ∈ [0.6·side, side]`),
+/// both drawn once from the construction seed. Users start at home and
+/// alternate commutes: during even half-periods everyone travels toward
+/// work, during odd half-periods back toward home, each at a constant
+/// per-user speed drawn from their mobility class's initial range and
+/// clamped to never overshoot the target. Unlike [`MobilityModel`],
+/// stepping consumes **no** randomness — the whole trajectory is a pure
+/// function of `(num_users, area, half_period_s, seed)` — which is what
+/// lets sweep cells replay commuter scenarios byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommuterFlow {
+    area: DeploymentArea,
+    half_period_s: f64,
+    homes: Vec<Point>,
+    works: Vec<Point>,
+    speeds_mps: Vec<f64>,
+    classes: Vec<MobilityClass>,
+    positions: Vec<Point>,
+    elapsed_seconds: f64,
+}
+
+impl CommuterFlow {
+    /// Fraction of the area side covered by the residential band.
+    const HOME_BAND: f64 = 0.4;
+    /// Western edge of the business band, as a fraction of the side.
+    const WORK_BAND_START: f64 = 0.6;
+
+    /// Builds a commuter flow of `num_users` users inside `area`,
+    /// switching commute direction every `half_period_s` seconds.
+    /// Classes are assigned round-robin like [`MobilityModel::paper_mix`];
+    /// anchors and speeds are drawn from a [`StdRng`] seeded with a
+    /// salted `seed`, so equal arguments give equal flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidValue`] when `half_period_s` is
+    /// not strictly positive and finite.
+    ///
+    /// [`ScenarioError::InvalidValue`]: crate::ScenarioError::InvalidValue
+    pub fn new(
+        num_users: usize,
+        area: DeploymentArea,
+        half_period_s: f64,
+        seed: u64,
+    ) -> Result<Self, crate::ScenarioError> {
+        if !(half_period_s.is_finite() && half_period_s > 0.0) {
+            return Err(crate::ScenarioError::InvalidValue {
+                name: "half_period_s",
+                value: half_period_s,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(0xE703_7ED1_A0B4_28DB),
+        );
+        let side = area.side_m();
+        let classes_cycle = MobilityClass::all();
+        let mut homes = Vec::with_capacity(num_users);
+        let mut works = Vec::with_capacity(num_users);
+        let mut speeds = Vec::with_capacity(num_users);
+        let mut classes = Vec::with_capacity(num_users);
+        for idx in 0..num_users {
+            let class = classes_cycle[idx % classes_cycle.len()];
+            homes.push(Point::new(
+                rng.gen_range(0.0..=Self::HOME_BAND * side),
+                rng.gen_range(0.0..=side),
+            ));
+            works.push(Point::new(
+                rng.gen_range(Self::WORK_BAND_START * side..=side),
+                rng.gen_range(0.0..=side),
+            ));
+            let (lo, hi) = class.initial_speed_range();
+            speeds.push(rng.gen_range(lo..=hi));
+            classes.push(class);
+        }
+        Ok(Self {
+            area,
+            half_period_s,
+            positions: homes.clone(),
+            homes,
+            works,
+            speeds_mps: speeds,
+            classes,
+            elapsed_seconds: 0.0,
+        })
+    }
+
+    /// Home anchors, in user order (also the initial positions).
+    pub fn homes(&self) -> &[Point] {
+        &self.homes
+    }
+
+    /// Work anchors, in user order.
+    pub fn works(&self) -> &[Point] {
+        &self.works
+    }
+
+    /// Mobility classes, in user order.
+    pub fn classes(&self) -> &[MobilityClass] {
+        &self.classes
+    }
+
+    /// Current positions, in user order.
+    pub fn positions(&self) -> Vec<Point> {
+        self.positions.clone()
+    }
+
+    /// Total simulated time so far in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_seconds
+    }
+
+    /// The half-period in seconds (one one-way commute window).
+    pub fn half_period_s(&self) -> f64 {
+        self.half_period_s
+    }
+
+    /// `0` while the flow heads for work, `1` while it heads home.
+    pub fn phase(&self) -> usize {
+        (self.elapsed_seconds / self.half_period_s) as usize % 2
+    }
+
+    /// Advances every user by `dt` seconds toward their current target
+    /// (work during even half-periods, home during odd ones), clamped so
+    /// nobody overshoots. Deterministic: no randomness is consumed.
+    pub fn step(&mut self, dt: f64) {
+        let toward_work = self.phase() == 0;
+        for (k, position) in self.positions.iter_mut().enumerate() {
+            let target = if toward_work {
+                self.works[k]
+            } else {
+                self.homes[k]
+            };
+            let dx = target.x - position.x;
+            let dy = target.y - position.y;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let reach = self.speeds_mps[k] * dt;
+            if dist <= reach || dist == 0.0 {
+                *position = target;
+            } else {
+                let scale = reach / dist;
+                *position = Point::new(position.x + dx * scale, position.y + dy * scale);
+            }
+        }
+        self.elapsed_seconds += dt;
+    }
+
+    /// Advances by `n` steps of `dt` seconds and returns the positions.
+    pub fn run_steps(&mut self, n: usize, dt: f64) -> Vec<Point> {
+        for _ in 0..n {
+            self.step(dt);
+        }
+        self.positions()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,5 +517,63 @@ mod tests {
     #[should_panic(expected = "slot length")]
     fn zero_slot_length_panics() {
         let _ = MobilityModel::new(vec![], DeploymentArea::paper_default(), 0.0);
+    }
+
+    #[test]
+    fn commuter_anchors_live_in_their_bands_and_seed_deterministically() {
+        let area = DeploymentArea::paper_default();
+        let side = area.side_m();
+        let flow = CommuterFlow::new(30, area, 600.0, 42).unwrap();
+        for (home, work) in flow.homes().iter().zip(flow.works()) {
+            assert!(home.x <= 0.4 * side, "home outside band: {home:?}");
+            assert!(work.x >= 0.6 * side, "work outside band: {work:?}");
+            assert!(area.contains(*home) && area.contains(*work));
+        }
+        assert_eq!(flow.positions(), flow.homes().to_vec(), "starts at home");
+        assert_eq!(flow.classes()[0], MobilityClass::Pedestrian);
+        assert_eq!(flow.classes()[1], MobilityClass::Bike);
+        assert_eq!(flow.classes()[2], MobilityClass::Vehicle);
+        let again = CommuterFlow::new(30, area, 600.0, 42).unwrap();
+        assert_eq!(flow, again, "same seed, same flow");
+        let other = CommuterFlow::new(30, area, 600.0, 43).unwrap();
+        assert_ne!(flow.homes(), other.homes(), "different seeds differ");
+        assert!(CommuterFlow::new(3, area, 0.0, 1).is_err());
+        assert!(CommuterFlow::new(3, area, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn commuters_reach_work_then_return_home() {
+        let area = DeploymentArea::paper_default();
+        // Half-period long enough for the slowest pedestrian to cross:
+        // diagonal ≈ 1414 m at ≥ 0.5 m/s needs < 2 900 s.
+        let half = 3_000.0;
+        let mut flow = CommuterFlow::new(9, area, half, 7).unwrap();
+        assert_eq!(flow.phase(), 0, "morning commute first");
+        // Walk the full morning in 10 s steps.
+        flow.run_steps(300, 10.0);
+        assert_eq!(flow.positions(), flow.works().to_vec(), "everyone at work");
+        assert_eq!(flow.phase(), 1, "evening commute next");
+        flow.run_steps(300, 10.0);
+        assert_eq!(flow.positions(), flow.homes().to_vec(), "everyone home");
+        assert!((flow.elapsed_seconds() - 2.0 * half).abs() < 1e-9);
+        assert_eq!(flow.phase(), 0, "the cycle repeats");
+    }
+
+    #[test]
+    fn commuter_steps_are_deterministic_and_never_overshoot() {
+        let area = DeploymentArea::paper_default();
+        let mut a = CommuterFlow::new(12, area, 500.0, 3).unwrap();
+        let mut b = a.clone();
+        // Different step granularities share waypoints at common times.
+        let coarse = a.run_steps(5, 20.0);
+        let fine = b.run_steps(100, 1.0);
+        for (p, q) in coarse.iter().zip(&fine) {
+            assert!(p.distance(*q) < 1e-9, "{p:?} vs {q:?}");
+        }
+        // Nobody leaves the area: straight-line travel between interior
+        // anchors stays interior.
+        for p in &coarse {
+            assert!(area.contains(*p));
+        }
     }
 }

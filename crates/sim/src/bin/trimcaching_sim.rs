@@ -4,13 +4,13 @@
 //! ```text
 //! trimcaching-sim <experiment> [--paper|--fast] [--topologies N]
 //!                 [--realisations N] [--csv] [--out FILE] [--dir DIR]
-//!                 [--shards N] [--threads N]
+//!                 [--shards N] [--threads N] [--spec FILE]
 //!
 //! experiments: fig1 fig4a fig4b fig4c fig5a fig5b fig5c fig6a fig6b fig7
 //!              serve serve-trace serve-blocks serve-adapt serve-adapt-trace
 //!              serve-journal resume fork-ab journal-stats serve-faults
 //!              replacement replacement-trigger lora-market city-scale
-//!              serve-sharded serve-sharded-xl
+//!              serve-sharded serve-sharded-xl sweep sweep-report
 //!              ablation-epsilon ablation-sharing ablation-zipf
 //!              ablation-scaling ablation-backhaul ablation-deadline
 //!              ablation-shadowing all
@@ -32,6 +32,15 @@
 //! `--threads` sizes the worker pool (`0` = all cores). Both verify
 //! byte-identity across worker-thread counts; `serve-sharded-xl` is the
 //! million-user acceptance run and is deliberately not part of `all`.
+//!
+//! The sweep subcommands run declarative grids: `sweep` expands the
+//! `--spec` file (a `key = value` sheet; omitted = the built-in smoke
+//! grid), serves every cell across `--threads` workers and writes
+//! `sweep_<name>.{csv,json,md}` under `--dir`; the artefact bytes are
+//! identical for any worker count. `sweep-report` re-renders the
+//! markdown from a previously written CSV without re-running anything,
+//! verifying its fingerprint against the spec. Neither is part of
+//! `all`.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -42,7 +51,7 @@ use trimcaching_sim::experiments::{
     sharded, RunConfig,
 };
 use trimcaching_sim::montecarlo::MonteCarloConfig;
-use trimcaching_sim::SimError;
+use trimcaching_sim::{sweep, SimError, SweepSpec};
 
 /// Parsed command-line options.
 struct Options {
@@ -53,6 +62,7 @@ struct Options {
     dir: PathBuf,
     shards: usize,
     threads: usize,
+    spec: Option<PathBuf>,
 }
 
 fn print_usage() {
@@ -64,7 +74,7 @@ fn print_usage() {
          serve serve-trace serve-blocks serve-adapt serve-adapt-trace \
          serve-journal resume fork-ab journal-stats serve-faults replacement \
          replacement-trigger lora-market city-scale serve-sharded serve-sharded-xl \
-         ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
+         sweep sweep-report ablation-epsilon ablation-sharing ablation-zipf ablation-scaling \
          ablation-backhaul ablation-deadline ablation-shadowing all"
     );
 }
@@ -77,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut dir = PathBuf::from("target/durable");
     let mut shards = 4usize;
     let mut threads = 0usize;
+    let mut spec = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -96,7 +107,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             | "--out"
             | "--dir"
             | "--shards"
-            | "--threads" => {
+            | "--threads"
+            | "--spec" => {
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("missing value for {arg}"))?;
@@ -132,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             .parse()
                             .map_err(|_| format!("invalid thread count {value}"))?;
                     }
+                    "--spec" => spec = Some(PathBuf::from(value)),
                     _ => unreachable!(),
                 }
             }
@@ -149,10 +162,78 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dir,
         shards,
         threads,
+        spec,
     })
 }
 
 /// Runs one experiment and returns its rendered output.
+/// Loads a sweep spec: parses `--spec` when given, else the built-in
+/// smoke grid.
+fn load_spec(path: Option<&Path>) -> Result<SweepSpec, SimError> {
+    match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| SimError::InvalidConfig {
+                reason: format!("cannot read spec {}: {e}", path.display()),
+            })?;
+            sweep::parse_spec(&text)
+        }
+        None => Ok(SweepSpec::smoke()),
+    }
+}
+
+/// Runs a sweep end to end: expands the spec, serves every cell and
+/// writes the `sweep_<name>.{csv,json,md}` artefacts under `dir`.
+fn run_sweep_cli(
+    spec_path: Option<&Path>,
+    dir: &Path,
+    threads: usize,
+    csv: bool,
+) -> Result<String, SimError> {
+    let spec = load_spec(spec_path)?;
+    eprintln!(
+        "[trimcaching-sim] sweep '{}': {} cells, fingerprint {:016x}",
+        spec.name,
+        spec.num_cells(),
+        spec.fingerprint()
+    );
+    let report = sweep::run_sweep(&spec, threads)?;
+    let csv_text = sweep::to_csv(&report);
+    let json_text = sweep::to_json(&report);
+    let md_text = sweep::to_markdown(&report);
+    std::fs::create_dir_all(dir).map_err(|e| SimError::InvalidConfig {
+        reason: format!("cannot create {}: {e}", dir.display()),
+    })?;
+    for (ext, text) in [("csv", &csv_text), ("json", &json_text), ("md", &md_text)] {
+        let path = dir.join(format!("sweep_{}.{ext}", spec.name));
+        std::fs::write(&path, text).map_err(|e| SimError::InvalidConfig {
+            reason: format!("cannot write {}: {e}", path.display()),
+        })?;
+        eprintln!("[trimcaching-sim] wrote {}", path.display());
+    }
+    Ok(if csv { csv_text } else { md_text })
+}
+
+/// Re-renders the markdown report from a previously written sweep CSV,
+/// verifying its fingerprint against the spec.
+fn sweep_report_cli(spec_path: Option<&Path>, dir: &Path) -> Result<String, SimError> {
+    let spec = load_spec(spec_path)?;
+    let path = dir.join(format!("sweep_{}.csv", spec.name));
+    let text = std::fs::read_to_string(&path).map_err(|e| SimError::InvalidConfig {
+        reason: format!("cannot read {} (run 'sweep' first): {e}", path.display()),
+    })?;
+    let report = sweep::parse_csv(&text)?;
+    if report.fingerprint != spec.fingerprint() {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "sweep CSV fingerprint {:016x} does not match the spec's {:016x} —                  the artefact was produced by a different grid",
+                report.fingerprint,
+                spec.fingerprint()
+            ),
+        });
+    }
+    Ok(sweep::to_markdown(&report))
+}
+
 fn run_experiment(
     name: &str,
     config: &RunConfig,
@@ -160,6 +241,7 @@ fn run_experiment(
     dir: &Path,
     shards: usize,
     threads: usize,
+    spec: Option<&Path>,
 ) -> Result<String, SimError> {
     let render_table = |t: trimcaching_sim::ExperimentTable| {
         if csv {
@@ -202,6 +284,8 @@ fn run_experiment(
         "city-scale" => render_table(city::city_scale_study(config)?),
         "serve-sharded" => render_table(sharded::sharded_scaling_study(config, shards, threads)?),
         "serve-sharded-xl" => render_table(sharded::sharded_xl_study(config, threads)?),
+        "sweep" => run_sweep_cli(spec, dir, threads, csv)?,
+        "sweep-report" => sweep_report_cli(spec, dir)?,
         "ablation-epsilon" => render_table(ablation::epsilon_sweep(config)?),
         "ablation-sharing" => render_table(ablation::sharing_depth_sweep(config)?),
         "ablation-zipf" => render_table(ablation::zipf_sweep(config)?),
@@ -241,7 +325,9 @@ fn run_experiment(
                 "ablation-shadowing",
             ] {
                 eprintln!("[trimcaching-sim] running {exp} ...");
-                out.push_str(&run_experiment(exp, config, csv, dir, shards, threads)?);
+                out.push_str(&run_experiment(
+                    exp, config, csv, dir, shards, threads, spec,
+                )?);
             }
             out
         }
@@ -270,6 +356,7 @@ fn main() -> ExitCode {
         &options.dir,
         options.shards,
         options.threads,
+        options.spec.as_deref(),
     ) {
         Ok(rendered) => {
             if let Some(path) = options.out {

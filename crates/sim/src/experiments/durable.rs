@@ -16,9 +16,13 @@
 //! * [`fork_ab`] — interrupts a run mid-flight, then forks the same
 //!   checkpoint under two eviction policies: identical pasts,
 //!   deterministically diverging futures;
-//! * [`journal_stats`] — pure offline analysis of a journal file, no
+//! * [`journal_stats`] — pure offline analysis of journal artefacts, no
 //!   scenario required: request counts, hit ratios and latency
-//!   percentiles recomputed from the served-event records alone.
+//!   percentiles recomputed from the served-event records alone. Reads
+//!   the classic `journal.tcj` when present, and otherwise discovers
+//!   the per-shard `journal_<s>.tcj` files a sharded run leaves,
+//!   merging them in shard order into the same metrics the live merged
+//!   report carried.
 //!
 //! All four share one deterministic study setting (the seed comes from
 //! the `RunConfig`), so `serve-journal` followed by `resume` or
@@ -266,19 +270,50 @@ pub fn fork_ab(config: &RunConfig, dir: &Path) -> Result<ExperimentTable, SimErr
     Ok(table)
 }
 
+/// Reads whatever journal set `dir` holds: the classic `journal.tcj`
+/// when present, otherwise the per-shard `journal_<s>.tcj` artefacts a
+/// sharded run leaves, discovered ascending from shard 0 and merged in
+/// shard order — the same order the live run merged its shard reports,
+/// so the recomputed request-level metrics match the merged report
+/// bit-for-bit. Returns `(seed, shard count, merged metrics)`; the seed
+/// is shard 0's header seed, which is the run seed.
+pub(crate) fn read_journal_set(dir: &Path) -> Result<(u64, usize, ServeMetrics), SimError> {
+    let persist = persist_config(dir);
+    let classic = persist.journal_path();
+    if classic.exists() || !persist.journal_shard_path(0).exists() {
+        // Classic single-journal run — or nothing at all, in which case
+        // the strict read surfaces the usual missing-journal error.
+        let (header, records) = read_journal(&classic).map_err(RuntimeError::from)?;
+        return Ok((header.seed, 1, recompute_metrics(&header, &records)));
+    }
+    let (header, records) =
+        read_journal(&persist.journal_shard_path(0)).map_err(RuntimeError::from)?;
+    let seed = header.seed;
+    let mut merged = recompute_metrics(&header, &records);
+    let mut shard = 1;
+    while persist.journal_shard_path(shard).exists() {
+        let (header, records) =
+            read_journal(&persist.journal_shard_path(shard)).map_err(RuntimeError::from)?;
+        merged.merge_from(&recompute_metrics(&header, &records));
+        shard += 1;
+    }
+    Ok((seed, shard, merged))
+}
+
 /// Offline journal analysis: everything the served-event records alone
 /// determine, with no scenario and no replay. Works on the journal of a
 /// completed *or* interrupted run (strict read — a torn tail is an
-/// error, by design).
+/// error, by design), and on the per-shard journal set of a sharded
+/// run, whose shards merge back into the live merged report's
+/// request-level metrics (the `shards` column reports how many were
+/// found).
 ///
 /// # Errors
 ///
 /// Propagates persistence errors (missing journal, torn tail,
 /// corruption).
 pub fn journal_stats(dir: &Path) -> Result<ExperimentTable, SimError> {
-    let (header, records) =
-        read_journal(&persist_config(dir).journal_path()).map_err(RuntimeError::from)?;
-    let m = recompute_metrics(&header, &records);
+    let (seed, shards, m) = read_journal_set(dir)?;
     let mut table = ExperimentTable::new(
         "journal-stats",
         "Durable serving: request-level metrics recomputed offline from the journal",
@@ -293,12 +328,13 @@ pub fn journal_stats(dir: &Path) -> Result<ExperimentTable, SimError> {
             "p95-latency-ms".into(),
             "p99-latency-ms".into(),
             "windows".into(),
+            "shards".into(),
         ],
     );
     table.push_row(
         0.0,
         [
-            header.seed as f64,
+            seed as f64,
             m.requests as f64,
             m.hit_ratio(),
             m.block_hit_ratio(),
@@ -306,6 +342,7 @@ pub fn journal_stats(dir: &Path) -> Result<ExperimentTable, SimError> {
             m.p95_latency_s().unwrap_or(0.0) * 1e3,
             m.p99_latency_s().unwrap_or(0.0) * 1e3,
             m.windows().len() as f64,
+            shards as f64,
         ]
         .into_iter()
         .map(|mean| Measurement { mean, std_dev: 0.0 })
@@ -318,6 +355,7 @@ pub fn journal_stats(dir: &Path) -> Result<ExperimentTable, SimError> {
 mod tests {
     use super::*;
     use std::path::PathBuf;
+    use trimcaching_runtime::ShardedServeEngine;
 
     fn scratch_dir() -> PathBuf {
         let dir = std::env::temp_dir().join(format!("tc-sim-durable-{}", std::process::id()));
@@ -356,6 +394,43 @@ mod tests {
         assert_eq!(forks.rows.len(), 2);
         assert_eq!(forks.rows[0].cells[4].mean, forks.rows[1].cells[4].mean);
         assert!(forks.rows[0].cells[4].mean > 0.0, "fork point is mid-run");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_journals_merge_back_into_the_live_report() {
+        let config = RunConfig::smoke();
+        let dir =
+            std::env::temp_dir().join(format!("tc-sim-durable-sharded-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let scenario = durable_scenario(&config).unwrap();
+        let serve_config = durable_serve_config(&config).with_persist(persist_config(&dir));
+        let live = ShardedServeEngine::new(&scenario, &CostAwareLfu, serve_config, 2)
+            .unwrap()
+            .with_threads(1)
+            .run()
+            .unwrap();
+
+        // The per-shard journals, merged in shard order, recompute the
+        // live merged report's request-level metrics bit-for-bit.
+        let (seed, shards, merged) = read_journal_set(&dir).unwrap();
+        assert_eq!(shards, 2, "both shard journals are discovered");
+        assert_eq!(seed, live.seed, "shard 0 carries the run seed");
+        assert!(
+            request_level_match(&merged, &live.metrics),
+            "merged shard journals must match the live sharded report"
+        );
+
+        // And journal-stats renders the same aggregate, flagging the
+        // shard count.
+        let stats = journal_stats(&dir).unwrap();
+        let cells = &stats.rows[0].cells;
+        assert_eq!(cells[0].mean, live.seed as f64);
+        assert_eq!(cells[1].mean, live.metrics.requests as f64);
+        assert_eq!(cells[2].mean, live.metrics.hit_ratio());
+        assert_eq!(cells[8].mean, 2.0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

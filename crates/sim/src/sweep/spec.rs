@@ -1,0 +1,351 @@
+//! Spec files: a line-oriented `key = value` dialect (strict TOML
+//! subset, hand-rolled — the environment is offline) plus the
+//! canonical writer that defines the sweep fingerprint.
+//!
+//! Grammar:
+//!
+//! * one `key = value` pair per line; `#` starts a comment; blank
+//!   lines are skipped;
+//! * axis values are comma-separated lists (`users = 300, 600`);
+//! * storage-tier sets separate multipliers with `:` and sets with
+//!   `,`; the word `flat` is the homogeneous set (`storage_tiers =
+//!   flat, 1:2:0.5` sweeps homogeneous against three tiers);
+//! * booleans are `on`/`off` (or `true`/`false`);
+//! * unknown and duplicate keys are errors — a typo must not silently
+//!   change the grid.
+//!
+//! [`write_spec`] renders a [`SweepSpec`] with every key in a fixed
+//! order and canonical number formatting; parsing its output yields an
+//! equal spec (round-trip), and its bytes are what
+//! [`SweepSpec::fingerprint`] hashes — which is why cell seeds cannot
+//! depend on the declaration order of the original file.
+
+use std::collections::BTreeSet;
+
+use trimcaching_runtime::FillGranularity;
+
+use super::{PolicyKind, SweepSpec, WorkloadFamily};
+use crate::SimError;
+
+/// Every legal spec key, in canonical write order.
+const KEYS: [&str; 20] = [
+    "name",
+    "seed",
+    "library_seed",
+    "models_per_backbone",
+    "duration_s",
+    "request_rate_hz",
+    "area_side_m",
+    "servers_per_km2",
+    "demand_classes",
+    "regional_grid",
+    "mobility_slot_s",
+    "users",
+    "capacity_gb",
+    "storage_tiers",
+    "workloads",
+    "policies",
+    "granularities",
+    "control",
+    "shards",
+    "faults",
+];
+
+/// Parses a spec file. Omitted keys keep their [`SweepSpec::smoke`]
+/// defaults; the parsed spec is validated before it is returned.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for malformed lines, unknown or
+/// duplicate keys, unparsable values, or a spec that fails
+/// [`SweepSpec::validate`].
+pub fn parse_spec(text: &str) -> Result<SweepSpec, SimError> {
+    let mut spec = SweepSpec::smoke();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |reason: String| -> SimError {
+            SimError::InvalidConfig {
+                reason: format!("spec line {}: {reason}", lineno + 1),
+            }
+        };
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| bad(format!("expected 'key = value', got '{line}'")))?;
+        let (key, value) = (key.trim(), value.trim());
+        if !KEYS.contains(&key) {
+            return Err(bad(format!("unknown key '{key}'")));
+        }
+        if !seen.insert(key.to_string()) {
+            return Err(bad(format!("duplicate key '{key}'")));
+        }
+        apply(&mut spec, key, value).map_err(|e| match e {
+            SimError::InvalidConfig { reason } => bad(reason),
+            other => other,
+        })?;
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Assigns one parsed value to its spec field.
+fn apply(spec: &mut SweepSpec, key: &str, value: &str) -> Result<(), SimError> {
+    match key {
+        "name" => spec.name = value.to_string(),
+        "seed" => spec.seed = parse_scalar(key, value)?,
+        "library_seed" => spec.library_seed = parse_scalar(key, value)?,
+        "models_per_backbone" => spec.models_per_backbone = parse_scalar(key, value)?,
+        "duration_s" => spec.duration_s = parse_scalar(key, value)?,
+        "request_rate_hz" => spec.request_rate_hz = parse_scalar(key, value)?,
+        "area_side_m" => spec.area_side_m = parse_scalar(key, value)?,
+        "servers_per_km2" => spec.servers_per_km2 = parse_scalar(key, value)?,
+        "demand_classes" => spec.demand_classes = parse_scalar(key, value)?,
+        "regional_grid" => spec.regional_grid = parse_scalar(key, value)?,
+        "mobility_slot_s" => spec.mobility_slot_s = parse_scalar(key, value)?,
+        "users" => spec.users = parse_list(key, value, parse_scalar)?,
+        "capacity_gb" => spec.capacity_gb = parse_list(key, value, parse_scalar)?,
+        "storage_tiers" => {
+            spec.storage_tiers = parse_list(key, value, tiers_from_string)?;
+        }
+        "workloads" => {
+            spec.workloads = parse_list(key, value, |_, v| WorkloadFamily::parse(v))?;
+        }
+        "policies" => spec.policies = parse_list(key, value, |_, v| PolicyKind::parse(v))?,
+        "granularities" => {
+            spec.granularities = parse_list(key, value, granularity_from_string)?;
+        }
+        "control" => spec.control = parse_list(key, value, parse_bool)?,
+        "shards" => spec.shards = parse_list(key, value, parse_scalar)?,
+        "faults" => spec.faults = parse_list(key, value, parse_bool)?,
+        // The caller already rejected keys outside `KEYS`; keep this an
+        // error (not a panic) so the two lists can never desynchronise
+        // into a crash.
+        other => {
+            return Err(SimError::InvalidConfig {
+                reason: format!("unknown key '{other}'"),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Parses a single scalar with a typed `FromStr`.
+fn parse_scalar<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, SimError> {
+    value.parse().map_err(|_| SimError::InvalidConfig {
+        reason: format!("key '{key}': cannot parse '{value}'"),
+    })
+}
+
+/// Parses a comma-separated list with a per-element parser.
+fn parse_list<T>(
+    key: &str,
+    value: &str,
+    element: impl Fn(&str, &str) -> Result<T, SimError>,
+) -> Result<Vec<T>, SimError> {
+    value
+        .split(',')
+        .map(|v| element(key, v.trim()))
+        .collect::<Result<Vec<_>, _>>()
+        .and_then(|list| {
+            if list.is_empty() {
+                Err(SimError::InvalidConfig {
+                    reason: format!("key '{key}': empty list"),
+                })
+            } else {
+                Ok(list)
+            }
+        })
+}
+
+/// Parses an `on`/`off` flag.
+fn parse_bool(key: &str, value: &str) -> Result<bool, SimError> {
+    match value {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        other => Err(SimError::InvalidConfig {
+            reason: format!("key '{key}': expected on/off, got '{other}'"),
+        }),
+    }
+}
+
+/// Parses one storage-tier set: `flat` or `:`-separated multipliers.
+fn tiers_from_string(key: &str, value: &str) -> Result<Vec<f64>, SimError> {
+    if value == "flat" {
+        return Ok(Vec::new());
+    }
+    value
+        .split(':')
+        .map(|v| parse_scalar::<f64>(key, v.trim()))
+        .collect()
+}
+
+/// Renders one storage-tier set (`flat` when empty).
+pub fn tiers_to_string(tiers: &[f64]) -> String {
+    if tiers.is_empty() {
+        return "flat".into();
+    }
+    tiers
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// Parses a fill granularity name.
+fn granularity_from_string(key: &str, value: &str) -> Result<FillGranularity, SimError> {
+    match value {
+        "block" => Ok(FillGranularity::Block),
+        "whole-model" => Ok(FillGranularity::WholeModel),
+        other => Err(SimError::InvalidConfig {
+            reason: format!("key '{key}': expected block/whole-model, got '{other}'"),
+        }),
+    }
+}
+
+/// Renders a fill granularity name.
+pub fn granularity_to_string(granularity: FillGranularity) -> &'static str {
+    match granularity {
+        FillGranularity::Block => "block",
+        FillGranularity::WholeModel => "whole-model",
+    }
+}
+
+/// Renders an `on`/`off` flag.
+pub fn bool_to_string(value: bool) -> &'static str {
+    if value {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Writes the canonical form of a spec: fixed key order, canonical
+/// number formatting. These bytes define [`SweepSpec::fingerprint`].
+pub fn write_spec(spec: &SweepSpec) -> String {
+    fn join<T, F: Fn(&T) -> String>(values: &[T], f: F) -> String {
+        values.iter().map(f).collect::<Vec<_>>().join(", ")
+    }
+    // Built positionally in `KEYS` order; the round-trip test pins the
+    // two lists together (a drifted entry would fail to re-parse or
+    // fall back to a default and compare unequal).
+    let entries: [(&str, String); KEYS.len()] = [
+        ("name", spec.name.clone()),
+        ("seed", spec.seed.to_string()),
+        ("library_seed", spec.library_seed.to_string()),
+        ("models_per_backbone", spec.models_per_backbone.to_string()),
+        ("duration_s", spec.duration_s.to_string()),
+        ("request_rate_hz", spec.request_rate_hz.to_string()),
+        ("area_side_m", spec.area_side_m.to_string()),
+        ("servers_per_km2", spec.servers_per_km2.to_string()),
+        ("demand_classes", spec.demand_classes.to_string()),
+        ("regional_grid", spec.regional_grid.to_string()),
+        ("mobility_slot_s", spec.mobility_slot_s.to_string()),
+        ("users", join(&spec.users, usize::to_string)),
+        ("capacity_gb", join(&spec.capacity_gb, f64::to_string)),
+        (
+            "storage_tiers",
+            join(&spec.storage_tiers, |t| tiers_to_string(t)),
+        ),
+        ("workloads", join(&spec.workloads, |w| w.name().to_string())),
+        ("policies", join(&spec.policies, |p| p.name().to_string())),
+        (
+            "granularities",
+            join(&spec.granularities, |g| granularity_to_string(*g).into()),
+        ),
+        (
+            "control",
+            join(&spec.control, |b| bool_to_string(*b).into()),
+        ),
+        ("shards", join(&spec.shards, usize::to_string)),
+        ("faults", join(&spec.faults, |b| bool_to_string(*b).into())),
+    ];
+    let mut out = String::from("# trimcaching sweep spec (canonical form)\n");
+    for (key, value) in entries {
+        out.push_str(key);
+        out.push_str(" = ");
+        out.push_str(&value);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let mut spec = SweepSpec::smoke();
+        spec.name = "round-trip".into();
+        spec.users = vec![100, 250];
+        spec.capacity_gb = vec![0.5, 1.25];
+        spec.storage_tiers = vec![vec![], vec![1.0, 2.0, 0.5]];
+        spec.workloads = vec![WorkloadFamily::FlashCrowd, WorkloadFamily::Regional];
+        spec.policies = vec![PolicyKind::Lru, PolicyKind::CostLfu];
+        spec.granularities = vec![FillGranularity::Block, FillGranularity::WholeModel];
+        spec.control = vec![false, true];
+        spec.shards = vec![1, 4];
+        spec.faults = vec![false, true];
+        let text = write_spec(&spec);
+        let parsed = parse_spec(&text).unwrap();
+        assert_eq!(parsed, spec);
+        // Canonical form is a fixed point: writing the parse re-yields it.
+        assert_eq!(write_spec(&parsed), text);
+    }
+
+    #[test]
+    fn declaration_order_and_comments_do_not_matter() {
+        let a = parse_spec("users = 100, 200\npolicies = lru, cost-lfu\n").unwrap();
+        let b = parse_spec(
+            "# comment\npolicies = lru, cost-lfu  # trailing comment\n\nusers = 100 , 200\n",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn omitted_keys_default_to_the_smoke_spec() {
+        let parsed = parse_spec("shards = 2, 4\n").unwrap();
+        let mut expected = SweepSpec::smoke();
+        expected.shards = vec![2, 4];
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_line_numbers() {
+        let e = parse_spec("users 100\n").unwrap_err().to_string();
+        assert!(e.contains("line 1"), "{e}");
+        let e = parse_spec("nope = 1\n").unwrap_err().to_string();
+        assert!(e.contains("unknown key"), "{e}");
+        let e = parse_spec("users = 100\nusers = 200\n")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("duplicate key"), "{e}");
+        let e = parse_spec("users = ten\n").unwrap_err().to_string();
+        assert!(e.contains("cannot parse"), "{e}");
+        let e = parse_spec("faults = maybe\n").unwrap_err().to_string();
+        assert!(e.contains("on/off"), "{e}");
+        let e = parse_spec("granularities = byte\n")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("block/whole-model"), "{e}");
+        // Validation runs on the assembled spec.
+        assert!(parse_spec("users = 0\n").is_err());
+    }
+
+    #[test]
+    fn tier_sets_parse_both_forms() {
+        let spec = parse_spec("storage_tiers = flat, 1:2:0.5\n").unwrap();
+        assert_eq!(spec.storage_tiers, vec![vec![], vec![1.0, 2.0, 0.5]]);
+        assert_eq!(tiers_to_string(&[]), "flat");
+        assert_eq!(tiers_to_string(&[1.0, 2.0, 0.5]), "1:2:0.5");
+    }
+}

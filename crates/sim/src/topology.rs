@@ -8,7 +8,7 @@
 //! [`Scenario`]; the Monte-Carlo driver calls it once per topology seed.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use trimcaching_modellib::ModelLibrary;
@@ -190,6 +190,24 @@ pub struct CityScaleConfig {
     pub backhaul_rate_bps: f64,
     /// Eligibility representation forwarded to the scenario builder.
     pub repr: EligibilityRepr,
+    /// Heterogeneous storage tiers: per-server multipliers on
+    /// `capacity_gb`, cycled by server index (`server m` gets
+    /// `capacity_gb · tiers[m mod tiers.len()]`). `None` keeps the
+    /// paper's homogeneous capacity.
+    #[serde(default)]
+    pub storage_tiers: Option<Vec<f64>>,
+    /// Correlated regional popularity: `Some(g)` cuts the area into a
+    /// `g × g` grid of regions and gives each region its own clustered
+    /// demand class — users request from the Zipf row of the region they
+    /// stand in, so neighbours share a profile. Mutually exclusive with
+    /// [`CityScaleConfig::demand_classes`].
+    #[serde(default)]
+    pub regional_grid: Option<usize>,
+    /// Commuter user placement: drop users at the *home* anchors of a
+    /// [`CommuterFlow`] (western residential band) instead of uniformly,
+    /// the static snapshot of a home/work commuting population.
+    #[serde(default)]
+    pub commuter_homes: bool,
 }
 
 impl CityScaleConfig {
@@ -225,6 +243,9 @@ impl CityScaleConfig {
             radio,
             backhaul_rate_bps: 2.0e8,
             repr: EligibilityRepr::Sparse,
+            storage_tiers: None,
+            regional_grid: None,
+            commuter_homes: false,
         }
     }
 
@@ -263,6 +284,28 @@ impl CityScaleConfig {
     /// `K × I`).
     pub fn with_demand_classes(mut self, classes: usize) -> Self {
         self.demand_classes = Some(classes);
+        self
+    }
+
+    /// Switches to heterogeneous storage: server `m` gets capacity
+    /// `capacity_gb · tiers[m mod tiers.len()]`.
+    pub fn with_storage_tiers(mut self, tiers: Vec<f64>) -> Self {
+        self.storage_tiers = Some(tiers);
+        self
+    }
+
+    /// Switches demand generation to correlated regional popularity over
+    /// a `grid × grid` partition of the area (one clustered Zipf class
+    /// per region, users classed by position).
+    pub fn with_regional_grid(mut self, grid: usize) -> Self {
+        self.regional_grid = Some(grid);
+        self
+    }
+
+    /// Drops users at commuter *home* anchors (western residential band)
+    /// instead of uniformly over the area.
+    pub fn with_commuter_homes(mut self) -> Self {
+        self.commuter_homes = true;
         self
     }
 
@@ -307,6 +350,27 @@ impl CityScaleConfig {
                 reason: format!("invalid backhaul rate {} bps", self.backhaul_rate_bps),
             });
         }
+        if let Some(tiers) = &self.storage_tiers {
+            if tiers.is_empty() || tiers.iter().any(|&t| !(t.is_finite() && t > 0.0)) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("storage tiers must be non-empty and positive: {tiers:?}"),
+                });
+            }
+        }
+        if let Some(grid) = self.regional_grid {
+            if grid == 0 {
+                return Err(SimError::InvalidConfig {
+                    reason: "a regional grid needs at least one cell per side".into(),
+                });
+            }
+            if self.demand_classes.is_some() {
+                return Err(SimError::InvalidConfig {
+                    reason: "regional_grid and demand_classes are mutually exclusive \
+                             (both define the user→class map)"
+                        .into(),
+                });
+            }
+        }
         let mut rng = StdRng::seed_from_u64(
             seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03)),
@@ -315,22 +379,52 @@ impl CityScaleConfig {
         let num_servers = sample_poisson(self.expected_servers(), &mut rng).max(1);
         let servers: Vec<EdgeServer> = (0..num_servers)
             .map(|m| {
+                let tier = self
+                    .storage_tiers
+                    .as_ref()
+                    .map_or(1.0, |tiers| tiers[m % tiers.len()]);
                 EdgeServer::new(
                     ServerId(m),
                     area.sample_uniform(&mut rng),
-                    gigabytes(self.capacity_gb),
+                    gigabytes(self.capacity_gb * tier),
                 )
             })
             .collect::<Result<_, _>>()?;
-        let users = area.sample_uniform_n(self.num_users, &mut rng);
-        let demand = match self.demand_classes {
-            Some(classes) => self.demand.generate_clustered(
+        let users = if self.commuter_homes {
+            let commuter_seed: u64 = rng.gen();
+            CommuterFlow::new(self.num_users, area, 1.0, commuter_seed)?
+                .homes()
+                .to_vec()
+        } else {
+            area.sample_uniform_n(self.num_users, &mut rng)
+        };
+        let demand = match (self.regional_grid, self.demand_classes) {
+            (Some(grid), _) => {
+                // One clustered class per grid region; a user requests
+                // from the Zipf row of the region they stand in.
+                let cell = self.area_side_m / grid as f64;
+                let user_class = users
+                    .iter()
+                    .map(|p| {
+                        let gx = ((p.x / cell) as usize).min(grid - 1);
+                        let gy = ((p.y / cell) as usize).min(grid - 1);
+                        (gy * grid + gx) as u32
+                    })
+                    .collect();
+                self.demand.generate_clustered_mapped(
+                    library.num_models(),
+                    grid * grid,
+                    user_class,
+                    &mut rng,
+                )?
+            }
+            (None, Some(classes)) => self.demand.generate_clustered(
                 self.num_users,
                 library.num_models(),
                 classes,
                 &mut rng,
             )?,
-            None => self
+            (None, None) => self
                 .demand
                 .generate(self.num_users, library.num_models(), &mut rng)?,
         };
@@ -482,6 +576,94 @@ mod tests {
         assert_eq!(city.num_users, 50_000);
         assert!(city.expected_servers() > 900.0);
         assert_eq!(CityScaleConfig::default(), CityScaleConfig::district());
+    }
+
+    #[test]
+    fn storage_tiers_cycle_by_server_index() {
+        let lib = library();
+        let mut cfg = CityScaleConfig::district()
+            .with_users(50)
+            .with_storage_tiers(vec![1.0, 2.0, 0.5]);
+        cfg.area_side_m = 1_500.0;
+        let scenario = cfg.generate(&lib, 3, 0).unwrap();
+        let base = 1_000_000_000u64; // capacity_gb = 1.0
+        for m in 0..scenario.num_servers() {
+            let expected = match m % 3 {
+                0 => base,
+                1 => 2 * base,
+                _ => base / 2,
+            };
+            assert_eq!(scenario.capacity_bytes(ServerId(m)).unwrap(), expected);
+        }
+        // Tiers never change where servers and users land.
+        let mut flat = cfg.clone();
+        flat.storage_tiers = None;
+        let plain = flat.generate(&lib, 3, 0).unwrap();
+        assert_eq!(scenario.num_servers(), plain.num_servers());
+        assert_eq!(scenario.users(), plain.users());
+        // Degenerate tiers are rejected.
+        assert!(cfg
+            .clone()
+            .with_storage_tiers(vec![])
+            .generate(&lib, 3, 0)
+            .is_err());
+        assert!(cfg
+            .with_storage_tiers(vec![1.0, 0.0])
+            .generate(&lib, 3, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn regional_grid_classes_users_by_position() {
+        let lib = library();
+        let mut cfg = CityScaleConfig::district()
+            .with_users(200)
+            .with_regional_grid(2);
+        cfg.area_side_m = 2_000.0;
+        let scenario = cfg.generate(&lib, 9, 0).unwrap();
+        let classes = scenario.demand().user_classes().expect("clustered demand");
+        assert_eq!(scenario.demand().num_classes(), 4);
+        for (k, u) in scenario.users().iter().enumerate() {
+            let p = u.position();
+            let gx = ((p.x / 1_000.0) as usize).min(1);
+            let gy = ((p.y / 1_000.0) as usize).min(1);
+            assert_eq!(classes[k], (gy * 2 + gx) as u32, "user {k} at {p:?}");
+        }
+        // Same config, same seed: deterministic.
+        assert_eq!(scenario, cfg.generate(&lib, 9, 0).unwrap());
+        // Degenerate / conflicting grids are rejected.
+        assert!(cfg
+            .clone()
+            .with_regional_grid(0)
+            .generate(&lib, 9, 0)
+            .is_err());
+        assert!(cfg.with_demand_classes(8).generate(&lib, 9, 0).is_err());
+    }
+
+    #[test]
+    fn commuter_homes_cluster_users_in_the_residential_band() {
+        let lib = library();
+        let mut cfg = CityScaleConfig::district()
+            .with_users(120)
+            .with_commuter_homes();
+        cfg.area_side_m = 2_000.0;
+        let scenario = cfg.generate(&lib, 5, 0).unwrap();
+        for u in scenario.users() {
+            let p = u.position();
+            assert!(
+                p.x <= 0.4 * 2_000.0,
+                "commuter home outside the residential band: {p:?}"
+            );
+        }
+        assert_eq!(scenario, cfg.generate(&lib, 5, 0).unwrap());
+        // Uniform placement covers the east half too; commuter homes don't.
+        let mut uniform = cfg.clone();
+        uniform.commuter_homes = false;
+        let spread = uniform.generate(&lib, 5, 0).unwrap();
+        assert!(spread
+            .users()
+            .iter()
+            .any(|u| u.position().x > 0.4 * 2_000.0));
     }
 
     #[test]

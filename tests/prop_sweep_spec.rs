@@ -1,0 +1,89 @@
+//! Property tests of the sweep-spec grammar: the order in which a spec
+//! file declares its keys is irrelevant — any permutation of the same
+//! lines parses into the same `SweepSpec`, the same canonical
+//! fingerprint, and therefore the exact same per-cell seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use trimcaching::sim::sweep::parse_spec;
+
+/// All policy names, indexed by a non-empty bitmask.
+const POLICIES: [&str; 3] = ["lru", "lfu", "cost-lfu"];
+/// All workload-family names, indexed by a non-empty bitmask.
+const WORKLOADS: [&str; 6] = [
+    "stationary",
+    "shift",
+    "flash-crowd",
+    "diurnal",
+    "regional",
+    "commuter",
+];
+
+/// Selects the mask's subset of `names`, comma-joined.
+fn masked(names: &[&str], mask: usize) -> String {
+    names
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, n)| *n)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Comma-joins a list of displayable values.
+fn joined<T: std::fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(T::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn key_declaration_order_never_changes_the_cell_seeds(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        users in collection::vec(50usize..500, 1..3),
+        cap_tenths in collection::vec(1usize..12, 1..3),
+        policy_mask in 1usize..8,
+        workload_mask in 1usize..64,
+        shards in collection::vec(1usize..5, 1..3),
+        duration in 30usize..300,
+    ) {
+        let caps: Vec<f64> = cap_tenths.iter().map(|&t| t as f64 / 10.0).collect();
+        let lines = vec![
+            format!("seed = {seed}"),
+            format!("duration_s = {duration}"),
+            format!("users = {}", joined(&users)),
+            format!("capacity_gb = {}", joined(&caps)),
+            format!("policies = {}", masked(&POLICIES, policy_mask)),
+            format!("workloads = {}", masked(&WORKLOADS, workload_mask)),
+            format!("shards = {}", joined(&shards)),
+            "storage_tiers = flat, 1:2:0.5".to_string(),
+            "faults = off, on".to_string(),
+        ];
+
+        let canonical_order = parse_spec(&lines.join("\n")).expect("ordered spec parses");
+
+        let mut shuffled = lines;
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let shuffled_order = parse_spec(&shuffled.join("\n")).expect("shuffled spec parses");
+
+        prop_assert_eq!(&canonical_order, &shuffled_order);
+        prop_assert_eq!(canonical_order.fingerprint(), shuffled_order.fingerprint());
+
+        let a = canonical_order.cells().expect("cells expand");
+        let b = shuffled_order.cells().expect("cells expand");
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(x.seed, y.seed, "cell {} seed must not depend on key order", x.index);
+        }
+    }
+}
